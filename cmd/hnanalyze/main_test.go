@@ -1,0 +1,42 @@
+package main
+
+import (
+	"testing"
+
+	"honeynet/internal/analysis"
+	"honeynet/internal/botnet"
+	"honeynet/internal/core"
+	"honeynet/internal/simulate"
+)
+
+// TestRunOneCoversEveryFigure executes the CLI dispatch for every figure
+// selector over a small dataset, so a renamed analyzer cannot silently
+// break the tool.
+func TestRunOneCoversEveryFigure(t *testing.T) {
+	p, err := core.Simulate(simulate.Config{
+		Scale: 5000,
+		Seed:  9,
+		End:   botnet.WindowStart.AddDate(0, 14, 0), // spans the variant start
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := analysis.ClusterConfig{K: 8, SampleSize: 100, Seed: 9}
+	figs := []string{
+		"stats", "1", "2", "3a", "3b", "4a", "4b", "5", "6", "7", "8", "9",
+		"10", "11", "12", "13", "14", "16", "17", "kselect", "table1",
+		"storage", "mdrfckr", "appc", "events",
+	}
+	for _, fig := range figs {
+		if err := runOne(p, fig, ccfg, false); err != nil {
+			t.Errorf("fig %q: %v", fig, err)
+		}
+	}
+	if err := runOne(p, "nope", ccfg, false); err == nil {
+		t.Error("unknown figure must error")
+	}
+	// CSV mode works for a representative figure.
+	if err := runOne(p, "stats", ccfg, true); err != nil {
+		t.Errorf("csv mode: %v", err)
+	}
+}

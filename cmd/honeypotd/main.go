@@ -1,0 +1,90 @@
+// Command honeypotd runs one real, network-facing honeypot node: a
+// Cowrie-style medium-interaction SSH and Telnet server with an emulated
+// shell, printing every completed session record as a JSON line.
+//
+// Usage:
+//
+//	honeypotd [-ssh :2222] [-telnet :2323] [-id hp-1] [-hostname svr04] [-timeout 3m] [-out sessions.jsonl]
+//
+// Connect with any SSH client as root (any password except "root"):
+//
+//	ssh -p 2222 root@127.0.0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"honeynet/internal/honeypot"
+	"honeynet/internal/session"
+	"honeynet/internal/simulate"
+)
+
+func main() {
+	var (
+		sshAddr    = flag.String("ssh", ":2222", "SSH listen address")
+		telnetAddr = flag.String("telnet", ":2323", "Telnet listen address (empty to disable)")
+		id         = flag.String("id", "hp-1", "honeypot node id")
+		hostname   = flag.String("hostname", "svr04", "fake hostname the shell presents")
+		timeout    = flag.Duration("timeout", honeypot.DefaultTimeout, "hard session timeout")
+		out        = flag.String("out", "", "session JSONL output file (default stdout)")
+		persistent = flag.Bool("persistent", false, "retain each client's filesystem across connections (defeats attacker consistency checks)")
+	)
+	flag.Parse()
+
+	sink := os.Stdout
+	if *out != "" {
+		f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("honeypotd: %v", err)
+		}
+		defer f.Close()
+		sink = f
+	}
+	w := session.NewWriter(sink)
+
+	node, err := honeypot.New(honeypot.Config{
+		ID:         *id,
+		Hostname:   *hostname,
+		Timeout:    *timeout,
+		Persistent: *persistent,
+		Download:   simulate.Fetcher(),
+		Sink: func(r *session.Record) {
+			if err := w.Write(r); err == nil {
+				_ = w.Flush()
+			}
+			log.Printf("session %d from %s: %s, %d commands", r.ID, r.ClientIP, r.Kind(), len(r.Commands))
+		},
+	})
+	if err != nil {
+		log.Fatalf("honeypotd: %v", err)
+	}
+	addr, err := node.ListenSSH(*sshAddr)
+	if err != nil {
+		log.Fatalf("honeypotd: ssh: %v", err)
+	}
+	fmt.Printf("honeypotd: SSH on %s\n", addr)
+	if *telnetAddr != "" {
+		taddr, err := node.ListenTelnet(*telnetAddr)
+		if err != nil {
+			log.Fatalf("honeypotd: telnet: %v", err)
+		}
+		fmt.Printf("honeypotd: Telnet on %s\n", taddr)
+	}
+
+	// Serve until SIGINT/SIGTERM, then stop listeners, flush the session
+	// log, and print the node's counters.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	_ = node.Close()
+	_ = w.Flush()
+	m := node.Metrics()
+	fmt.Fprintf(os.Stderr, "honeypotd: shutting down: %d ssh + %d telnet connections, %d logins ok / %d failed, %d commands, %d downloads, %d state changes\n",
+		m.SSHConnections, m.TelnetConnections, m.AuthSuccesses, m.AuthFailures,
+		m.Commands, m.Downloads, m.StateChanges)
+}

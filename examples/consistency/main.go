@@ -1,0 +1,84 @@
+// Consistency: reproduce the stateful honeypot-detection trick of
+// section 5 — attackers "generate a random file and verify its presence
+// in a subsequent session to test system consistency, as inconsistency
+// may signal that the device could be a honeypot" — against both a
+// stock node (detected) and one running the persistent-storage
+// improvement from the paper's Call for Better Honeypots (not detected).
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"honeynet/internal/honeypot"
+	"honeynet/internal/session"
+	"honeynet/internal/sshclient"
+)
+
+// consistencyCheck plants a canary in one session and verifies it in a
+// second, returning the attacker's verdict.
+func consistencyCheck(addr string) (honeypotDetected bool, err error) {
+	canary := "c4n4ry-7f3a"
+
+	cli, err := sshclient.Dial(addr, sshclient.Config{User: "root", Password: "pass1"})
+	if err != nil {
+		return false, err
+	}
+	if _, err := cli.Exec("echo " + canary + " > /tmp/.sysid"); err != nil {
+		return false, err
+	}
+	cli.Close()
+
+	cli, err = sshclient.Dial(addr, sshclient.Config{User: "root", Password: "pass2"})
+	if err != nil {
+		return false, err
+	}
+	defer cli.Close()
+	res, err := cli.Exec("cat /tmp/.sysid")
+	if err != nil {
+		return false, err
+	}
+	return !strings.Contains(string(res.Output), canary), nil
+}
+
+func startNode(persistent bool) (string, func(), error) {
+	node, err := honeypot.New(honeypot.Config{
+		ID:         "hp-consistency",
+		Persistent: persistent,
+		Sink:       func(*session.Record) {},
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	addr, err := node.ListenSSH("127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	return addr, func() { node.Close() }, nil
+}
+
+func main() {
+	for _, mode := range []struct {
+		name       string
+		persistent bool
+	}{
+		{"stock honeypot (fresh filesystem per connection)", false},
+		{"persistent honeypot (per-client filesystem retained)", true},
+	} {
+		addr, stop, err := startNode(mode.persistent)
+		if err != nil {
+			log.Fatal(err)
+		}
+		detected, err := consistencyCheck(addr)
+		stop()
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "attacker verdict: looks like a REAL machine — proceed"
+		if detected {
+			verdict = "attacker verdict: HONEYPOT DETECTED — canary vanished between sessions"
+		}
+		fmt.Printf("%-55s -> %s\n", mode.name, verdict)
+	}
+}

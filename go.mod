@@ -1,0 +1,3 @@
+module honeynet
+
+go 1.24

@@ -1,0 +1,64 @@
+// Package honeynet reproduces the measurement system of "Attacks Come to
+// Those Who Wait: Long-Term Observations in an SSH Honeynet" (IMC 2025):
+// a Cowrie-style medium-interaction SSH/Telnet honeypot built on a
+// from-scratch SSH stack, a deterministic 33-month attacker simulation
+// standing in for the unobtainable production traces, and one analyzer
+// per table and figure of the paper's evaluation.
+//
+// This package is the facade. The building blocks live under internal/:
+//
+//   - sshwire, sshd, sshclient: SSH transport (RFC 4253), server, client
+//   - telnetd: the Telnet endpoint
+//   - shell, vfs: the emulated Unix shell and virtual filesystem
+//   - honeypot: one network-facing honeypot node
+//   - session, collector: the session record model and database
+//   - botnet, simulate: the attacker models and the dataset generator
+//   - classify, textdist, cluster: Table 1 signatures, token DLD, K-medoids
+//   - asdb, abusedb: the AS registry and abuse-feed substrates
+//   - analysis, report: per-figure analyzers and table rendering
+//
+// Quick start:
+//
+//	p, err := honeynet.Simulate(honeynet.SimOptions{Scale: 2000, Seed: 42})
+//	if err != nil { ... }
+//	err = p.RunAll(os.Stdout, analysis.ClusterConfig{K: 90})
+package honeynet
+
+import (
+	"io"
+
+	"honeynet/internal/analysis"
+	"honeynet/internal/core"
+	"honeynet/internal/session"
+	"honeynet/internal/simulate"
+)
+
+// Pipeline is a dataset plus every analyzer input; see internal/core.
+type Pipeline = core.Pipeline
+
+// SimOptions selects the scale and seed of a dataset generation run.
+type SimOptions struct {
+	// Scale divides paper-scale session volumes (default 1000).
+	Scale float64
+	// Seed fixes the run.
+	Seed int64
+}
+
+// Simulate generates the synthetic 33-month dataset and returns the
+// analysis pipeline over it.
+func Simulate(opts SimOptions) (*Pipeline, error) {
+	return core.Simulate(simulate.Config{Scale: opts.Scale, Seed: opts.Seed})
+}
+
+// Load builds a pipeline over records previously written as JSONL (for
+// example by cmd/hnsim or a live cmd/honeypotd).
+func Load(r io.Reader) (*Pipeline, error) {
+	recs, err := session.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return core.FromRecords(recs, nil), nil
+}
+
+// ClusterConfig re-exports the section 6 clustering parameters.
+type ClusterConfig = analysis.ClusterConfig

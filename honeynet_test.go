@@ -1,0 +1,55 @@
+package honeynet
+
+import (
+	"bytes"
+	"testing"
+
+	"honeynet/internal/analysis"
+	"honeynet/internal/session"
+)
+
+// TestFacadeSimulateLoadRoundTrip drives the public API end to end:
+// generate a dataset, serialize it as JSONL (the cmd/hnsim format),
+// reload it through Load, and check the analyses agree.
+func TestFacadeSimulateLoadRoundTrip(t *testing.T) {
+	p, err := Simulate(SimOptions{Scale: 50000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := analysis.Stats(p.World)
+	if orig.Total == 0 {
+		t.Fatal("empty simulation")
+	}
+
+	var buf bytes.Buffer
+	w := session.NewWriter(&buf)
+	for _, r := range p.World.Store.All() {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := analysis.Stats(p2.World)
+	if got.Total != orig.Total || got.CommandExec != orig.CommandExec ||
+		got.Scouting != orig.Scouting || got.UniqueClientIPs != orig.UniqueClientIPs {
+		t.Errorf("stats diverged across JSONL round trip:\norig %+v\ngot  %+v", orig, got)
+	}
+	// Classification works over reloaded records too.
+	t1 := analysis.Table1(p2.World)
+	if t1.Total != got.CommandExec {
+		t.Errorf("classified %d of %d command sessions", t1.Total, got.CommandExec)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("not json at all\n")); err == nil {
+		t.Error("garbage must fail")
+	}
+}

@@ -1,0 +1,136 @@
+// Package analysis implements one analyzer per table and figure of the
+// paper's evaluation. Each analyzer consumes the honeynet session store
+// (plus the AS registry and abuse database where the figure joins on
+// them) and produces both a typed result and a printable report.Table.
+package analysis
+
+import (
+	"sort"
+	"time"
+
+	"honeynet/internal/abusedb"
+	"honeynet/internal/asdb"
+	"honeynet/internal/classify"
+	"honeynet/internal/collector"
+	"honeynet/internal/session"
+)
+
+// World bundles everything the analyzers read.
+type World struct {
+	Store      *collector.Store
+	Registry   *asdb.Registry
+	AbuseDB    *abusedb.DB
+	Classifier *classify.Classifier
+}
+
+// IsSSH reports whether a record belongs to the SSH subset the paper's
+// analyses use (section 3.3 keeps 546M of 635M sessions).
+func IsSSH(r *session.Record) bool { return r.Protocol == session.ProtoSSH }
+
+// SSHSessions returns the SSH subset of the store.
+func SSHSessions(store *collector.Store) []*session.Record {
+	return store.Filter(IsSSH)
+}
+
+// CmdExecSessions returns SSH sessions that executed at least one
+// command.
+func CmdExecSessions(store *collector.Store) []*session.Record {
+	return store.Filter(func(r *session.Record) bool {
+		return IsSSH(r) && r.Kind() == session.CommandExec
+	})
+}
+
+// HasExec reports whether a session attempted to execute a file.
+func HasExec(r *session.Record) bool { return len(r.ExecAttempts) > 0 }
+
+// ExecFileExists reports whether any exec attempt found its file.
+func ExecFileExists(r *session.Record) bool {
+	for _, e := range r.ExecAttempts {
+		if e.FileExists {
+			return true
+		}
+	}
+	return false
+}
+
+// monthKey truncates to month.
+func monthKey(t time.Time) time.Time {
+	return time.Date(t.Year(), t.Month(), 1, 0, 0, 0, 0, time.UTC)
+}
+
+// MonthlyCategoryShares counts sessions per (month, category) and
+// returns sorted months plus per-month category counts.
+type MonthlyCategoryShares struct {
+	Months []time.Time
+	// Counts[month][category] = sessions.
+	Counts map[time.Time]map[string]int
+	// Totals[month] = all sessions that month.
+	Totals map[time.Time]int
+}
+
+// TopCategories returns the overall top-n categories by session count.
+func (m *MonthlyCategoryShares) TopCategories(n int) []string {
+	totals := map[string]int{}
+	for _, byCat := range m.Counts {
+		for c, v := range byCat {
+			totals[c] += v
+		}
+	}
+	cats := make([]string, 0, len(totals))
+	for c := range totals {
+		cats = append(cats, c)
+	}
+	sort.Slice(cats, func(i, j int) bool {
+		if totals[cats[i]] != totals[cats[j]] {
+			return totals[cats[i]] > totals[cats[j]]
+		}
+		return cats[i] < cats[j]
+	})
+	if len(cats) > n {
+		cats = cats[:n]
+	}
+	return cats
+}
+
+// Share returns the category's share of a month's sessions.
+func (m *MonthlyCategoryShares) Share(month time.Time, cat string) float64 {
+	t := m.Totals[month]
+	if t == 0 {
+		return 0
+	}
+	return float64(m.Counts[month][cat]) / float64(t)
+}
+
+// categorize builds monthly category shares for a session subset.
+func categorize(cls *classify.Classifier, recs []*session.Record) *MonthlyCategoryShares {
+	out := &MonthlyCategoryShares{
+		Counts: map[time.Time]map[string]int{},
+		Totals: map[time.Time]int{},
+	}
+	for _, r := range recs {
+		m := r.Month()
+		byCat, ok := out.Counts[m]
+		if !ok {
+			byCat = map[string]int{}
+			out.Counts[m] = byCat
+		}
+		byCat[cls.Classify(r.CommandText())]++
+		out.Totals[m]++
+	}
+	out.Months = collector.SortedMonths(out.Counts)
+	return out
+}
+
+// quantile returns the q-quantile (0..1) of sorted values.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	pos := q * float64(len(sorted)-1)
+	i := int(pos)
+	if i >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(i)
+	return sorted[i]*(1-frac) + sorted[i+1]*frac
+}

@@ -1,0 +1,387 @@
+package analysis
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"honeynet/internal/cluster"
+	"honeynet/internal/collector"
+	"honeynet/internal/report"
+	"honeynet/internal/session"
+	"honeynet/internal/textdist"
+)
+
+// ClusterConfig tunes the section 6 clustering pipeline.
+type ClusterConfig struct {
+	// K is the cluster count (the paper selects 90 via elbow+silhouette).
+	K int
+	// SampleSize caps how many file-involving sessions are clustered;
+	// the pairwise matrix is quadratic. Distinct command texts are
+	// deduplicated first with multiplicity preserved.
+	SampleSize int
+	// Seed fixes sampling and medoid initialization.
+	Seed int64
+}
+
+func (c ClusterConfig) defaults() ClusterConfig {
+	if c.K == 0 {
+		c.K = 90
+	}
+	if c.SampleSize == 0 {
+		c.SampleSize = 2000
+	}
+	return c
+}
+
+// ClusterResult is the outcome of the session-clustering pipeline.
+type ClusterResult struct {
+	K int
+	// Texts are the distinct clustered command texts.
+	Texts []string
+	// Weight is how many sessions share each text.
+	Weight []int
+	// Sessions maps each text index to its session records.
+	Sessions [][]*session.Record
+	// Matrix is the normalized token-DLD distance matrix over Texts.
+	Matrix *cluster.Matrix
+	// Res is the raw K-medoids result over Texts.
+	Res *cluster.Result
+	// Order maps display rank -> cluster id, sorted by ascending mean
+	// token count (the paper sorts Cluster 1..90 this way).
+	Order []int
+	// Labels maps cluster id -> abuse-database family labels observed.
+	Labels map[int][]string
+}
+
+// RunClustering executes the full pipeline: select sessions with
+// downloads/drops, tokenize, build the DLD matrix, K-medoids, and label
+// clusters via the abuse database.
+func RunClustering(w *World, cfg ClusterConfig) (*ClusterResult, error) {
+	cfg = cfg.defaults()
+	// Section 6 clusters the sessions in which files are loaded onto the
+	// honeypot (the ~3M download sessions), not every state change.
+	recs := w.Store.Filter(func(r *session.Record) bool {
+		return IsSSH(r) && r.Kind() == session.CommandExec && len(r.Downloads) > 0
+	})
+
+	// Deduplicate by command text, keeping multiplicity. Obfuscated
+	// variants remain distinct texts — that is what DLD absorbs.
+	index := map[string]int{}
+	res := &ClusterResult{}
+	for _, r := range recs {
+		txt := r.CommandText()
+		i, ok := index[txt]
+		if !ok {
+			i = len(res.Texts)
+			index[txt] = i
+			res.Texts = append(res.Texts, txt)
+			res.Weight = append(res.Weight, 0)
+			res.Sessions = append(res.Sessions, nil)
+		}
+		res.Weight[i]++
+		res.Sessions[i] = append(res.Sessions[i], r)
+	}
+	if len(res.Texts) == 0 {
+		return nil, fmt.Errorf("analysis: no file-involving sessions to cluster")
+	}
+
+	// Downsample distinct texts if needed (weighted-preserving: drop
+	// the rarest texts first after a shuffle for ties).
+	if len(res.Texts) > cfg.SampleSize {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		order := rng.Perm(len(res.Texts))
+		sort.SliceStable(order, func(a, b int) bool {
+			return res.Weight[order[a]] > res.Weight[order[b]]
+		})
+		keep := order[:cfg.SampleSize]
+		sort.Ints(keep)
+		nt := make([]string, len(keep))
+		nw := make([]int, len(keep))
+		ns := make([][]*session.Record, len(keep))
+		for j, i := range keep {
+			nt[j], nw[j], ns[j] = res.Texts[i], res.Weight[i], res.Sessions[i]
+		}
+		res.Texts, res.Weight, res.Sessions = nt, nw, ns
+	}
+
+	k := cfg.K
+	if k > len(res.Texts) {
+		k = len(res.Texts)
+	}
+	res.K = k
+
+	tokens := make([][]string, len(res.Texts))
+	for i, t := range res.Texts {
+		tokens[i] = textdist.Tokenize(t)
+	}
+	res.Matrix = cluster.Fill(len(tokens), func(i, j int) float64 {
+		return textdist.Normalized(tokens[i], tokens[j])
+	})
+	cres, err := cluster.KMedoids(res.Matrix, k, cluster.Config{Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	res.Res = cres
+
+	// Sort clusters by mean token count (Cluster 1 = shortest).
+	meanTokens := make([]float64, k)
+	counts := make([]int, k)
+	for i, c := range cres.Assign {
+		meanTokens[c] += float64(len(tokens[i]))
+		counts[c]++
+	}
+	for c := range meanTokens {
+		if counts[c] > 0 {
+			meanTokens[c] /= float64(counts[c])
+		}
+	}
+	res.Order = make([]int, k)
+	for i := range res.Order {
+		res.Order[i] = i
+	}
+	sort.Slice(res.Order, func(a, b int) bool {
+		return meanTokens[res.Order[a]] < meanTokens[res.Order[b]]
+	})
+
+	// Label clusters by joining member hashes against the abuse DB.
+	res.Labels = map[int][]string{}
+	for c := 0; c < k; c++ {
+		seen := map[string]bool{}
+		for _, i := range cres.Members(c) {
+			for _, r := range res.Sessions[i] {
+				for _, h := range r.DroppedHashes {
+					if label, ok := w.AbuseDB.LookupHash(h); ok && !seen[label] {
+						seen[label] = true
+						res.Labels[c] = append(res.Labels[c], label)
+					}
+				}
+			}
+		}
+		sort.Strings(res.Labels[c])
+	}
+	return res, nil
+}
+
+// ClusterWeight returns the total session weight of cluster c.
+func (cr *ClusterResult) ClusterWeight(c int) int {
+	n := 0
+	for _, i := range cr.Res.Members(c) {
+		n += cr.Weight[i]
+	}
+	return n
+}
+
+// Fig5Table summarizes the distance matrix per displayed cluster: the
+// paper's heatmap reduced to intra- and inter-cluster mean normalized
+// DLD per cluster (in the paper's size order).
+func (cr *ClusterResult) Fig5Table(maxRows int) *report.Table {
+	t := &report.Table{
+		Title:   "Figure 5: normalized DLD matrix (cluster summary)",
+		Headers: []string{"cluster", "texts", "sessions", "mean_intra_dld", "mean_inter_dld", "labels"},
+	}
+	for rank, c := range cr.Order {
+		if maxRows > 0 && rank >= maxRows {
+			break
+		}
+		members := cr.Res.Members(c)
+		intra, intraN := 0.0, 0
+		inter, interN := 0.0, 0
+		for ii, i := range members {
+			for _, j := range members[ii+1:] {
+				intra += cr.Matrix.At(i, j)
+				intraN++
+			}
+		}
+		for _, i := range members {
+			for j := 0; j < cr.Matrix.N; j++ {
+				if cr.Res.Assign[j] != c {
+					inter += cr.Matrix.At(i, j)
+					interN++
+				}
+			}
+		}
+		if intraN > 0 {
+			intra /= float64(intraN)
+		}
+		if interN > 0 {
+			inter /= float64(interN)
+		}
+		t.AddRow(fmt.Sprintf("C-%d", rank+1), len(members), cr.ClusterWeight(c),
+			intra, inter, strings.Join(cr.Labels[c], "+"))
+	}
+	return t
+}
+
+// Fig6Month is one month's session share per top cluster.
+type Fig6Month struct {
+	Month  time.Time
+	Total  int
+	Shares map[string]float64 // display name -> share
+}
+
+// Fig6 tracks the top-5 clusters (by total sessions) over time.
+func (cr *ClusterResult) Fig6(topN int) []Fig6Month {
+	type cw struct {
+		c, w int
+	}
+	weights := make([]cw, cr.K)
+	for c := 0; c < cr.K; c++ {
+		weights[c] = cw{c, cr.ClusterWeight(c)}
+	}
+	sort.Slice(weights, func(a, b int) bool { return weights[a].w > weights[b].w })
+	if topN > len(weights) {
+		topN = len(weights)
+	}
+	top := weights[:topN]
+
+	rankOf := map[int]int{}
+	for rank, c := range cr.Order {
+		rankOf[c] = rank + 1
+	}
+	name := func(c int) string {
+		l := ""
+		if len(cr.Labels[c]) > 0 {
+			l = " (" + strings.Join(cr.Labels[c], ", ") + ")"
+		}
+		return fmt.Sprintf("C-%d%s", rankOf[c], l)
+	}
+
+	monthTotal := map[time.Time]int{}
+	monthCluster := map[time.Time]map[string]int{}
+	for i := range cr.Texts {
+		c := cr.Res.Assign[i]
+		inTop := false
+		for _, t := range top {
+			if t.c == c {
+				inTop = true
+				break
+			}
+		}
+		for _, r := range cr.Sessions[i] {
+			m := r.Month()
+			monthTotal[m]++
+			if inTop {
+				if monthCluster[m] == nil {
+					monthCluster[m] = map[string]int{}
+				}
+				monthCluster[m][name(c)]++
+			}
+		}
+	}
+	var out []Fig6Month
+	for _, m := range collector.SortedMonths(monthTotal) {
+		fm := Fig6Month{Month: m, Total: monthTotal[m], Shares: map[string]float64{}}
+		for n, v := range monthCluster[m] {
+			fm.Shares[n] = float64(v) / float64(monthTotal[m])
+		}
+		out = append(out, fm)
+	}
+	return out
+}
+
+// Fig6Table renders the top-cluster timeline.
+func Fig6Table(rows []Fig6Month) *report.Table {
+	names := map[string]bool{}
+	for _, r := range rows {
+		for n := range r.Shares {
+			names[n] = true
+		}
+	}
+	cols := make([]string, 0, len(names))
+	for n := range names {
+		cols = append(cols, n)
+	}
+	sort.Strings(cols)
+	t := &report.Table{
+		Title:   "Figure 6: top clusters (bots) over time",
+		Headers: append([]string{"month", "sessions"}, cols...),
+	}
+	for _, r := range rows {
+		row := []any{r.Month.Format("2006-01"), r.Total}
+		for _, c := range cols {
+			row = append(row, r.Shares[c])
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig14 computes the inter-category mean normalized DLD of Appendix B:
+// for each pair of classification categories, the average distance
+// between their member sessions' command texts.
+type Fig14Result struct {
+	Categories []string
+	Mean       *cluster.Matrix
+}
+
+// Fig14 builds the category-level distance matrix from up to
+// perCategory exemplar texts per category.
+func Fig14(w *World, perCategory int) *Fig14Result {
+	if perCategory <= 0 {
+		perCategory = 20
+	}
+	byCat := map[string][]string{}
+	seen := map[string]map[string]bool{}
+	for _, r := range CmdExecSessions(w.Store) {
+		txt := r.CommandText()
+		cat := w.Classifier.Classify(txt)
+		if len(byCat[cat]) >= perCategory {
+			continue
+		}
+		if seen[cat] == nil {
+			seen[cat] = map[string]bool{}
+		}
+		if seen[cat][txt] {
+			continue
+		}
+		seen[cat][txt] = true
+		byCat[cat] = append(byCat[cat], txt)
+	}
+	cats := make([]string, 0, len(byCat))
+	for c := range byCat {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+
+	tokens := map[string][][]string{}
+	for _, c := range cats {
+		for _, txt := range byCat[c] {
+			tokens[c] = append(tokens[c], textdist.Tokenize(txt))
+		}
+	}
+	m := cluster.NewMatrix(len(cats))
+	for i := range cats {
+		for j := i + 1; j < len(cats); j++ {
+			sum, n := 0.0, 0
+			for _, ta := range tokens[cats[i]] {
+				for _, tb := range tokens[cats[j]] {
+					sum += textdist.Normalized(ta, tb)
+					n++
+				}
+			}
+			if n > 0 {
+				m.Set(i, j, sum/float64(n))
+			}
+		}
+	}
+	return &Fig14Result{Categories: cats, Mean: m}
+}
+
+// Table renders the inter-category matrix (upper triangle).
+func (f *Fig14Result) Table() *report.Table {
+	t := &report.Table{
+		Title:   "Figure 14: inter-category mean normalized DLD",
+		Headers: append([]string{"category"}, f.Categories...),
+	}
+	for i, c := range f.Categories {
+		row := []any{c}
+		for j := range f.Categories {
+			row = append(row, f.Mean.At(i, j))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"honeynet/internal/collector"
+	"honeynet/internal/report"
+	"honeynet/internal/session"
+)
+
+// ---------- Figure 10: top login passwords ----------
+
+// Fig10Result tracks the top passwords used in successful logins.
+type Fig10Result struct {
+	Top []string
+	// Monthly[password][month] = sessions.
+	Monthly map[string]map[time.Time]int
+	Totals  map[string]int
+}
+
+// Fig10 counts sessions per password over time for the top-n passwords
+// (the paper shows 5).
+func Fig10(w *World, topN int) *Fig10Result {
+	res := &Fig10Result{Monthly: map[string]map[time.Time]int{}, Totals: map[string]int{}}
+	for _, r := range w.Store.All() {
+		if !IsSSH(r) || !r.LoggedIn() {
+			continue
+		}
+		for _, l := range r.Logins {
+			if !l.Success {
+				continue
+			}
+			res.Totals[l.Password]++
+			if res.Monthly[l.Password] == nil {
+				res.Monthly[l.Password] = map[time.Time]int{}
+			}
+			res.Monthly[l.Password][r.Month()]++
+		}
+	}
+	pwds := make([]string, 0, len(res.Totals))
+	for p := range res.Totals {
+		pwds = append(pwds, p)
+	}
+	sort.Slice(pwds, func(i, j int) bool {
+		if res.Totals[pwds[i]] != res.Totals[pwds[j]] {
+			return res.Totals[pwds[i]] > res.Totals[pwds[j]]
+		}
+		return pwds[i] < pwds[j]
+	})
+	if len(pwds) > topN {
+		pwds = pwds[:topN]
+	}
+	res.Top = pwds
+	return res
+}
+
+// Table renders the monthly series for the top passwords.
+func (f *Fig10Result) Table() *report.Table {
+	months := map[time.Time]bool{}
+	for _, p := range f.Top {
+		for m := range f.Monthly[p] {
+			months[m] = true
+		}
+	}
+	t := &report.Table{
+		Title:   "Figure 10: top login passwords over time (sessions)",
+		Headers: append([]string{"month"}, f.Top...),
+	}
+	for _, m := range collector.SortedMonths(months) {
+		row := []any{m.Format("2006-01")}
+		for _, p := range f.Top {
+			row = append(row, f.Monthly[p][m])
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Correlation computes the Pearson correlation of two passwords'
+// monthly series — the dreambox / vertex25ektks123 synchronization
+// check.
+func (f *Fig10Result) Correlation(a, b string) float64 {
+	months := map[time.Time]bool{}
+	for m := range f.Monthly[a] {
+		months[m] = true
+	}
+	for m := range f.Monthly[b] {
+		months[m] = true
+	}
+	var xs, ys []float64
+	for _, m := range collector.SortedMonths(months) {
+		xs = append(xs, float64(f.Monthly[a][m]))
+		ys = append(ys, float64(f.Monthly[b][m]))
+	}
+	return pearson(xs, ys)
+}
+
+func pearson(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	if n < 2 {
+		return 0
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / (math.Sqrt(vx) * math.Sqrt(vy))
+}
+
+// ---------- Figure 11: Cowrie default usernames ----------
+
+// Fig11Month counts phil login successes and richard attempts.
+type Fig11Month struct {
+	Month        time.Time
+	PhilSuccess  int
+	RichardTries int
+}
+
+// Fig11Result carries the series plus the fingerprinting statistics of
+// section 8.
+type Fig11Result struct {
+	Months []Fig11Month
+	// PhilSessions is the total count of sessions logging in as phil.
+	PhilSessions int
+	// PhilNoCommands is how many of those ran no commands (the >90%
+	// immediate-disconnect fingerprinting signature).
+	PhilNoCommands int
+	// PhilUniqueIPs counts distinct sources.
+	PhilUniqueIPs int
+	// PhilRepeatIPs counts sources seen more than once.
+	PhilRepeatIPs int
+}
+
+// Fig11 computes the Cowrie-default-credential series.
+func Fig11(w *World) *Fig11Result {
+	res := &Fig11Result{}
+	perMonth := map[time.Time]*Fig11Month{}
+	ips := map[string]int{}
+	row := func(m time.Time) *Fig11Month {
+		r, ok := perMonth[m]
+		if !ok {
+			r = &Fig11Month{Month: m}
+			perMonth[m] = r
+		}
+		return r
+	}
+	for _, r := range w.Store.All() {
+		if !IsSSH(r) {
+			continue
+		}
+		for _, l := range r.Logins {
+			switch l.Username {
+			case "phil":
+				if l.Success {
+					row(r.Month()).PhilSuccess++
+					res.PhilSessions++
+					ips[r.ClientIP]++
+					if len(r.Commands) == 0 {
+						res.PhilNoCommands++
+					}
+				}
+			case "richard":
+				row(r.Month()).RichardTries++
+			}
+		}
+	}
+	res.PhilUniqueIPs = len(ips)
+	for _, n := range ips {
+		if n > 1 {
+			res.PhilRepeatIPs++
+		}
+	}
+	for _, m := range collector.SortedMonths(perMonth) {
+		res.Months = append(res.Months, *perMonth[m])
+	}
+	return res
+}
+
+// Table renders the series.
+func (f *Fig11Result) Table() *report.Table {
+	t := &report.Table{
+		Title:   "Figure 11: Cowrie default usernames over time",
+		Headers: []string{"month", "login-success: phil", "login-try: richard"},
+	}
+	for _, m := range f.Months {
+		t.AddRow(m.Month.Format("2006-01"), m.PhilSuccess, m.RichardTries)
+	}
+	return t
+}
+
+// IntrusionPasswordSessions counts sessions per password restricted to
+// pure intrusions (login, no commands) — used for the 3245gs5662d34
+// investigation.
+func IntrusionPasswordSessions(w *World, password string) []*session.Record {
+	return w.Store.Filter(func(r *session.Record) bool {
+		if !IsSSH(r) || r.Kind() != session.Intrusion {
+			return false
+		}
+		for _, l := range r.Logins {
+			if l.Success && l.Password == password {
+				return true
+			}
+		}
+		return false
+	})
+}

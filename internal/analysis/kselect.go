@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"honeynet/internal/cluster"
+	"honeynet/internal/report"
+	"honeynet/internal/session"
+	"honeynet/internal/textdist"
+)
+
+// KSelection is the model-selection sweep of section 6: WCSS (for the
+// elbow) and the silhouette score across candidate cluster counts.
+type KSelection struct {
+	Points []cluster.SweepPoint
+	// ElbowK is the k at the maximal WCSS curvature.
+	ElbowK int
+	// BestSilhouetteK is the k maximizing the silhouette score.
+	BestSilhouetteK int
+}
+
+// SelectK runs K-medoids over the download-session sample for each
+// candidate k, reproducing the elbow + silhouette procedure with which
+// the paper settles on k=90.
+func SelectK(w *World, ks []int, sampleSize int, seed int64) (*KSelection, error) {
+	if sampleSize <= 0 {
+		sampleSize = 500
+	}
+	recs := w.Store.Filter(func(r *session.Record) bool {
+		return IsSSH(r) && r.Kind() == session.CommandExec && len(r.Downloads) > 0
+	})
+	seen := map[string]bool{}
+	var texts []string
+	for _, r := range recs {
+		txt := r.CommandText()
+		if !seen[txt] {
+			seen[txt] = true
+			texts = append(texts, txt)
+		}
+	}
+	if len(texts) == 0 {
+		return nil, fmt.Errorf("analysis: no download sessions to sweep")
+	}
+	if len(texts) > sampleSize {
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(texts), func(i, j int) { texts[i], texts[j] = texts[j], texts[i] })
+		texts = texts[:sampleSize]
+	}
+	tokens := make([][]string, len(texts))
+	for i, t := range texts {
+		tokens[i] = textdist.Tokenize(t)
+	}
+	m := cluster.Fill(len(tokens), func(i, j int) float64 {
+		return textdist.Normalized(tokens[i], tokens[j])
+	})
+
+	var valid []int
+	for _, k := range ks {
+		if k >= 2 && k <= len(texts) {
+			valid = append(valid, k)
+		}
+	}
+	sort.Ints(valid)
+	if len(valid) == 0 {
+		return nil, fmt.Errorf("analysis: no valid k in %v for %d texts", ks, len(texts))
+	}
+	points, err := cluster.SweepK(m, valid, cluster.Config{Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	sel := &KSelection{Points: points, ElbowK: cluster.Elbow(points)}
+	best := points[0]
+	for _, p := range points[1:] {
+		if p.Silhouette > best.Silhouette {
+			best = p
+		}
+	}
+	sel.BestSilhouetteK = best.K
+	return sel, nil
+}
+
+// Table renders the sweep.
+func (s *KSelection) Table() *report.Table {
+	t := &report.Table{
+		Title:   "Section 6: cluster-count selection (elbow + silhouette)",
+		Headers: []string{"k", "wcss", "silhouette", "note"},
+	}
+	for _, p := range s.Points {
+		note := ""
+		if p.K == s.ElbowK {
+			note += "elbow "
+		}
+		if p.K == s.BestSilhouetteK {
+			note += "best-silhouette"
+		}
+		t.AddRow(p.K, p.WCSS, p.Silhouette, note)
+	}
+	return t
+}

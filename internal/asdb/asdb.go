@@ -1,0 +1,263 @@
+// Package asdb is the synthetic Autonomous System registry standing in
+// for the historic-WHOIS + bgp.tools + PeeringDB pipeline of section 3.5.
+// It supplies, for any (IP, time) pair, the announcing AS with its type
+// tag (CDN / Hosting / ISP-NSP / Other), registration date, and announced
+// /24 count — the three attributes Figures 7, 8, and 17 join on.
+//
+// The registry is deterministic given a seed. IPs are allocated from
+// 10.0.0.0/8 in fixed-size per-AS blocks so reverse lookup is O(1), like
+// a longest-prefix match over per-AS aggregates.
+package asdb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Type tags an AS the way bgp.tools/PeeringDB labels collapse in the
+// paper's analysis.
+type Type int
+
+// AS type tags.
+const (
+	TypeCDN Type = iota
+	TypeHosting
+	TypeISPNSP
+	TypeOther
+)
+
+// String returns the tag label used in the figures.
+func (t Type) String() string {
+	switch t {
+	case TypeCDN:
+		return "CDN"
+	case TypeHosting:
+		return "Hosting"
+	case TypeISPNSP:
+		return "ISP/NSP"
+	case TypeOther:
+		return "Other"
+	default:
+		return "?"
+	}
+}
+
+// AS is one autonomous system.
+type AS struct {
+	ASN        int
+	Name       string
+	Type       Type
+	Registered time.Time
+	// Prefixes24 is the deaggregated /24 count the AS announces.
+	Prefixes24 int
+	// Down marks ASes that no longer announce any prefix (the paper
+	// found 36 such among malware-storage ASes).
+	Down bool
+
+	index int // block index for IP allocation
+}
+
+// AgeAt returns the AS age at time t.
+func (a *AS) AgeAt(t time.Time) time.Duration { return t.Sub(a.Registered) }
+
+// hostBits is the size of each AS's IP block: 4096 addresses.
+const hostBits = 12
+
+// ipBase is the start of the allocation space (10.0.0.0).
+const ipBase = uint32(10) << 24
+
+// Registry is the AS database. Safe for concurrent reads after
+// construction; SampleStorageAS mutates lazily and is internally locked.
+type Registry struct {
+	mu   sync.Mutex
+	rng  *rand.Rand
+	all  []*AS
+	next int
+
+	clients []*AS
+	// storageByQuarter lazily creates storage ASes bucketed by
+	// registration quarter, capped at the paper's 388 total.
+	storageByQuarter map[int64][]*AS
+	storageCount     int
+	storageCap       int
+}
+
+// NewRegistry builds a registry with nClients client-side ASes (ISP/NSP
+// heavy, matching the Sankey's left side) using the given seed.
+func NewRegistry(seed int64, nClients int) *Registry {
+	r := &Registry{
+		rng:              rand.New(rand.NewSource(seed)),
+		storageByQuarter: map[int64][]*AS{},
+		storageCap:       388,
+	}
+	for i := 0; i < nClients; i++ {
+		// Client IPs are mostly end hosts: 72% ISP/NSP, 15% Hosting,
+		// 3% CDN, 10% Other.
+		var typ Type
+		switch p := r.rng.Float64(); {
+		case p < 0.72:
+			typ = TypeISPNSP
+		case p < 0.87:
+			typ = TypeHosting
+		case p < 0.90:
+			typ = TypeCDN
+		default:
+			typ = TypeOther
+		}
+		// Client ASes skew old (established eyeball networks).
+		reg := time.Date(1995+r.rng.Intn(25), time.Month(1+r.rng.Intn(12)), 1+r.rng.Intn(28), 0, 0, 0, 0, time.UTC)
+		as := r.newAS(typ, reg, r.samplePrefixCount(false))
+		r.clients = append(r.clients, as)
+	}
+	return r
+}
+
+// newAS registers an AS and assigns its IP block. Caller holds no lock
+// during construction; lazily-created storage ASes are created under mu.
+func (r *Registry) newAS(typ Type, registered time.Time, prefixes int) *AS {
+	as := &AS{
+		ASN:        64512 + r.next, // private-use ASN space, then beyond
+		Name:       fmt.Sprintf("AS-%s-%d", typ, 64512+r.next),
+		Type:       typ,
+		Registered: registered,
+		Prefixes24: prefixes,
+		index:      r.next,
+	}
+	r.next++
+	r.all = append(r.all, as)
+	return as
+}
+
+// samplePrefixCount draws an announced-/24 count. Storage ASes follow
+// Figure 8(b): ~20% single /24, ~30% below 50, ~50% above.
+func (r *Registry) samplePrefixCount(storage bool) int {
+	p := r.rng.Float64()
+	if storage {
+		switch {
+		case p < 0.20:
+			return 1
+		case p < 0.50:
+			return 2 + r.rng.Intn(48)
+		default:
+			return 50 + r.rng.Intn(2000)
+		}
+	}
+	// Client-side (eyeball) networks are typically large.
+	return 10 + r.rng.Intn(5000)
+}
+
+// Clients returns the client-AS pool.
+func (r *Registry) Clients() []*AS { return r.clients }
+
+// SampleClientAS draws a client AS uniformly.
+func (r *Registry) SampleClientAS(rng *rand.Rand) *AS {
+	return r.clients[rng.Intn(len(r.clients))]
+}
+
+// SampleStorageAS draws a malware-storage AS whose age at time `at`
+// follows Figure 8(a): ~35% younger than one year, ~70% younger than
+// five. ASes are created lazily per registration quarter and reused,
+// capped at 388 distinct ASes, so repeated draws reuse infrastructure
+// the way the paper observes.
+func (r *Registry) SampleStorageAS(rng *rand.Rand, at time.Time) *AS {
+	var age time.Duration
+	const year = 365 * 24 * time.Hour
+	switch p := rng.Float64(); {
+	case p < 0.35:
+		age = time.Duration(rng.Int63n(int64(year)))
+	case p < 0.70:
+		age = year + time.Duration(rng.Int63n(int64(4*year)))
+	default:
+		age = 5*year + time.Duration(rng.Int63n(int64(20*year)))
+	}
+	reg := at.Add(-age)
+	quarter := reg.Year()*4 + (int(reg.Month())-1)/3
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	bucket := r.storageByQuarter[int64(quarter)]
+	// Reuse an existing AS from the quarter most of the time; grow the
+	// pool until the cap.
+	if len(bucket) > 0 && (r.storageCount >= r.storageCap || rng.Float64() < 0.8) {
+		return bucket[rng.Intn(len(bucket))]
+	}
+	if r.storageCount >= r.storageCap {
+		// Cap reached and quarter empty: fall back to the nearest
+		// populated quarter.
+		for d := 1; d < 200; d++ {
+			if b := r.storageByQuarter[int64(quarter-d)]; len(b) > 0 {
+				return b[rng.Intn(len(b))]
+			}
+			if b := r.storageByQuarter[int64(quarter+d)]; len(b) > 0 {
+				return b[rng.Intn(len(b))]
+			}
+		}
+	}
+	// Storage-pool composition: 358/388 hosting-like (92%), the rest
+	// ISPs — the section 7 breakdown.
+	typ := TypeHosting
+	switch p := r.rng.Float64(); {
+	case p < 0.08:
+		typ = TypeISPNSP
+	case p < 0.13:
+		typ = TypeCDN
+	case p < 0.18:
+		typ = TypeOther
+	}
+	regDay := time.Date(reg.Year(), reg.Month(), 1+r.rng.Intn(28), 0, 0, 0, 0, time.UTC)
+	as := r.newAS(typ, regDay, r.samplePrefixCount(true))
+	if r.rng.Float64() < float64(36)/388 {
+		as.Down = true // no longer announcing, like the 36 dead ASes found
+	}
+	r.storageByQuarter[int64(quarter)] = append(bucket, as)
+	r.storageCount++
+	return as
+}
+
+// StorageASCount returns how many distinct storage ASes exist so far.
+func (r *Registry) StorageASCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.storageCount
+}
+
+// IPFor returns the host'th IP address inside the AS's block.
+func (r *Registry) IPFor(as *AS, host int) string {
+	v := ipBase + uint32(as.index)<<hostBits + uint32(host)&(1<<hostBits-1)
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	return net.IP(b[:]).String()
+}
+
+// Lookup returns the AS announcing ip at time `at` (historic lookup).
+// The boolean is false for addresses outside the registry or announced
+// only after `at`.
+func (r *Registry) Lookup(ip string, at time.Time) (*AS, bool) {
+	parsed := net.ParseIP(ip)
+	if parsed == nil {
+		return nil, false
+	}
+	v4 := parsed.To4()
+	if v4 == nil {
+		return nil, false
+	}
+	v := binary.BigEndian.Uint32(v4)
+	if v < ipBase {
+		return nil, false
+	}
+	idx := int((v - ipBase) >> hostBits)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if idx < 0 || idx >= len(r.all) {
+		return nil, false
+	}
+	as := r.all[idx]
+	if as.Registered.After(at) {
+		return nil, false
+	}
+	return as, true
+}

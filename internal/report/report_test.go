@@ -1,0 +1,60 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "Demo", Headers: []string{"name", "count"}}
+	tb.AddRow("alpha", 1)
+	tb.AddRow("b", 22)
+	out := tb.String()
+	if !strings.Contains(out, "Demo\n====") {
+		t.Errorf("title underline missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, underline, header, separator, 2 rows.
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Columns aligned: "alpha" and "b" rows start headers at same offset.
+	if !strings.HasPrefix(lines[4], "alpha  1") {
+		t.Errorf("row 1 = %q", lines[4])
+	}
+	if !strings.HasPrefix(lines[5], "b      22") {
+		t.Errorf("row 2 = %q", lines[5])
+	}
+}
+
+func TestAddRowFormatsFloats(t *testing.T) {
+	tb := &Table{Headers: []string{"v"}}
+	tb.AddRow(0.123456)
+	if tb.Rows[0][0] != "0.123" {
+		t.Errorf("float cell = %q", tb.Rows[0][0])
+	}
+	tb.AddRow(float32(2.0))
+	if tb.Rows[1][0] != "2.000" {
+		t.Errorf("float32 cell = %q", tb.Rows[1][0])
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tb := &Table{Headers: []string{"a", "b"}}
+	tb.AddRow(`plain`, `has,comma`)
+	tb.AddRow(`has"quote`, "x")
+	csv := tb.CSV()
+	want := "a,b\nplain,\"has,comma\"\n\"has\"\"quote\",x\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(1, 4); got != "25.0%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct(1, 0); got != "n/a" {
+		t.Errorf("Pct div0 = %q", got)
+	}
+}

@@ -1,0 +1,145 @@
+package session
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// CowrieEvent is one event in Cowrie's JSON log format — the format the
+// real honeynet's collectors ingest. Exporting our records in it lets
+// existing Cowrie analysis tooling consume simulated or live data from
+// this honeypot unchanged.
+type CowrieEvent struct {
+	EventID   string `json:"eventid"`
+	Session   string `json:"session"`
+	SrcIP     string `json:"src_ip"`
+	SrcPort   int    `json:"src_port,omitempty"`
+	DstIP     string `json:"dst_ip,omitempty"`
+	Timestamp string `json:"timestamp"`
+	Sensor    string `json:"sensor"`
+
+	// Event-specific fields.
+	Username string  `json:"username,omitempty"`
+	Password string  `json:"password,omitempty"`
+	Input    string  `json:"input,omitempty"`
+	Message  string  `json:"message,omitempty"`
+	Version  string  `json:"version,omitempty"`
+	URL      string  `json:"url,omitempty"`
+	SHASum   string  `json:"shasum,omitempty"`
+	Outfile  string  `json:"outfile,omitempty"`
+	Duration float64 `json:"duration,omitempty"`
+	Protocol string  `json:"protocol,omitempty"`
+}
+
+// Cowrie event ids.
+const (
+	CowrieConnect      = "cowrie.session.connect"
+	CowrieClientVer    = "cowrie.client.version"
+	CowrieLoginSuccess = "cowrie.login.success"
+	CowrieLoginFailed  = "cowrie.login.failed"
+	CowrieCommandInput = "cowrie.command.input"
+	CowrieFileDownload = "cowrie.session.file_download"
+	CowrieClosed       = "cowrie.session.closed"
+)
+
+// cowrieTime formats timestamps the way Cowrie logs them.
+func cowrieTime(t time.Time) string {
+	return t.UTC().Format("2006-01-02T15:04:05.000000Z")
+}
+
+// CowrieEvents converts a session record to the ordered Cowrie event
+// stream that would have produced it: connect, client version, login
+// attempts, command inputs, file downloads, close.
+func (r *Record) CowrieEvents() []CowrieEvent {
+	sid := fmt.Sprintf("%012x", r.ID)
+	base := func(eventid string, at time.Time) CowrieEvent {
+		return CowrieEvent{
+			EventID:   eventid,
+			Session:   sid,
+			SrcIP:     r.ClientIP,
+			SrcPort:   r.ClientPort,
+			DstIP:     r.HoneypotIP,
+			Timestamp: cowrieTime(at),
+			Sensor:    r.HoneypotID,
+			Protocol:  r.Protocol,
+		}
+	}
+	// Spread intermediate events between start and end so the stream is
+	// monotone.
+	span := r.End.Sub(r.Start)
+	steps := len(r.Logins) + len(r.Commands) + len(r.Downloads) + 2
+	tick := func(i int) time.Time {
+		if steps <= 1 || span <= 0 {
+			return r.Start
+		}
+		return r.Start.Add(span * time.Duration(i) / time.Duration(steps))
+	}
+
+	var out []CowrieEvent
+	i := 0
+	ev := base(CowrieConnect, tick(i))
+	ev.Message = fmt.Sprintf("New connection: %s:%d (%s:22) [session: %s]", r.ClientIP, r.ClientPort, r.HoneypotIP, sid)
+	out = append(out, ev)
+	i++
+
+	if r.ClientVersion != "" {
+		ev = base(CowrieClientVer, tick(i))
+		ev.Version = r.ClientVersion
+		out = append(out, ev)
+		i++
+	}
+	for _, l := range r.Logins {
+		id := CowrieLoginFailed
+		msg := "login attempt [%s/%s] failed"
+		if l.Success {
+			id = CowrieLoginSuccess
+			msg = "login attempt [%s/%s] succeeded"
+		}
+		ev = base(id, tick(i))
+		ev.Username = l.Username
+		ev.Password = l.Password
+		ev.Message = fmt.Sprintf(msg, l.Username, l.Password)
+		out = append(out, ev)
+		i++
+	}
+	for _, c := range r.Commands {
+		ev = base(CowrieCommandInput, tick(i))
+		ev.Input = c.Raw
+		ev.Message = "CMD: " + c.Raw
+		out = append(out, ev)
+		i++
+	}
+	for _, d := range r.Downloads {
+		ev = base(CowrieFileDownload, tick(i))
+		ev.URL = d.URI
+		ev.SHASum = d.Hash
+		if d.Hash != "" {
+			ev.Outfile = "var/lib/cowrie/downloads/" + d.Hash
+		}
+		out = append(out, ev)
+		i++
+	}
+	ev = base(CowrieClosed, tick(steps))
+	ev.Duration = r.End.Sub(r.Start).Seconds()
+	ev.Message = "Connection lost"
+	out = append(out, ev)
+	return out
+}
+
+// WriteCowrieJSONL streams the records' Cowrie event logs to w, one JSON
+// event per line (the cowrie.json format).
+func WriteCowrieJSONL(w io.Writer, recs []*Record) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	enc := json.NewEncoder(bw)
+	for _, r := range recs {
+		for _, ev := range r.CowrieEvents() {
+			if err := enc.Encode(ev); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

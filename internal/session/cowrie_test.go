@@ -1,0 +1,120 @@
+package session
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func cowrieFixture() *Record {
+	return &Record{
+		ID:            0xabc,
+		Start:         time.Date(2022, 5, 1, 12, 0, 0, 0, time.UTC),
+		End:           time.Date(2022, 5, 1, 12, 0, 30, 0, time.UTC),
+		HoneypotID:    "hp-007",
+		HoneypotIP:    "198.18.0.7",
+		ClientIP:      "10.1.2.3",
+		ClientPort:    43210,
+		Protocol:      ProtoSSH,
+		ClientVersion: "SSH-2.0-libssh2_1.8.2",
+		Logins: []LoginAttempt{
+			{Username: "root", Password: "root"},
+			{Username: "root", Password: "admin", Success: true},
+		},
+		Commands: []Command{{Raw: "uname -a", Known: true}, {Raw: "wget http://x/y", Known: true}},
+		Downloads: []Download{
+			{URI: "http://x/y", SourceIP: "10.9.9.9", Hash: "deadbeef", Size: 12},
+		},
+	}
+}
+
+func TestCowrieEventsStructure(t *testing.T) {
+	evs := cowrieFixture().CowrieEvents()
+	var ids []string
+	for _, e := range evs {
+		ids = append(ids, e.EventID)
+	}
+	want := []string{
+		CowrieConnect, CowrieClientVer,
+		CowrieLoginFailed, CowrieLoginSuccess,
+		CowrieCommandInput, CowrieCommandInput,
+		CowrieFileDownload, CowrieClosed,
+	}
+	if len(ids) != len(want) {
+		t.Fatalf("event ids = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Errorf("event %d = %s, want %s", i, ids[i], want[i])
+		}
+	}
+	// All events share the session id and sensor.
+	sid := evs[0].Session
+	for _, e := range evs {
+		if e.Session != sid || e.Sensor != "hp-007" || e.SrcIP != "10.1.2.3" {
+			t.Errorf("event meta inconsistent: %+v", e)
+		}
+	}
+	// Timestamps are monotone non-decreasing.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Timestamp < evs[i-1].Timestamp {
+			t.Errorf("timestamps not monotone: %s then %s", evs[i-1].Timestamp, evs[i].Timestamp)
+		}
+	}
+	// Download event carries hash and outfile path.
+	dl := evs[6]
+	if dl.URL != "http://x/y" || dl.SHASum != "deadbeef" || !strings.Contains(dl.Outfile, "deadbeef") {
+		t.Errorf("download event = %+v", dl)
+	}
+	// Close event records the duration.
+	if evs[len(evs)-1].Duration != 30 {
+		t.Errorf("duration = %v", evs[len(evs)-1].Duration)
+	}
+}
+
+func TestCowrieEventMessages(t *testing.T) {
+	evs := cowrieFixture().CowrieEvents()
+	if !strings.Contains(evs[2].Message, "[root/root] failed") {
+		t.Errorf("failed login message = %q", evs[2].Message)
+	}
+	if !strings.Contains(evs[3].Message, "[root/admin] succeeded") {
+		t.Errorf("success login message = %q", evs[3].Message)
+	}
+	if evs[4].Input != "uname -a" || !strings.HasPrefix(evs[4].Message, "CMD: ") {
+		t.Errorf("command event = %+v", evs[4])
+	}
+}
+
+func TestWriteCowrieJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCowrieJSONL(&buf, []*Record{cowrieFixture(), {ID: 2, ClientIP: "10.0.0.2", Protocol: ProtoSSH,
+		Start: time.Date(2022, 5, 2, 0, 0, 0, 0, time.UTC), End: time.Date(2022, 5, 2, 0, 0, 1, 0, time.UTC)}}); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		var ev CowrieEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d not valid JSON: %v", n, err)
+		}
+		if ev.EventID == "" || ev.Timestamp == "" {
+			t.Fatalf("line %d missing fields: %s", n, sc.Text())
+		}
+		n++
+	}
+	// Fixture has 8 events; the bare scan record has connect + close.
+	if n != 10 {
+		t.Errorf("events = %d, want 10", n)
+	}
+}
+
+func TestCowrieTimestampFormat(t *testing.T) {
+	evs := cowrieFixture().CowrieEvents()
+	if _, err := time.Parse("2006-01-02T15:04:05.000000Z", evs[0].Timestamp); err != nil {
+		t.Errorf("timestamp %q not in cowrie format: %v", evs[0].Timestamp, err)
+	}
+}

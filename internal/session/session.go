@@ -1,0 +1,201 @@
+// Package session defines the honeynet's session record — the unit of
+// observation throughout the paper — plus the four-way session taxonomy
+// of section 3.3 (Scanning / Scouting / Intrusion / Command Execution)
+// and JSONL persistence.
+package session
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Kind classifies a session per section 3.3 of the paper.
+type Kind int
+
+// Session kinds, ordered by increasing attacker progress.
+const (
+	// Scanning: TCP handshake only, no credentials offered.
+	Scanning Kind = iota
+	// Scouting: login attempted but never succeeded.
+	Scouting
+	// Intrusion: login succeeded, no commands executed.
+	Intrusion
+	// CommandExec: login succeeded and at least one command ran.
+	CommandExec
+)
+
+// String returns the kind name used in reports.
+func (k Kind) String() string {
+	switch k {
+	case Scanning:
+		return "scanning"
+	case Scouting:
+		return "scouting"
+	case Intrusion:
+		return "intrusion"
+	case CommandExec:
+		return "command-execution"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Protocol names.
+const (
+	ProtoSSH    = "ssh"
+	ProtoTelnet = "telnet"
+)
+
+// LoginAttempt is one credential presentation.
+type LoginAttempt struct {
+	Username string `json:"user"`
+	Password string `json:"pass"`
+	Success  bool   `json:"ok"`
+}
+
+// Command is one executed shell line. Known marks commands the honeypot
+// emulates; unknown commands are recorded verbatim only.
+type Command struct {
+	Raw   string `json:"raw"`
+	Known bool   `json:"known"`
+}
+
+// Download records a file retrieval commanded on the honeypot (wget,
+// curl, tftp, ftpget). Hash is the SHA-256 of the content the emulated
+// fetch produced.
+type Download struct {
+	URI      string `json:"uri"`
+	SourceIP string `json:"src_ip,omitempty"`
+	Hash     string `json:"hash,omitempty"`
+	Size     int64  `json:"size,omitempty"`
+}
+
+// ExecAttempt records a command that tried to execute a file. FileExists
+// reports whether the honeypot had the file (hash known); bots that move
+// binaries via scp/rsync leave FileExists=false — the "file missing"
+// population of Figure 4(b).
+type ExecAttempt struct {
+	Path       string `json:"path"`
+	FileExists bool   `json:"exists"`
+	Hash       string `json:"hash,omitempty"`
+}
+
+// Record is one honeypot session as stored in the honeynet database.
+type Record struct {
+	ID         uint64    `json:"id"`
+	Start      time.Time `json:"start"`
+	End        time.Time `json:"end"`
+	HoneypotID string    `json:"hp"`
+	HoneypotIP string    `json:"hp_ip,omitempty"`
+	ClientIP   string    `json:"client_ip"`
+	ClientPort int       `json:"client_port,omitempty"`
+	Protocol   string    `json:"proto"`
+	// ClientVersion is the SSH identification string, when SSH was used.
+	ClientVersion string `json:"client_ver,omitempty"`
+
+	Logins       []LoginAttempt `json:"logins,omitempty"`
+	Commands     []Command      `json:"cmds,omitempty"`
+	Downloads    []Download     `json:"dls,omitempty"`
+	ExecAttempts []ExecAttempt  `json:"execs,omitempty"`
+
+	// StateChanged reports whether any command altered the virtual
+	// filesystem (created/modified/deleted files) — the Figure 1 split.
+	StateChanged bool `json:"state_changed,omitempty"`
+	// DroppedHashes are the distinct SHA-256 hashes of files created or
+	// modified during the session.
+	DroppedHashes []string `json:"hashes,omitempty"`
+	// TimedOut is set when the honeypot's 3-minute timer ended the session.
+	TimedOut bool `json:"timeout,omitempty"`
+}
+
+// LoggedIn reports whether any login attempt succeeded.
+func (r *Record) LoggedIn() bool {
+	for _, l := range r.Logins {
+		if l.Success {
+			return true
+		}
+	}
+	return false
+}
+
+// Kind classifies the session per section 3.3.
+func (r *Record) Kind() Kind {
+	switch {
+	case len(r.Logins) == 0:
+		return Scanning
+	case !r.LoggedIn():
+		return Scouting
+	case len(r.Commands) == 0:
+		return Intrusion
+	default:
+		return CommandExec
+	}
+}
+
+// CommandText returns all command lines joined by newlines — the input
+// to classification and clustering.
+func (r *Record) CommandText() string {
+	if len(r.Commands) == 0 {
+		return ""
+	}
+	n := 0
+	for _, c := range r.Commands {
+		n += len(c.Raw) + 1
+	}
+	buf := make([]byte, 0, n)
+	for i, c := range r.Commands {
+		if i > 0 {
+			buf = append(buf, '\n')
+		}
+		buf = append(buf, c.Raw...)
+	}
+	return string(buf)
+}
+
+// Month returns the session's start month truncated to the first, the
+// bucketing unit for every temporal figure in the paper.
+func (r *Record) Month() time.Time {
+	return time.Date(r.Start.Year(), r.Start.Month(), 1, 0, 0, 0, 0, time.UTC)
+}
+
+// Day returns the session's start date truncated to midnight UTC.
+func (r *Record) Day() time.Time {
+	return r.Start.Truncate(24 * time.Hour)
+}
+
+// Writer streams records as JSON lines.
+type Writer struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewWriter returns a JSONL writer over w.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	return &Writer{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write appends one record.
+func (w *Writer) Write(r *Record) error { return w.enc.Encode(r) }
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// ReadAll parses a JSONL stream of records.
+func ReadAll(r io.Reader) ([]*Record, error) {
+	var out []*Record
+	dec := json.NewDecoder(bufio.NewReaderSize(r, 1<<20))
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, fmt.Errorf("session: decoding record %d: %w", len(out), err)
+		}
+		out = append(out, &rec)
+	}
+}

@@ -1,0 +1,140 @@
+package session
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKindTaxonomy(t *testing.T) {
+	cases := []struct {
+		name string
+		rec  Record
+		want Kind
+	}{
+		{"scanning", Record{}, Scanning},
+		{"scouting", Record{Logins: []LoginAttempt{{Username: "root", Password: "root"}}}, Scouting},
+		{"scouting multi", Record{Logins: []LoginAttempt{{}, {}, {}}}, Scouting},
+		{"intrusion", Record{Logins: []LoginAttempt{{Success: true}}}, Intrusion},
+		{"intrusion after fails", Record{Logins: []LoginAttempt{{}, {Success: true}}}, Intrusion},
+		{"cmdexec", Record{
+			Logins:   []LoginAttempt{{Success: true}},
+			Commands: []Command{{Raw: "uname"}},
+		}, CommandExec},
+	}
+	for _, c := range cases {
+		if got := c.rec.Kind(); got != c.want {
+			t.Errorf("%s: Kind = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range []Kind{Scanning, Scouting, Intrusion, CommandExec} {
+		if k.String() == "" || k.String()[0] == 'k' {
+			t.Errorf("kind %d has no proper name: %q", k, k.String())
+		}
+	}
+}
+
+func TestCommandText(t *testing.T) {
+	r := Record{Commands: []Command{{Raw: "uname -a"}, {Raw: "nproc"}}}
+	if got := r.CommandText(); got != "uname -a\nnproc" {
+		t.Errorf("CommandText = %q", got)
+	}
+	var empty Record
+	if empty.CommandText() != "" {
+		t.Error("empty record must have empty text")
+	}
+}
+
+func TestMonthAndDay(t *testing.T) {
+	r := Record{Start: time.Date(2022, 3, 17, 13, 45, 0, 0, time.UTC)}
+	if got := r.Month(); !got.Equal(time.Date(2022, 3, 1, 0, 0, 0, 0, time.UTC)) {
+		t.Errorf("Month = %v", got)
+	}
+	if got := r.Day(); !got.Equal(time.Date(2022, 3, 17, 0, 0, 0, 0, time.UTC)) {
+		t.Errorf("Day = %v", got)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	recs := []*Record{
+		{
+			ID: 1, Start: time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC),
+			HoneypotID: "hp-1", ClientIP: "10.0.0.1", Protocol: ProtoSSH,
+			Logins:   []LoginAttempt{{Username: "root", Password: "admin", Success: true}},
+			Commands: []Command{{Raw: `echo -e "\x6F\x6B"`, Known: true}},
+			Downloads: []Download{
+				{URI: "http://10.9.9.9/x", SourceIP: "10.9.9.9", Hash: "ab", Size: 10},
+			},
+			ExecAttempts:  []ExecAttempt{{Path: "/tmp/x", FileExists: true, Hash: "ab"}},
+			StateChanged:  true,
+			DroppedHashes: []string{"ab"},
+		},
+		{ID: 2, ClientIP: "10.0.0.2", Protocol: ProtoTelnet},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d records", len(got))
+	}
+	if got[0].Commands[0].Raw != recs[0].Commands[0].Raw {
+		t.Errorf("command lost: %+v", got[0].Commands)
+	}
+	if got[0].Kind() != CommandExec || got[1].Kind() != Scanning {
+		t.Error("kinds lost across serialization")
+	}
+	if got[0].Downloads[0].SourceIP != "10.9.9.9" {
+		t.Errorf("download lost: %+v", got[0].Downloads)
+	}
+}
+
+func TestReadAllRejectsGarbage(t *testing.T) {
+	if _, err := ReadAll(bytes.NewBufferString("{\"id\":1}\nnot json\n")); err == nil {
+		t.Error("garbage input must fail")
+	}
+}
+
+func TestKindClassificationProperty(t *testing.T) {
+	// Property: Kind is consistent with its defining predicates.
+	f := func(nFails uint8, success bool, nCmds uint8) bool {
+		var r Record
+		for i := 0; i < int(nFails%5); i++ {
+			r.Logins = append(r.Logins, LoginAttempt{})
+		}
+		if success {
+			r.Logins = append(r.Logins, LoginAttempt{Success: true})
+			for i := 0; i < int(nCmds%4); i++ {
+				r.Commands = append(r.Commands, Command{Raw: "x"})
+			}
+		}
+		k := r.Kind()
+		switch {
+		case len(r.Logins) == 0:
+			return k == Scanning
+		case !success:
+			return k == Scouting
+		case len(r.Commands) == 0:
+			return k == Intrusion
+		default:
+			return k == CommandExec
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

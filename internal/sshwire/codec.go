@@ -1,0 +1,243 @@
+// Package sshwire implements the SSH transport layer protocol (RFC 4253)
+// from scratch on top of the standard library: binary packet framing,
+// version exchange, curve25519-sha256 key exchange, ssh-ed25519 host keys,
+// and an aes128-ctr + hmac-sha2-256 cipher suite.
+//
+// It exists so that the honeypot (internal/honeypot) and the attacker
+// simulator (internal/sshclient) speak real SSH over real TCP without any
+// dependency outside the standard library.
+package sshwire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Wire-format errors.
+var (
+	ErrShortBuffer  = errors.New("sshwire: short buffer")
+	ErrStringTooBig = errors.New("sshwire: string length exceeds limit")
+)
+
+// maxStringLen bounds any single string field we are willing to decode.
+// SSH packets are capped at 256 KiB by maxPacket, so this is generous.
+const maxStringLen = 1 << 20
+
+// Builder serializes SSH wire types into a byte slice.
+// The zero value is ready to use.
+type Builder struct {
+	buf []byte
+}
+
+// NewBuilder returns a Builder with the given initial capacity.
+func NewBuilder(capacity int) *Builder {
+	return &Builder{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the accumulated bytes. The slice aliases the builder's
+// internal buffer; callers must not retain it across further writes.
+func (b *Builder) Bytes() []byte { return b.buf }
+
+// Len reports the number of bytes written so far.
+func (b *Builder) Len() int { return len(b.buf) }
+
+// Byte appends a single byte.
+func (b *Builder) Byte(v byte) *Builder {
+	b.buf = append(b.buf, v)
+	return b
+}
+
+// Bool appends an SSH boolean (one byte, 0 or 1).
+func (b *Builder) Bool(v bool) *Builder {
+	if v {
+		return b.Byte(1)
+	}
+	return b.Byte(0)
+}
+
+// Uint32 appends a big-endian uint32.
+func (b *Builder) Uint32(v uint32) *Builder {
+	b.buf = binary.BigEndian.AppendUint32(b.buf, v)
+	return b
+}
+
+// Uint64 appends a big-endian uint64.
+func (b *Builder) Uint64(v uint64) *Builder {
+	b.buf = binary.BigEndian.AppendUint64(b.buf, v)
+	return b
+}
+
+// Raw appends bytes verbatim with no length prefix.
+func (b *Builder) Raw(v []byte) *Builder {
+	b.buf = append(b.buf, v...)
+	return b
+}
+
+// String appends an SSH string: uint32 length followed by the bytes.
+func (b *Builder) String(v []byte) *Builder {
+	b.Uint32(uint32(len(v)))
+	return b.Raw(v)
+}
+
+// StringS appends an SSH string from a Go string.
+func (b *Builder) StringS(v string) *Builder {
+	b.Uint32(uint32(len(v)))
+	b.buf = append(b.buf, v...)
+	return b
+}
+
+// NameList appends a comma-separated name-list as an SSH string.
+func (b *Builder) NameList(names []string) *Builder {
+	return b.StringS(strings.Join(names, ","))
+}
+
+// Mpint appends a multiple-precision integer in SSH format: the
+// minimal big-endian twos-complement representation of a non-negative
+// integer, with a leading zero byte if the high bit would otherwise be set.
+func (b *Builder) Mpint(v []byte) *Builder {
+	// Strip leading zeros.
+	i := 0
+	for i < len(v) && v[i] == 0 {
+		i++
+	}
+	v = v[i:]
+	if len(v) == 0 {
+		return b.Uint32(0)
+	}
+	if v[0]&0x80 != 0 {
+		b.Uint32(uint32(len(v) + 1))
+		b.Byte(0)
+		return b.Raw(v)
+	}
+	return b.String(v)
+}
+
+// Reader decodes SSH wire types from a byte slice.
+type Reader struct {
+	buf []byte
+	err error
+}
+
+// NewReader returns a Reader over buf. The Reader does not copy buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Err returns the first decoding error encountered, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining reports the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) }
+
+// Rest returns all unread bytes and consumes them.
+func (r *Reader) Rest() []byte {
+	v := r.buf
+	r.buf = nil
+	return v
+}
+
+func (r *Reader) fail() {
+	if r.err == nil {
+		r.err = ErrShortBuffer
+	}
+}
+
+// Byte reads one byte.
+func (r *Reader) Byte() byte {
+	if r.err != nil || len(r.buf) < 1 {
+		r.fail()
+		return 0
+	}
+	v := r.buf[0]
+	r.buf = r.buf[1:]
+	return v
+}
+
+// Bool reads an SSH boolean.
+func (r *Reader) Bool() bool { return r.Byte() != 0 }
+
+// Uint32 reads a big-endian uint32.
+func (r *Reader) Uint32() uint32 {
+	if r.err != nil || len(r.buf) < 4 {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf)
+	r.buf = r.buf[4:]
+	return v
+}
+
+// Uint64 reads a big-endian uint64.
+func (r *Reader) Uint64() uint64 {
+	if r.err != nil || len(r.buf) < 8 {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf)
+	r.buf = r.buf[8:]
+	return v
+}
+
+// Bytes reads exactly n raw bytes.
+func (r *Reader) Bytes(n int) []byte {
+	if r.err != nil || n < 0 || len(r.buf) < n {
+		r.fail()
+		return nil
+	}
+	v := r.buf[:n]
+	r.buf = r.buf[n:]
+	return v
+}
+
+// String reads an SSH string and returns its bytes.
+func (r *Reader) String() []byte {
+	n := r.Uint32()
+	if r.err != nil {
+		return nil
+	}
+	if n > maxStringLen {
+		if r.err == nil {
+			r.err = ErrStringTooBig
+		}
+		return nil
+	}
+	return r.Bytes(int(n))
+}
+
+// StringS reads an SSH string as a Go string.
+func (r *Reader) StringS() string { return string(r.String()) }
+
+// NameList reads a comma-separated name-list.
+func (r *Reader) NameList() []string {
+	s := r.StringS()
+	if r.err != nil || s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
+}
+
+// Mpint reads a multiple-precision integer and returns its magnitude
+// bytes (possibly with a leading zero stripped).
+func (r *Reader) Mpint() []byte {
+	v := r.String()
+	if r.err != nil {
+		return nil
+	}
+	for len(v) > 0 && v[0] == 0 {
+		v = v[1:]
+	}
+	return v
+}
+
+// negotiate picks the first algorithm in the client's preference list that
+// the server also supports, per RFC 4253 section 7.1.
+func negotiate(client, server []string) (string, error) {
+	for _, c := range client {
+		for _, s := range server {
+			if c == s {
+				return c, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("sshwire: no common algorithm between %v and %v", client, server)
+}

@@ -1,0 +1,229 @@
+package sshwire
+
+import "fmt"
+
+// SSH message numbers (RFC 4250 section 4.1.2).
+const (
+	MsgDisconnect      = 1
+	MsgIgnore          = 2
+	MsgUnimplemented   = 3
+	MsgDebug           = 4
+	MsgServiceRequest  = 5
+	MsgServiceAccept   = 6
+	MsgKexInit         = 20
+	MsgNewKeys         = 21
+	MsgKexECDHInit     = 30
+	MsgKexECDHReply    = 31
+	MsgUserauthRequest = 50
+	MsgUserauthFailure = 51
+	MsgUserauthSuccess = 52
+	MsgUserauthBanner  = 53
+
+	MsgGlobalRequest  = 80
+	MsgRequestSuccess = 81
+	MsgRequestFailure = 82
+
+	MsgChannelOpen             = 90
+	MsgChannelOpenConfirmation = 91
+	MsgChannelOpenFailure      = 92
+	MsgChannelWindowAdjust     = 93
+	MsgChannelData             = 94
+	MsgChannelExtendedData     = 95
+	MsgChannelEOF              = 96
+	MsgChannelClose            = 97
+	MsgChannelRequest          = 98
+	MsgChannelSuccess          = 99
+	MsgChannelFailure          = 100
+)
+
+// Disconnect reason codes (RFC 4253 section 11.1).
+const (
+	DisconnectProtocolError        = 2
+	DisconnectHostKeyNotVerifiable = 9
+	DisconnectConnectionLost       = 10
+	DisconnectByApplication        = 11
+	DisconnectNoMoreAuthMethods    = 14
+)
+
+// Channel-open failure reason codes (RFC 4254 section 5.1).
+const (
+	OpenAdministrativelyProhibited = 1
+	OpenConnectFailed              = 2
+	OpenUnknownChannelType         = 3
+	OpenResourceShortage           = 4
+)
+
+// MsgName returns a human-readable name for an SSH message number,
+// useful in error messages and debug logs.
+func MsgName(t byte) string {
+	switch t {
+	case MsgDisconnect:
+		return "SSH_MSG_DISCONNECT"
+	case MsgIgnore:
+		return "SSH_MSG_IGNORE"
+	case MsgUnimplemented:
+		return "SSH_MSG_UNIMPLEMENTED"
+	case MsgDebug:
+		return "SSH_MSG_DEBUG"
+	case MsgServiceRequest:
+		return "SSH_MSG_SERVICE_REQUEST"
+	case MsgServiceAccept:
+		return "SSH_MSG_SERVICE_ACCEPT"
+	case MsgKexInit:
+		return "SSH_MSG_KEXINIT"
+	case MsgNewKeys:
+		return "SSH_MSG_NEWKEYS"
+	case MsgKexECDHInit:
+		return "SSH_MSG_KEX_ECDH_INIT"
+	case MsgKexECDHReply:
+		return "SSH_MSG_KEX_ECDH_REPLY"
+	case MsgUserauthRequest:
+		return "SSH_MSG_USERAUTH_REQUEST"
+	case MsgUserauthFailure:
+		return "SSH_MSG_USERAUTH_FAILURE"
+	case MsgUserauthSuccess:
+		return "SSH_MSG_USERAUTH_SUCCESS"
+	case MsgUserauthBanner:
+		return "SSH_MSG_USERAUTH_BANNER"
+	case MsgGlobalRequest:
+		return "SSH_MSG_GLOBAL_REQUEST"
+	case MsgRequestSuccess:
+		return "SSH_MSG_REQUEST_SUCCESS"
+	case MsgRequestFailure:
+		return "SSH_MSG_REQUEST_FAILURE"
+	case MsgChannelOpen:
+		return "SSH_MSG_CHANNEL_OPEN"
+	case MsgChannelOpenConfirmation:
+		return "SSH_MSG_CHANNEL_OPEN_CONFIRMATION"
+	case MsgChannelOpenFailure:
+		return "SSH_MSG_CHANNEL_OPEN_FAILURE"
+	case MsgChannelWindowAdjust:
+		return "SSH_MSG_CHANNEL_WINDOW_ADJUST"
+	case MsgChannelData:
+		return "SSH_MSG_CHANNEL_DATA"
+	case MsgChannelExtendedData:
+		return "SSH_MSG_CHANNEL_EXTENDED_DATA"
+	case MsgChannelEOF:
+		return "SSH_MSG_CHANNEL_EOF"
+	case MsgChannelClose:
+		return "SSH_MSG_CHANNEL_CLOSE"
+	case MsgChannelRequest:
+		return "SSH_MSG_CHANNEL_REQUEST"
+	case MsgChannelSuccess:
+		return "SSH_MSG_CHANNEL_SUCCESS"
+	case MsgChannelFailure:
+		return "SSH_MSG_CHANNEL_FAILURE"
+	default:
+		return fmt.Sprintf("SSH_MSG_%d", t)
+	}
+}
+
+// Supported algorithm names. KEXINIT negotiation picks the first
+// client-preferred algorithm the server also implements per slot.
+const (
+	KexCurve25519       = "curve25519-sha256"
+	KexCurve25519LibSSH = "curve25519-sha256@libssh.org"
+	HostKeyEd25519      = "ssh-ed25519"
+	CipherAES128CTR     = "aes128-ctr"
+	CipherAES256CTR     = "aes256-ctr"
+	MACHmacSHA256       = "hmac-sha2-256"
+	MACHmacSHA512       = "hmac-sha2-512"
+	CompressionNone     = "none"
+)
+
+// KexInitMsg is SSH_MSG_KEXINIT (RFC 4253 section 7.1).
+type KexInitMsg struct {
+	Cookie                  [16]byte
+	KexAlgos                []string
+	HostKeyAlgos            []string
+	CiphersClientServer     []string
+	CiphersServerClient     []string
+	MACsClientServer        []string
+	MACsServerClient        []string
+	CompressionClientServer []string
+	CompressionServerClient []string
+	LanguagesClientServer   []string
+	LanguagesServerClient   []string
+	FirstKexPacketFollows   bool
+}
+
+// Marshal serializes the message including its leading message byte.
+func (m *KexInitMsg) Marshal() []byte {
+	b := NewBuilder(256)
+	b.Byte(MsgKexInit)
+	b.Raw(m.Cookie[:])
+	b.NameList(m.KexAlgos)
+	b.NameList(m.HostKeyAlgos)
+	b.NameList(m.CiphersClientServer)
+	b.NameList(m.CiphersServerClient)
+	b.NameList(m.MACsClientServer)
+	b.NameList(m.MACsServerClient)
+	b.NameList(m.CompressionClientServer)
+	b.NameList(m.CompressionServerClient)
+	b.NameList(m.LanguagesClientServer)
+	b.NameList(m.LanguagesServerClient)
+	b.Bool(m.FirstKexPacketFollows)
+	b.Uint32(0) // reserved
+	return b.Bytes()
+}
+
+// ParseKexInit parses an SSH_MSG_KEXINIT payload (including message byte).
+func ParseKexInit(payload []byte) (*KexInitMsg, error) {
+	r := NewReader(payload)
+	if t := r.Byte(); t != MsgKexInit {
+		return nil, fmt.Errorf("sshwire: expected KEXINIT, got %s", MsgName(t))
+	}
+	var m KexInitMsg
+	copy(m.Cookie[:], r.Bytes(16))
+	m.KexAlgos = r.NameList()
+	m.HostKeyAlgos = r.NameList()
+	m.CiphersClientServer = r.NameList()
+	m.CiphersServerClient = r.NameList()
+	m.MACsClientServer = r.NameList()
+	m.MACsServerClient = r.NameList()
+	m.CompressionClientServer = r.NameList()
+	m.CompressionServerClient = r.NameList()
+	m.LanguagesClientServer = r.NameList()
+	m.LanguagesServerClient = r.NameList()
+	m.FirstKexPacketFollows = r.Bool()
+	r.Uint32() // reserved
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("sshwire: malformed KEXINIT: %w", err)
+	}
+	return &m, nil
+}
+
+// DisconnectMsg is SSH_MSG_DISCONNECT.
+type DisconnectMsg struct {
+	Reason      uint32
+	Description string
+}
+
+// Error implements the error interface so a peer-initiated disconnect can
+// propagate as an error value.
+func (m *DisconnectMsg) Error() string {
+	return fmt.Sprintf("sshwire: peer disconnected (reason %d): %s", m.Reason, m.Description)
+}
+
+// Marshal serializes the message including its leading message byte.
+func (m *DisconnectMsg) Marshal() []byte {
+	b := NewBuilder(32 + len(m.Description))
+	b.Byte(MsgDisconnect)
+	b.Uint32(m.Reason)
+	b.StringS(m.Description)
+	b.StringS("") // language tag
+	return b.Bytes()
+}
+
+// ParseDisconnect parses an SSH_MSG_DISCONNECT payload.
+func ParseDisconnect(payload []byte) (*DisconnectMsg, error) {
+	r := NewReader(payload)
+	if t := r.Byte(); t != MsgDisconnect {
+		return nil, fmt.Errorf("sshwire: expected DISCONNECT, got %s", MsgName(t))
+	}
+	m := &DisconnectMsg{Reason: r.Uint32(), Description: r.StringS()}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

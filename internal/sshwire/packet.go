@@ -1,0 +1,259 @@
+package sshwire
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/sha512"
+	"crypto/subtle"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"io"
+)
+
+const (
+	// maxPacket is the largest packet payload we accept, matching the
+	// common OpenSSH limit.
+	maxPacket = 256 * 1024
+
+	// minPadding is the protocol-mandated minimum padding length.
+	minPadding = 4
+
+	// blockSize is the cipher block granularity packets are padded to.
+	// aes128-ctr uses the AES block size; the unencrypted stream uses 8,
+	// but padding to 16 everywhere is always legal and simpler.
+	blockSize = 16
+)
+
+var errPacketTooBig = errors.New("sshwire: packet exceeds maximum size")
+
+// packetCipher frames, encrypts, and authenticates SSH binary packets in
+// one direction. Implementations are not safe for concurrent use.
+type packetCipher interface {
+	// writePacket frames payload into an SSH binary packet and writes it.
+	writePacket(w io.Writer, seq uint32, payload []byte) error
+	// readPacket reads one SSH binary packet and returns its payload.
+	readPacket(r io.Reader, seq uint32) ([]byte, error)
+}
+
+// plainCipher is the pre-NEWKEYS "none" cipher: no encryption, no MAC.
+type plainCipher struct {
+	readBuf []byte
+}
+
+func paddingFor(payloadLen int) int {
+	// packet_length(4) + padding_length(1) + payload + padding must be a
+	// multiple of blockSize.
+	pad := blockSize - (5+payloadLen)%blockSize
+	if pad < minPadding {
+		pad += blockSize
+	}
+	return pad
+}
+
+func framePacket(payload []byte) ([]byte, error) {
+	pad := paddingFor(len(payload))
+	total := 5 + len(payload) + pad
+	pkt := make([]byte, total)
+	binary.BigEndian.PutUint32(pkt, uint32(total-4))
+	pkt[4] = byte(pad)
+	copy(pkt[5:], payload)
+	if _, err := rand.Read(pkt[5+len(payload):]); err != nil {
+		return nil, fmt.Errorf("sshwire: generating padding: %w", err)
+	}
+	return pkt, nil
+}
+
+func (c *plainCipher) writePacket(w io.Writer, _ uint32, payload []byte) error {
+	if len(payload) > maxPacket {
+		return errPacketTooBig
+	}
+	pkt, err := framePacket(payload)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(pkt)
+	return err
+}
+
+func (c *plainCipher) readPacket(r io.Reader, _ uint32) ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n < 1+minPadding || n > maxPacket+blockSize {
+		return nil, fmt.Errorf("sshwire: invalid packet length %d", n)
+	}
+	if cap(c.readBuf) < int(n) {
+		c.readBuf = make([]byte, n)
+	}
+	buf := c.readBuf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	pad := int(buf[0])
+	if pad < minPadding || pad >= int(n) {
+		return nil, fmt.Errorf("sshwire: invalid padding length %d", pad)
+	}
+	return buf[1 : int(n)-pad], nil
+}
+
+// cipherSpec describes a negotiable encryption algorithm.
+type cipherSpec struct {
+	keyLen int
+}
+
+// macSpec describes a negotiable MAC algorithm.
+type macSpec struct {
+	newHash func() hash.Hash
+	size    int
+}
+
+// cipherSpecs and macSpecs are the implemented algorithm tables; the
+// KEXINIT preference order lives in transport.go.
+var cipherSpecs = map[string]cipherSpec{
+	CipherAES128CTR: {keyLen: 16},
+	CipherAES256CTR: {keyLen: 32},
+}
+
+var macSpecs = map[string]macSpec{
+	MACHmacSHA256: {newHash: sha256.New, size: sha256.Size},
+	MACHmacSHA512: {newHash: sha512.New, size: sha512.Size},
+}
+
+// ctrCipher is AES-CTR (128 or 256) framing with an HMAC (SHA-256 or
+// SHA-512) over (sequence number || plaintext packet), per RFC 4253
+// section 6.4 (MAC computed on the unencrypted packet).
+type ctrCipher struct {
+	stream  cipher.Stream
+	mac     macSpec
+	macKey  []byte
+	readBuf []byte
+	macBuf  []byte
+}
+
+func newCTRCipher(cipherName, macName string, key, iv, macKey []byte) (*ctrCipher, error) {
+	if _, ok := cipherSpecs[cipherName]; !ok {
+		return nil, fmt.Errorf("sshwire: unsupported cipher %q", cipherName)
+	}
+	ms, ok := macSpecs[macName]
+	if !ok {
+		return nil, fmt.Errorf("sshwire: unsupported MAC %q", macName)
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return &ctrCipher{
+		stream: cipher.NewCTR(block, iv),
+		mac:    ms,
+		macKey: macKey,
+		macBuf: make([]byte, 0, ms.size),
+	}, nil
+}
+
+func (c *ctrCipher) computeMAC(seq uint32, pkt []byte) []byte {
+	mac := hmac.New(c.mac.newHash, c.macKey)
+	var seqBuf [4]byte
+	binary.BigEndian.PutUint32(seqBuf[:], seq)
+	mac.Write(seqBuf[:])
+	mac.Write(pkt)
+	return mac.Sum(c.macBuf[:0])
+}
+
+func (c *ctrCipher) writePacket(w io.Writer, seq uint32, payload []byte) error {
+	if len(payload) > maxPacket {
+		return errPacketTooBig
+	}
+	pkt, err := framePacket(payload)
+	if err != nil {
+		return err
+	}
+	tag := c.computeMAC(seq, pkt)
+	c.stream.XORKeyStream(pkt, pkt)
+	if _, err := w.Write(pkt); err != nil {
+		return err
+	}
+	_, err = w.Write(tag)
+	return err
+}
+
+func (c *ctrCipher) readPacket(r io.Reader, seq uint32) ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	c.stream.XORKeyStream(lenBuf[:], lenBuf[:])
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n < 1+minPadding || n > maxPacket+blockSize {
+		return nil, fmt.Errorf("sshwire: invalid packet length %d", n)
+	}
+	need := int(n) + c.mac.size
+	if cap(c.readBuf) < need {
+		c.readBuf = make([]byte, need)
+	}
+	buf := c.readBuf[:need]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	body, tag := buf[:n], buf[n:]
+	c.stream.XORKeyStream(body, body)
+
+	mac := hmac.New(c.mac.newHash, c.macKey)
+	var seqBuf [4]byte
+	binary.BigEndian.PutUint32(seqBuf[:], seq)
+	mac.Write(seqBuf[:])
+	mac.Write(lenBuf[:])
+	mac.Write(body)
+	if subtle.ConstantTimeCompare(mac.Sum(c.macBuf[:0]), tag) != 1 {
+		return nil, errors.New("sshwire: MAC verification failed")
+	}
+	pad := int(body[0])
+	if pad < minPadding || pad >= int(n) {
+		return nil, fmt.Errorf("sshwire: invalid padding length %d", pad)
+	}
+	return body[1 : int(n)-pad], nil
+}
+
+// directionKeys derives the cipher key, IV, and MAC key for one direction
+// from the shared secret K, exchange hash H, and session ID, per
+// RFC 4253 section 7.2, sized for the negotiated algorithms.
+// ivTag/keyTag/macTag are the single-letter labels ('A'..'F').
+func directionKeys(k, h, sessionID []byte, cipherName, macName string, ivTag, keyTag, macTag byte) (key, iv, macKey []byte) {
+	cs := cipherSpecs[cipherName]
+	ms := macSpecs[macName]
+	iv = deriveKey(k, h, sessionID, ivTag, aes.BlockSize)
+	key = deriveKey(k, h, sessionID, keyTag, cs.keyLen)
+	macKey = deriveKey(k, h, sessionID, macTag, ms.size)
+	return key, iv, macKey
+}
+
+// deriveKey implements the K1..Kn expansion of RFC 4253 section 7.2:
+// K1 = HASH(K || H || tag || session_id); Kn = HASH(K || H || K1..Kn-1).
+func deriveKey(k, h, sessionID []byte, tag byte, length int) []byte {
+	var out []byte
+	km := NewBuilder(len(k) + 4)
+	km.Mpint(k)
+	kMpint := km.Bytes()
+
+	d := sha256.New()
+	d.Write(kMpint)
+	d.Write(h)
+	d.Write([]byte{tag})
+	d.Write(sessionID)
+	out = d.Sum(nil)
+
+	for len(out) < length {
+		d.Reset()
+		d.Write(kMpint)
+		d.Write(h)
+		d.Write(out)
+		out = d.Sum(out)
+	}
+	return out[:length]
+}

@@ -1,0 +1,199 @@
+package sshwire
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"net"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// startRawServer accepts one connection and runs a server handshake,
+// reporting the handshake error (nil on success).
+func startRawServer(t *testing.T) (string, <-chan error) {
+	t.Helper()
+	hk, err := GenerateHostKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	errCh := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			errCh <- err
+			return
+		}
+		defer c.Close()
+		_, err = ServerHandshake(c, &Config{HostKey: hk, HandshakeTimeout: 2 * time.Second})
+		errCh <- err
+	}()
+	return ln.Addr().String(), errCh
+}
+
+func dialRaw(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc.SetDeadline(time.Now().Add(5 * time.Second))
+	t.Cleanup(func() { nc.Close() })
+	return nc
+}
+
+func expectHandshakeError(t *testing.T, errCh <-chan error, what string) {
+	t.Helper()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Errorf("%s: server handshake unexpectedly succeeded", what)
+		}
+	case <-time.After(5 * time.Second):
+		t.Errorf("%s: server handshake did not terminate", what)
+	}
+}
+
+func TestServerRejectsGarbageVersion(t *testing.T) {
+	addr, errCh := startRawServer(t)
+	nc := dialRaw(t, addr)
+	nc.Write([]byte("HTTP/1.1 GET /\r\n"))
+	expectHandshakeError(t, errCh, "garbage version")
+}
+
+func TestServerRejectsSSH1(t *testing.T) {
+	addr, errCh := startRawServer(t)
+	nc := dialRaw(t, addr)
+	nc.Write([]byte("SSH-1.5-OldClient\r\n"))
+	expectHandshakeError(t, errCh, "SSH-1.5 version")
+}
+
+func TestServerRejectsOversizedPacketLength(t *testing.T) {
+	addr, errCh := startRawServer(t)
+	nc := dialRaw(t, addr)
+	nc.Write([]byte(DefaultClientVersion + "\r\n"))
+	var length [4]byte
+	binary.BigEndian.PutUint32(length[:], 0xFFFFFFFF)
+	nc.Write(length[:])
+	expectHandshakeError(t, errCh, "oversized packet")
+}
+
+func TestServerRejectsTinyPacketLength(t *testing.T) {
+	addr, errCh := startRawServer(t)
+	nc := dialRaw(t, addr)
+	nc.Write([]byte(DefaultClientVersion + "\r\n"))
+	nc.Write([]byte{0, 0, 0, 1, 0})
+	expectHandshakeError(t, errCh, "tiny packet")
+}
+
+func TestServerRejectsTruncatedKexInit(t *testing.T) {
+	addr, errCh := startRawServer(t)
+	nc := dialRaw(t, addr)
+	nc.Write([]byte(DefaultClientVersion + "\r\n"))
+	// A well-framed packet whose payload is a truncated KEXINIT.
+	payload := []byte{MsgKexInit, 1, 2, 3} // cookie cut short
+	pkt, err := framePacket(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc.Write(pkt)
+	expectHandshakeError(t, errCh, "truncated KEXINIT")
+}
+
+func TestServerRejectsNoCommonAlgorithms(t *testing.T) {
+	addr, errCh := startRawServer(t)
+	nc := dialRaw(t, addr)
+	nc.Write([]byte(DefaultClientVersion + "\r\n"))
+	m := &KexInitMsg{
+		KexAlgos:                []string{"diffie-hellman-group1-sha1"},
+		HostKeyAlgos:            []string{"ssh-dss"},
+		CiphersClientServer:     []string{"3des-cbc"},
+		CiphersServerClient:     []string{"3des-cbc"},
+		MACsClientServer:        []string{"hmac-md5"},
+		MACsServerClient:        []string{"hmac-md5"},
+		CompressionClientServer: []string{"none"},
+		CompressionServerClient: []string{"none"},
+	}
+	pkt, err := framePacket(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc.Write(pkt)
+	expectHandshakeError(t, errCh, "no common algorithms")
+}
+
+func TestServerRejectsInvalidECDHKey(t *testing.T) {
+	addr, errCh := startRawServer(t)
+	nc := dialRaw(t, addr)
+	nc.Write([]byte(DefaultClientVersion + "\r\n"))
+	c := &Conn{cipherPrefs: (*Config)(nil).cipherPrefs(), macPrefs: (*Config)(nil).macPrefs()}
+	init, err := c.makeKexInit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt, _ := framePacket(init.Marshal())
+	nc.Write(pkt)
+
+	// Bogus ECDH init: a 7-byte "public key".
+	b := NewBuilder(16)
+	b.Byte(MsgKexECDHInit)
+	b.String([]byte{1, 2, 3, 4, 5, 6, 7})
+	pkt, _ = framePacket(b.Bytes())
+	nc.Write(pkt)
+	expectHandshakeError(t, errCh, "invalid ECDH key")
+}
+
+// TestServerSurvivesRandomBytes hurls random byte streams at the
+// handshake: the server must return an error, never hang or panic.
+func TestServerSurvivesRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for i := 0; i < 10; i++ {
+		addr, errCh := startRawServer(t)
+		nc := dialRaw(t, addr)
+		buf := make([]byte, 512+rng.Intn(2048))
+		rng.Read(buf)
+		// Random bytes rarely start with "SSH-": handshake fails at the
+		// version, the packet layer, or the MAC.
+		nc.Write(buf)
+		nc.Close()
+		expectHandshakeError(t, errCh, "random bytes")
+	}
+}
+
+// TestReaderNeverPanics exercises the wire decoders against arbitrary
+// buffers.
+func TestReaderNeverPanics(t *testing.T) {
+	f := func(buf []byte) bool {
+		r := NewReader(buf)
+		r.Byte()
+		r.Uint32()
+		r.String()
+		r.NameList()
+		r.Mpint()
+		r.Uint64()
+		r.Bool()
+		r.Rest()
+		_, _ = ParseKexInit(buf)
+		_, _ = ParseDisconnect(buf)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestVerifyHostSignatureMalformedBlobs must reject garbage blobs
+// without panicking.
+func TestVerifyHostSignatureMalformedBlobs(t *testing.T) {
+	f := func(pub, sig, data []byte) bool {
+		return VerifyHostSignature(pub, sig, data) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

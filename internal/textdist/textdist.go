@@ -1,0 +1,156 @@
+// Package textdist implements the session-similarity machinery of
+// section 6: command tokenization and the token-level Damerau–Levenshtein
+// distance (DLD), where each token — not each character — is an edit
+// unit. Token-level DLD is robust to the obfuscation bots apply (rotating
+// IPs, random file names, changing folders) because such churn touches
+// isolated tokens without altering the behavioral pattern.
+package textdist
+
+import "strings"
+
+// Tokenize splits session command text into tokens. Separators are
+// whitespace and the shell operators `;`, `|`, `&`, matching the paper's
+// example: "mkdir /tmp;cd /tmp" -> ["mkdir", "/tmp", "cd", "/tmp"].
+func Tokenize(text string) []string {
+	return strings.FieldsFunc(text, func(r rune) bool {
+		switch r {
+		case ' ', '\t', '\n', '\r', ';', '|', '&':
+			return true
+		}
+		return false
+	})
+}
+
+// Damerau computes the Damerau–Levenshtein distance between two token
+// sequences: the minimum number of token insertions, deletions,
+// substitutions, and adjacent transpositions turning a into b.
+//
+// This is the "optimal string alignment" variant (each substring edited
+// at most once), the standard choice for clustering distance matrices.
+func Damerau(a, b []string) int {
+	la, lb := len(a), len(b)
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	// Three rolling rows: i-2, i-1, i.
+	prev2 := make([]int, lb+1)
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j] + 1 // deletion
+			if v := cur[j-1] + 1; v < m {
+				m = v // insertion
+			}
+			if v := prev[j-1] + cost; v < m {
+				m = v // substitution
+			}
+			if i > 1 && j > 1 && a[i-1] == b[j-2] && a[i-2] == b[j-1] {
+				if v := prev2[j-2] + 1; v < m {
+					m = v // transposition
+				}
+			}
+			cur[j] = m
+		}
+		prev2, prev, cur = prev, cur, prev2
+	}
+	return prev[lb]
+}
+
+// Normalized returns the DLD between the token sequences scaled into
+// [0,1] by the longer sequence length. Two empty sequences have
+// distance 0.
+func Normalized(a, b []string) float64 {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(Damerau(a, b)) / float64(n)
+}
+
+// DamerauBanded computes the DLD but abandons early (returning a value
+// > bound) once the distance provably exceeds bound. Clustering uses it
+// to skip full matrix computation for clearly-dissimilar pairs — one of
+// the ablations in DESIGN.md.
+func DamerauBanded(a, b []string, bound int) int {
+	la, lb := len(a), len(b)
+	diff := la - lb
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > bound {
+		return bound + 1
+	}
+	if la == 0 || lb == 0 {
+		return la + lb
+	}
+	prev2 := make([]int, lb+1)
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		rowMin := cur[0]
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j] + 1
+			if v := cur[j-1] + 1; v < m {
+				m = v
+			}
+			if v := prev[j-1] + cost; v < m {
+				m = v
+			}
+			if i > 1 && j > 1 && a[i-1] == b[j-2] && a[i-2] == b[j-1] {
+				if v := prev2[j-2] + 1; v < m {
+					m = v
+				}
+			}
+			cur[j] = m
+			if m < rowMin {
+				rowMin = m
+			}
+		}
+		if rowMin > bound {
+			return bound + 1
+		}
+		prev2, prev, cur = prev, cur, prev2
+	}
+	d := prev[lb]
+	if d > bound {
+		return bound + 1
+	}
+	return d
+}
+
+// CharDamerau computes character-level DLD between raw strings — the
+// baseline the paper argues against; kept for the token-vs-char ablation.
+func CharDamerau(a, b string) int {
+	ta := make([]string, len(a))
+	for i := 0; i < len(a); i++ {
+		ta[i] = a[i : i+1]
+	}
+	tb := make([]string, len(b))
+	for i := 0; i < len(b); i++ {
+		tb[i] = b[i : i+1]
+	}
+	return Damerau(ta, tb)
+}

