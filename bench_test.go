@@ -7,6 +7,7 @@ package honeynet
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"math/rand"
 	"net"
@@ -31,7 +32,9 @@ var (
 )
 
 // benchPipeline builds the shared benchmark dataset: the full 33-month
-// window at scale 1:10000 (~55k sessions).
+// window at scale 1:10000 (~55k sessions). The returned world is pinned
+// to Workers=1 so the per-figure benchmarks measure the serial baseline;
+// the *Parallel benchmarks below opt into multicore via withWorkers.
 func benchPipeline(b *testing.B) *analysis.World {
 	b.Helper()
 	benchOnce.Do(func() {
@@ -40,8 +43,18 @@ func benchPipeline(b *testing.B) *analysis.World {
 			panic(err)
 		}
 		benchWorld = p.World
+		benchWorld.Workers = 1
 	})
 	return benchWorld
+}
+
+// withWorkers returns a shallow copy of the world with a different
+// worker budget (the dataset and databases stay shared — analyzer
+// output is identical for any value).
+func withWorkers(w *analysis.World, n int) *analysis.World {
+	cp := *w
+	cp.Workers = n
+	return &cp
 }
 
 // ---------- Dataset generation ----------
@@ -151,9 +164,10 @@ func BenchmarkTable1Coverage(b *testing.B) {
 
 func BenchmarkFig05DLDMatrix(b *testing.B) {
 	w := benchPipeline(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := analysis.RunClustering(w, analysis.ClusterConfig{K: 30, SampleSize: 400, Seed: 1})
+		res, err := analysis.RunClustering(w, analysis.ClusterConfig{K: 30, SampleSize: 400, Seed: 1, Workers: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -335,17 +349,21 @@ func benchSessionPair() (string, string) {
 func BenchmarkAblationTokenDLD(b *testing.B) {
 	x, y := benchSessionPair()
 	tx, ty := textdist.Tokenize(x), textdist.Tokenize(y)
+	s := textdist.NewScratch()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		textdist.Damerau(tx, ty)
+		s.Damerau(tx, ty)
 	}
 }
 
 func BenchmarkAblationCharDLD(b *testing.B) {
 	x, y := benchSessionPair()
+	s := textdist.NewScratch()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		textdist.CharDamerau(x, y)
+		s.CharDamerau(x, y)
 	}
 }
 
@@ -353,14 +371,17 @@ func BenchmarkAblationFullVsBandedDLD(b *testing.B) {
 	x, _ := benchSessionPair()
 	tx := textdist.Tokenize(x)
 	ty := textdist.Tokenize("uname -a")
+	s := textdist.NewScratch()
 	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			textdist.Damerau(tx, ty)
+			s.Damerau(tx, ty)
 		}
 	})
 	b.Run("banded", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			textdist.DamerauBanded(tx, ty, 3)
+			s.DamerauBanded(tx, ty, 3)
 		}
 	})
 }
@@ -467,6 +488,101 @@ func BenchmarkKSelection(b *testing.B) {
 		if len(sel.Points) == 0 {
 			b.Fatal("no points")
 		}
+	}
+}
+
+// ---------- Parallel engine: serial vs multicore ----------
+
+// benchWorkerCounts are the pool sizes the parallel benchmarks compare;
+// w1 is the serial reference the speedup factors in EXPERIMENTS.md are
+// measured against.
+var benchWorkerCounts = []int{1, 2, 8}
+
+func BenchmarkFig05DLDMatrixParallel(b *testing.B) {
+	w := benchPipeline(b)
+	for _, workers := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := analysis.ClusterConfig{K: 30, SampleSize: 400, Seed: 1, Workers: workers}
+				res, err := analysis.RunClustering(w, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Fig5Table(10) == nil {
+					b.Fatal("no table")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkKSelectionParallel(b *testing.B) {
+	w := benchPipeline(b)
+	for _, workers := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			ww := withWorkers(w, workers)
+			for i := 0; i < b.N; i++ {
+				sel, err := analysis.SelectK(ww, []int{5, 10, 20}, 150, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(sel.Points) == 0 {
+					b.Fatal("no points")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable1CoverageParallel(b *testing.B) {
+	w := benchPipeline(b)
+	for _, workers := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// Fresh classifier per iteration: the memo would otherwise
+				// absorb all work after the first pass and hide the
+				// classification cost being sharded.
+				ww := withWorkers(w, workers)
+				ww.Classifier = classify.New()
+				if analysis.Table1(ww).Total == 0 {
+					b.Fatal("no sessions")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDatasetStatsParallel(b *testing.B) {
+	w := benchPipeline(b)
+	for _, workers := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			ww := withWorkers(w, workers)
+			for i := 0; i < b.N; i++ {
+				if analysis.Stats(ww).Total == 0 {
+					b.Fatal("empty stats")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSimulateOneMonthParallel(b *testing.B) {
+	for _, workers := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := simulate.Run(simulate.Config{
+					Scale:   5000,
+					Seed:    int64(i),
+					End:     botnet.WindowStart.AddDate(0, 1, 0),
+					Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Sessions), "sessions/op")
+			}
+		})
 	}
 }
 

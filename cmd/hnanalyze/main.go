@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	hnanalyze [-scale 2000] [-seed 42] [-k 90] [-sample 2000] [-months 33] [-fig all] [-csv] [-in dataset.jsonl]
+//	hnanalyze [-scale 2000] [-seed 42] [-k 90] [-sample 2000] [-months 33] [-fig all] [-csv] [-in dataset.jsonl] [-workers N]
 //
 // -fig selects a single output: stats, 1, 2, 3a, 3b, 4a, 4b, 5, 6, 7, 8,
 // 9, 10, 11, 12, 13, 14, 16, 17, table1, storage, mdrfckr, appc, kselect,
@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"honeynet/internal/analysis"
@@ -35,8 +36,9 @@ func main() {
 		sample = flag.Int("sample", 2000, "max distinct command texts to cluster")
 		months = flag.Int("months", 0, "simulate only the first N months (0 = full window)")
 		fig    = flag.String("fig", "all", "which figure/table to print")
-		in     = flag.String("in", "", "analyze an existing hnsim JSONL dataset instead of simulating (pass the -seed hnsim used so AS attribution matches)")
-		csv    = flag.Bool("csv", false, "emit CSV instead of aligned text (single-figure mode)")
+		in      = flag.String("in", "", "analyze an existing hnsim JSONL dataset instead of simulating (pass the -seed hnsim used so AS attribution matches)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text (single-figure mode)")
+		workers = flag.Int("workers", runtime.NumCPU(), "worker goroutines for simulation and analysis (output is identical for any value; 1 = serial)")
 	)
 	flag.Parse()
 
@@ -45,8 +47,11 @@ func main() {
 	var err error
 	if *in != "" {
 		p, err = loadDataset(*in, *seed)
+		if p != nil {
+			p.World.Workers = *workers
+		}
 	} else {
-		cfg := simulate.Config{Scale: *scale, Seed: *seed}
+		cfg := simulate.Config{Scale: *scale, Seed: *seed, Workers: *workers}
 		if *months > 0 {
 			cfg.End = botnet.WindowStart.AddDate(0, *months, 0)
 		}
@@ -58,7 +63,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "hnanalyze: dataset ready in %v (%d sessions)\n",
 		time.Since(start).Round(time.Millisecond), p.World.Store.Len())
 
-	ccfg := analysis.ClusterConfig{K: *k, SampleSize: *sample, Seed: *seed}
+	ccfg := analysis.ClusterConfig{K: *k, SampleSize: *sample, Seed: *seed, Workers: *workers}
 	if *fig == "all" {
 		if err := p.RunAll(os.Stdout, ccfg); err != nil {
 			log.Fatalf("hnanalyze: %v", err)

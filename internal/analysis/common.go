@@ -12,6 +12,7 @@ import (
 	"honeynet/internal/asdb"
 	"honeynet/internal/classify"
 	"honeynet/internal/collector"
+	"honeynet/internal/parallel"
 	"honeynet/internal/session"
 )
 
@@ -21,7 +22,14 @@ type World struct {
 	Registry   *asdb.Registry
 	AbuseDB    *abusedb.DB
 	Classifier *classify.Classifier
+	// Workers caps the goroutines used by the parallel analyzers
+	// (<= 0 means runtime.NumCPU(), 1 is fully serial). Every analyzer
+	// produces identical output for every value.
+	Workers int
 }
+
+// workers resolves the configured worker count.
+func (w *World) workers() int { return parallel.Workers(w.Workers) }
 
 // IsSSH reports whether a record belongs to the SSH subset the paper's
 // analyses use (section 3.3 keeps 546M of 635M sessions).
@@ -101,20 +109,28 @@ func (m *MonthlyCategoryShares) Share(month time.Time, cat string) float64 {
 	return float64(m.Counts[month][cat]) / float64(t)
 }
 
-// categorize builds monthly category shares for a session subset.
-func categorize(cls *classify.Classifier, recs []*session.Record) *MonthlyCategoryShares {
+// categorize builds monthly category shares for a session subset. The
+// classification fans out over `workers` goroutines via the classifier's
+// batch API; the monthly tally stays serial (counts are order-invariant
+// anyway).
+func categorize(cls *classify.Classifier, recs []*session.Record, workers int) *MonthlyCategoryShares {
+	texts := make([]string, len(recs))
+	for i, r := range recs {
+		texts[i] = r.CommandText()
+	}
+	cats := cls.ClassifyAll(texts, workers)
 	out := &MonthlyCategoryShares{
 		Counts: map[time.Time]map[string]int{},
 		Totals: map[time.Time]int{},
 	}
-	for _, r := range recs {
+	for i, r := range recs {
 		m := r.Month()
 		byCat, ok := out.Counts[m]
 		if !ok {
 			byCat = map[string]int{}
 			out.Counts[m] = byCat
 		}
-		byCat[cls.Classify(r.CommandText())]++
+		byCat[cats[i]]++
 		out.Totals[m]++
 	}
 	out.Months = collector.SortedMonths(out.Counts)

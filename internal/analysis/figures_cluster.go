@@ -9,6 +9,7 @@ import (
 
 	"honeynet/internal/cluster"
 	"honeynet/internal/collector"
+	"honeynet/internal/parallel"
 	"honeynet/internal/report"
 	"honeynet/internal/session"
 	"honeynet/internal/textdist"
@@ -24,6 +25,10 @@ type ClusterConfig struct {
 	SampleSize int
 	// Seed fixes sampling and medoid initialization.
 	Seed int64
+	// Workers caps the goroutines used for the distance matrix and the
+	// K-medoids steps (<= 0 means runtime.NumCPU()). The result is
+	// identical for every value.
+	Workers int
 }
 
 func (c ClusterConfig) defaults() ClusterConfig {
@@ -54,6 +59,28 @@ type ClusterResult struct {
 	Order []int
 	// Labels maps cluster id -> abuse-database family labels observed.
 	Labels map[int][]string
+}
+
+// fillDLDMatrix builds the pairwise normalized token-DLD matrix on up to
+// `workers` goroutines. Tokens are interned to int32 IDs first (serially,
+// so ID assignment is deterministic) and each worker carries a reusable
+// textdist.Scratch, making the O(n²·len²) DP loop allocation-free with
+// integer equality checks. The matrix is identical to a serial
+// string-token fill for every worker count.
+func fillDLDMatrix(tokens [][]string, workers int) *cluster.Matrix {
+	workers = parallel.Workers(workers)
+	in := textdist.NewInterner()
+	ids := make([][]int32, len(tokens))
+	for i, t := range tokens {
+		ids[i] = in.Intern(t)
+	}
+	scratch := make([]*textdist.Scratch, workers)
+	for i := range scratch {
+		scratch[i] = textdist.NewScratch()
+	}
+	return cluster.FillParallel(len(ids), workers, func(w, i, j int) float64 {
+		return scratch[w].NormalizedIDs(ids[i], ids[j])
+	})
 }
 
 // RunClustering executes the full pipeline: select sessions with
@@ -117,10 +144,8 @@ func RunClustering(w *World, cfg ClusterConfig) (*ClusterResult, error) {
 	for i, t := range res.Texts {
 		tokens[i] = textdist.Tokenize(t)
 	}
-	res.Matrix = cluster.Fill(len(tokens), func(i, j int) float64 {
-		return textdist.Normalized(tokens[i], tokens[j])
-	})
-	cres, err := cluster.KMedoids(res.Matrix, k, cluster.Config{Seed: cfg.Seed})
+	res.Matrix = fillDLDMatrix(tokens, cfg.Workers)
+	cres, err := cluster.KMedoids(res.Matrix, k, cluster.Config{Seed: cfg.Seed, Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -323,11 +348,18 @@ func Fig14(w *World, perCategory int) *Fig14Result {
 	if perCategory <= 0 {
 		perCategory = 20
 	}
+	recs := CmdExecSessions(w.Store)
+	texts := make([]string, len(recs))
+	for i, r := range recs {
+		texts[i] = r.CommandText()
+	}
+	catOf := w.Classifier.ClassifyAll(texts, w.workers())
+	// Exemplar selection walks records in store order, so it is
+	// independent of how the batch classification was sharded.
 	byCat := map[string][]string{}
 	seen := map[string]map[string]bool{}
-	for _, r := range CmdExecSessions(w.Store) {
-		txt := r.CommandText()
-		cat := w.Classifier.Classify(txt)
+	for i, txt := range texts {
+		cat := catOf[i]
 		if len(byCat[cat]) >= perCategory {
 			continue
 		}
@@ -346,27 +378,35 @@ func Fig14(w *World, perCategory int) *Fig14Result {
 	}
 	sort.Strings(cats)
 
-	tokens := map[string][][]string{}
+	intern := textdist.NewInterner()
+	tokens := map[string][][]int32{}
 	for _, c := range cats {
 		for _, txt := range byCat[c] {
-			tokens[c] = append(tokens[c], textdist.Tokenize(txt))
+			tokens[c] = append(tokens[c], intern.Intern(textdist.Tokenize(txt)))
 		}
 	}
-	m := cluster.NewMatrix(len(cats))
-	for i := range cats {
-		for j := i + 1; j < len(cats); j++ {
-			sum, n := 0.0, 0
-			for _, ta := range tokens[cats[i]] {
-				for _, tb := range tokens[cats[j]] {
-					sum += textdist.Normalized(ta, tb)
-					n++
-				}
-			}
-			if n > 0 {
-				m.Set(i, j, sum/float64(n))
+	// Each matrix cell is the mean over an exemplar cross product; the
+	// inner accumulation stays serial per cell, so the parallel fill is
+	// bit-identical to the serial one.
+	workers := w.workers()
+	scratch := make([]*textdist.Scratch, parallel.Workers(workers))
+	for i := range scratch {
+		scratch[i] = textdist.NewScratch()
+	}
+	m := cluster.FillParallel(len(cats), workers, func(wk, i, j int) float64 {
+		s := scratch[wk]
+		sum, n := 0.0, 0
+		for _, ta := range tokens[cats[i]] {
+			for _, tb := range tokens[cats[j]] {
+				sum += s.NormalizedIDs(ta, tb)
+				n++
 			}
 		}
-	}
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	})
 	return &Fig14Result{Categories: cats, Mean: m}
 }
 

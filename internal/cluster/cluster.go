@@ -14,6 +14,9 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync/atomic"
+
+	"honeynet/internal/parallel"
 )
 
 // Matrix is a symmetric pairwise distance matrix.
@@ -55,12 +58,25 @@ func (m *Matrix) At(i, j int) float64 {
 
 // Fill computes all pairwise distances with dist.
 func Fill(n int, dist func(i, j int) float64) *Matrix {
+	return FillParallel(n, 1, func(_, i, j int) float64 { return dist(i, j) })
+}
+
+// FillParallel computes all pairwise distances using up to `workers`
+// goroutines. Rows of the upper triangle are claimed dynamically, which
+// load-balances their decreasing length. dist receives the worker index
+// so callers can keep per-worker scratch state (e.g. textdist DP rows);
+// it must be a pure function of (i, j) up to that scratch, so the matrix
+// is identical to Fill's for any worker count.
+func FillParallel(n, workers int, dist func(worker, i, j int) float64) *Matrix {
 	m := NewMatrix(n)
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			m.Set(i, j, dist(i, j))
+	parallel.ForEach(n, workers, 1, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := m.d[m.idx(i, i+1) : m.idx(i, i+1)+n-i-1]
+			for j := i + 1; j < n; j++ {
+				row[j-i-1] = dist(w, i, j)
+			}
 		}
-	}
+	})
 	return m
 }
 
@@ -104,6 +120,12 @@ type Config struct {
 	// deterministic farthest-point ("k-means++"-style) seeding — the
 	// seeding ablation in DESIGN.md.
 	RandomInit bool
+	// Workers caps the goroutines used by the assignment, update, and
+	// scoring loops (<= 0 means runtime.NumCPU(), 1 is fully serial).
+	// Results are identical for every value: the parallel loops write
+	// index-addressed slots and all floating-point reductions run in
+	// canonical index order.
+	Workers int
 }
 
 func (c Config) maxIter() int {
@@ -114,11 +136,16 @@ func (c Config) maxIter() int {
 }
 
 // KMedoids partitions n items into k clusters using the distance matrix.
+// The assignment and update steps fan out over cfg.Workers goroutines;
+// the result is identical for every worker count (each item's and each
+// cluster's inner scan stays serial, so every float is accumulated in
+// the same order as the serial path).
 func KMedoids(m *Matrix, k int, cfg Config) (*Result, error) {
 	n := m.N
 	if k <= 0 || k > n {
 		return nil, fmt.Errorf("cluster: k=%d out of range for n=%d", k, n)
 	}
+	workers := parallel.Workers(cfg.Workers)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	medoids := make([]int, 0, k)
@@ -126,48 +153,53 @@ func KMedoids(m *Matrix, k int, cfg Config) (*Result, error) {
 		perm := rng.Perm(n)
 		medoids = append(medoids, perm[:k]...)
 	} else {
-		medoids = farthestPointInit(m, k, rng)
+		medoids = farthestPointInit(m, k, workers)
 	}
 
 	assign := make([]int, n)
 	for iter := 0; iter < cfg.maxIter(); iter++ {
-		// Assignment step.
-		changed := false
-		for i := 0; i < n; i++ {
-			best, bestD := 0, m.At(i, medoids[0])
-			for c := 1; c < k; c++ {
-				if d := m.At(i, medoids[c]); d < bestD {
-					best, bestD = c, d
+		// Assignment step: items are independent.
+		var changed atomic.Bool
+		parallel.ForEach(n, workers, 256, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				best, bestD := 0, m.At(i, medoids[0])
+				for c := 1; c < k; c++ {
+					if d := m.At(i, medoids[c]); d < bestD {
+						best, bestD = c, d
+					}
+				}
+				if assign[i] != best {
+					assign[i] = best
+					changed.Store(true)
 				}
 			}
-			if assign[i] != best {
-				assign[i] = best
-				changed = true
-			}
-		}
-		if iter > 0 && !changed {
+		})
+		if iter > 0 && !changed.Load() {
 			break
 		}
 		// Update step: each cluster's medoid becomes the member with the
-		// minimal total distance to the other members.
-		for c := 0; c < k; c++ {
-			bestItem, bestSum := medoids[c], -1.0
-			for i := 0; i < n; i++ {
-				if assign[i] != c {
-					continue
-				}
-				sum := 0.0
-				for j := 0; j < n; j++ {
-					if assign[j] == c {
-						sum += m.At(i, j)
+		// minimal total distance to the other members. Clusters are
+		// independent; each writes only medoids[c].
+		parallel.ForEach(k, workers, 1, func(_, lo, hi int) {
+			for c := lo; c < hi; c++ {
+				bestItem, bestSum := medoids[c], -1.0
+				for i := 0; i < n; i++ {
+					if assign[i] != c {
+						continue
+					}
+					sum := 0.0
+					for j := 0; j < n; j++ {
+						if assign[j] == c {
+							sum += m.At(i, j)
+						}
+					}
+					if bestSum < 0 || sum < bestSum {
+						bestItem, bestSum = i, sum
 					}
 				}
-				if bestSum < 0 || sum < bestSum {
-					bestItem, bestSum = i, sum
-				}
+				medoids[c] = bestItem
 			}
-			medoids[c] = bestItem
-		}
+		})
 	}
 
 	res := &Result{K: k, Medoids: medoids, Assign: assign}
@@ -181,19 +213,26 @@ func KMedoids(m *Matrix, k int, cfg Config) (*Result, error) {
 // farthestPointInit picks the first medoid as the item with the minimal
 // total distance (the dataset's most central item), then greedily adds
 // the item farthest from all chosen medoids — deterministic given the
-// matrix.
-func farthestPointInit(m *Matrix, k int, _ *rand.Rand) []int {
+// matrix. The O(n²) total-distance pass shards across workers; the
+// argmin reduction runs in index order afterwards.
+func farthestPointInit(m *Matrix, k, workers int) []int {
 	n := m.N
 	medoids := make([]int, 0, k)
 
+	rowSums := make([]float64, n)
+	parallel.ForEach(n, workers, 64, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				sum += m.At(i, j)
+			}
+			rowSums[i] = sum
+		}
+	})
 	best, bestSum := 0, -1.0
 	for i := 0; i < n; i++ {
-		sum := 0.0
-		for j := 0; j < n; j++ {
-			sum += m.At(i, j)
-		}
-		if bestSum < 0 || sum < bestSum {
-			best, bestSum = i, sum
+		if bestSum < 0 || rowSums[i] < bestSum {
+			best, bestSum = i, rowSums[i]
 		}
 	}
 	medoids = append(medoids, best)
@@ -223,47 +262,72 @@ func farthestPointInit(m *Matrix, k int, _ *rand.Rand) []int {
 // for each item, (b-a)/max(a,b) where a is the mean intra-cluster
 // distance and b the smallest mean distance to another cluster.
 func Silhouette(m *Matrix, res *Result) float64 {
+	return SilhouetteParallel(m, res, 1)
+}
+
+// SilhouetteParallel computes the silhouette score using up to `workers`
+// goroutines. Per-item coefficients land in an index-addressed slice and
+// the mean is reduced in index order, so the result is bit-identical to
+// the serial computation for any worker count. The per-item cluster-sum
+// buffer is allocated once per worker instead of once per item.
+func SilhouetteParallel(m *Matrix, res *Result, workers int) float64 {
 	n := m.N
 	if n == 0 || res.K < 2 {
 		return 0
 	}
+	workers = parallel.Workers(workers)
 	sizes := res.Sizes()
+	coeff := make([]float64, n)
+	counts := make([]bool, n)
+	scratch := make([][]float64, workers)
+	for w := range scratch {
+		scratch[w] = make([]float64, res.K)
+	}
+	parallel.ForEach(n, workers, 64, func(w, lo, hi int) {
+		sums := scratch[w]
+		for i := lo; i < hi; i++ {
+			ci := res.Assign[i]
+			if sizes[ci] <= 1 {
+				continue // silhouette undefined for singletons; convention 0
+			}
+			clear(sums)
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				sums[res.Assign[j]] += m.At(i, j)
+			}
+			a := sums[ci] / float64(sizes[ci]-1)
+			b := -1.0
+			for c := 0; c < res.K; c++ {
+				if c == ci || sizes[c] == 0 {
+					continue
+				}
+				v := sums[c] / float64(sizes[c])
+				if b < 0 || v < b {
+					b = v
+				}
+			}
+			if b < 0 {
+				continue
+			}
+			max := a
+			if b > max {
+				max = b
+			}
+			if max > 0 {
+				coeff[i] = (b - a) / max
+			}
+			counts[i] = true
+		}
+	})
 	total := 0.0
 	counted := 0
 	for i := 0; i < n; i++ {
-		ci := res.Assign[i]
-		if sizes[ci] <= 1 {
-			continue // silhouette undefined for singletons; convention 0
+		if counts[i] {
+			total += coeff[i]
+			counted++
 		}
-		sums := make([]float64, res.K)
-		for j := 0; j < n; j++ {
-			if j == i {
-				continue
-			}
-			sums[res.Assign[j]] += m.At(i, j)
-		}
-		a := sums[ci] / float64(sizes[ci]-1)
-		b := -1.0
-		for c := 0; c < res.K; c++ {
-			if c == ci || sizes[c] == 0 {
-				continue
-			}
-			v := sums[c] / float64(sizes[c])
-			if b < 0 || v < b {
-				b = v
-			}
-		}
-		if b < 0 {
-			continue
-		}
-		max := a
-		if b > max {
-			max = b
-		}
-		if max > 0 {
-			total += (b - a) / max
-		}
-		counted++
 	}
 	if counted == 0 {
 		return 0
@@ -280,15 +344,31 @@ type SweepPoint struct {
 }
 
 // SweepK evaluates the clustering quality across candidate cluster
-// counts.
+// counts. Sweep points are independent — each k runs its own KMedoids
+// from the same seed — so they evaluate concurrently on cfg.Workers
+// goroutines, each writing its own result slot. The first error in k
+// order wins, matching the serial contract.
 func SweepK(m *Matrix, ks []int, cfg Config) ([]SweepPoint, error) {
-	out := make([]SweepPoint, 0, len(ks))
-	for _, k := range ks {
-		res, err := KMedoids(m, k, cfg)
+	out := make([]SweepPoint, len(ks))
+	errs := make([]error, len(ks))
+	// Each sweep point already saturates one core; parallelize across
+	// points and keep each KMedoids run serial inside.
+	inner := cfg
+	inner.Workers = 1
+	parallel.ForEach(len(ks), parallel.Workers(cfg.Workers), 1, func(_, lo, hi int) {
+		for x := lo; x < hi; x++ {
+			res, err := KMedoids(m, ks[x], inner)
+			if err != nil {
+				errs[x] = err
+				continue
+			}
+			out[x] = SweepPoint{K: ks[x], WCSS: res.WCSS, Silhouette: Silhouette(m, res)}
+		}
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, SweepPoint{K: k, WCSS: res.WCSS, Silhouette: Silhouette(m, res)})
 	}
 	return out, nil
 }

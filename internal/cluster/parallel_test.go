@@ -1,0 +1,151 @@
+package cluster
+
+import (
+	"runtime"
+	"testing"
+)
+
+// randomMatrix builds an n×n matrix with pseudo-random distances derived
+// from the pair indices (order-independent, so Fill and FillParallel see
+// the same function).
+func randomMatrix(n int, seed int64) *Matrix {
+	return Fill(n, func(i, j int) float64 {
+		h := uint64(seed)*0x9e3779b97f4a7c15 + uint64(i)*0x85ebca77c2b2ae63 + uint64(j)*0xc2b2ae3d27d4eb4f
+		h ^= h >> 33
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 33
+		return float64(h%100000) / 100000
+	})
+}
+
+var workerCounts = []int{1, 2, 8}
+
+// TestFillParallelMatchesFill: the parallel fill must produce the exact
+// matrix of the serial fill at every worker count and GOMAXPROCS.
+func TestFillParallelMatchesFill(t *testing.T) {
+	dist := func(i, j int) float64 {
+		return float64((i*31+j*17)%97) / 97
+	}
+	for _, n := range []int{0, 1, 2, 50, 173} {
+		want := Fill(n, dist)
+		for _, procs := range []int{1, 4} {
+			prev := runtime.GOMAXPROCS(procs)
+			for _, workers := range workerCounts {
+				got := FillParallel(n, workers, func(_, i, j int) float64 { return dist(i, j) })
+				for i := range want.d {
+					if got.d[i] != want.d[i] {
+						runtime.GOMAXPROCS(prev)
+						t.Fatalf("n=%d procs=%d workers=%d: slot %d differs", n, procs, workers, i)
+					}
+				}
+			}
+			runtime.GOMAXPROCS(prev)
+		}
+	}
+}
+
+// TestKMedoidsWorkerInvariance: clustering output (assignments, medoids,
+// WCSS bits) must not depend on the worker count.
+func TestKMedoidsWorkerInvariance(t *testing.T) {
+	m := randomMatrix(160, 7)
+	ref, err := KMedoids(m, 12, Config{Seed: 3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range workerCounts[1:] {
+		got, err := KMedoids(m, 12, Config{Seed: 3, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.WCSS != ref.WCSS {
+			t.Errorf("workers=%d: WCSS %v != %v", workers, got.WCSS, ref.WCSS)
+		}
+		for i := range ref.Assign {
+			if got.Assign[i] != ref.Assign[i] {
+				t.Fatalf("workers=%d: assignment %d differs", workers, i)
+			}
+		}
+		for c := range ref.Medoids {
+			if got.Medoids[c] != ref.Medoids[c] {
+				t.Fatalf("workers=%d: medoid %d differs", workers, c)
+			}
+		}
+	}
+	// RandomInit must be worker-invariant too (rng is consumed before any
+	// parallel section).
+	a, _ := KMedoids(m, 12, Config{Seed: 3, RandomInit: true, Workers: 1})
+	b, _ := KMedoids(m, 12, Config{Seed: 3, RandomInit: true, Workers: 8})
+	if a.WCSS != b.WCSS {
+		t.Errorf("RandomInit WCSS differs across workers: %v vs %v", a.WCSS, b.WCSS)
+	}
+}
+
+// TestSilhouetteParallelMatchesSerial: bit-identical score across worker
+// counts, including clusterings with singleton clusters.
+func TestSilhouetteParallelMatchesSerial(t *testing.T) {
+	m := randomMatrix(131, 11)
+	res, err := KMedoids(m, 9, Config{Seed: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Silhouette(m, res)
+	for _, workers := range workerCounts {
+		if got := SilhouetteParallel(m, res, workers); got != want {
+			t.Errorf("workers=%d: silhouette %v != %v", workers, got, want)
+		}
+	}
+	// Force singleton clusters: assign item 0 alone.
+	forced := &Result{K: res.K, Medoids: res.Medoids, Assign: append([]int(nil), res.Assign...)}
+	for i := range forced.Assign {
+		if forced.Assign[i] == forced.Assign[0] && i != 0 {
+			forced.Assign[i] = (forced.Assign[0] + 1) % forced.K
+		}
+	}
+	want = Silhouette(m, forced)
+	for _, workers := range workerCounts {
+		if got := SilhouetteParallel(m, forced, workers); got != want {
+			t.Errorf("singletons workers=%d: silhouette %v != %v", workers, got, want)
+		}
+	}
+}
+
+// TestSweepKWorkerInvariance: the sweep's points must be identical in
+// order and value at every worker count.
+func TestSweepKWorkerInvariance(t *testing.T) {
+	m := randomMatrix(90, 13)
+	ks := []int{2, 4, 8, 16, 32}
+	ref, err := SweepK(m, ks, Config{Seed: 9, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range workerCounts[1:] {
+		got, err := SweepK(m, ks, Config{Seed: 9, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: %d points, want %d", workers, len(got), len(ref))
+		}
+		for x := range ref {
+			if got[x] != ref[x] {
+				t.Errorf("workers=%d: point %d = %+v, want %+v", workers, x, got[x], ref[x])
+			}
+		}
+	}
+	// Errors still surface from the parallel sweep.
+	if _, err := SweepK(m, []int{2, 1000}, Config{Seed: 9, Workers: 4}); err == nil {
+		t.Error("out-of-range k must fail")
+	}
+}
+
+func BenchmarkFillParallel(b *testing.B) {
+	const n = 600
+	dist := func(i, j int) float64 { return float64(i*j%1000) / 1000 }
+	for _, workers := range []int{1, 8} {
+		b.Run(map[bool]string{true: "w1", false: "w8"}[workers == 1], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				FillParallel(n, workers, func(_, i, j int) float64 { return dist(i, j) })
+			}
+		})
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"honeynet/internal/parallel"
 	"honeynet/internal/session"
 )
 
@@ -83,25 +84,61 @@ type Stats struct {
 
 // Stats computes dataset-level statistics.
 func (s *Store) Stats() Stats {
+	return s.StatsN(1)
+}
+
+// StatsN computes the same statistics as Stats using up to `workers`
+// goroutines. Every tally is a count or a set-union, so the merge is
+// order-invariant and the result is identical for any worker count.
+func (s *Store) StatsN(workers int) Stats {
+	recs := s.All()
+	workers = parallel.Workers(workers)
+	parts := make([]Stats, workers)
+	ipSets := make([]map[string]bool, workers)
+	for w := range parts {
+		parts[w].ByKind = map[session.Kind]int{}
+		ipSets[w] = map[string]bool{}
+	}
+	parallel.ForEach(len(recs), workers, 4096, func(w, lo, hi int) {
+		st, ips := &parts[w], ipSets[w]
+		for _, r := range recs[lo:hi] {
+			st.Total++
+			switch r.Protocol {
+			case session.ProtoSSH:
+				st.SSH++
+			case session.ProtoTelnet:
+				st.Telnet++
+			}
+			k := r.Kind()
+			st.ByKind[k]++
+			if k == session.CommandExec {
+				st.CommandExec++
+				if r.StateChanged {
+					st.StateChanged++
+				}
+			}
+			ips[r.ClientIP] = true
+		}
+	})
+	if workers == 1 {
+		parts[0].UniqueIPs = len(ipSets[0])
+		return parts[0]
+	}
 	st := Stats{ByKind: map[session.Kind]int{}}
 	ips := map[string]bool{}
-	for _, r := range s.All() {
-		st.Total++
-		switch r.Protocol {
-		case session.ProtoSSH:
-			st.SSH++
-		case session.ProtoTelnet:
-			st.Telnet++
+	for w := range parts {
+		p := &parts[w]
+		st.Total += p.Total
+		st.SSH += p.SSH
+		st.Telnet += p.Telnet
+		st.CommandExec += p.CommandExec
+		st.StateChanged += p.StateChanged
+		for k, v := range p.ByKind {
+			st.ByKind[k] += v
 		}
-		k := r.Kind()
-		st.ByKind[k]++
-		if k == session.CommandExec {
-			st.CommandExec++
-			if r.StateChanged {
-				st.StateChanged++
-			}
+		for ip := range ipSets[w] {
+			ips[ip] = true
 		}
-		ips[r.ClientIP] = true
 	}
 	st.UniqueIPs = len(ips)
 	return st

@@ -99,6 +99,38 @@ func TestGroupByMonth(t *testing.T) {
 	}
 }
 
+func TestStatsNWorkerInvariance(t *testing.T) {
+	s := NewStore()
+	kinds := []session.Kind{session.Scanning, session.Scouting, session.Intrusion, session.CommandExec}
+	for i := uint64(0); i < 10000; i++ {
+		r := rec(i, time.Month(1+i%12), kinds[i%uint64(len(kinds))])
+		if i%7 == 0 {
+			r.Protocol = session.ProtoTelnet
+		}
+		if i%5 == 0 {
+			r.StateChanged = true
+		}
+		s.Add(r)
+	}
+	want := s.StatsN(1)
+	for _, workers := range []int{2, 8, 33} {
+		got := s.StatsN(workers)
+		if got.Total != want.Total || got.SSH != want.SSH || got.Telnet != want.Telnet ||
+			got.UniqueIPs != want.UniqueIPs || got.CommandExec != want.CommandExec ||
+			got.StateChanged != want.StateChanged {
+			t.Errorf("workers=%d: %+v != %+v", workers, got, want)
+		}
+		if len(got.ByKind) != len(want.ByKind) {
+			t.Fatalf("workers=%d: kind map size differs", workers)
+		}
+		for k, v := range want.ByKind {
+			if got.ByKind[k] != v {
+				t.Errorf("workers=%d: ByKind[%v] = %d, want %d", workers, k, got.ByKind[k], v)
+			}
+		}
+	}
+}
+
 func TestConcurrentAdd(t *testing.T) {
 	s := NewStore()
 	var wg sync.WaitGroup

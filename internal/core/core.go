@@ -10,6 +10,7 @@ import (
 	"io"
 	"math/rand"
 	"sort"
+	"strings"
 
 	"honeynet/internal/abusedb"
 	"honeynet/internal/analysis"
@@ -40,6 +41,7 @@ func Simulate(cfg simulate.Config) (*Pipeline, error) {
 		Registry:   res.Registry,
 		AbuseDB:    res.AbuseDB,
 		Classifier: classify.New(),
+		Workers:    cfg.Workers,
 	}
 	populateFeeds(w, cfg.Seed)
 	scale := cfg.Scale
@@ -111,24 +113,16 @@ func populateFeeds(w *analysis.World, seed int64) {
 }
 
 func containsMdrfckr(s string) bool {
-	// Tiny fast-path instead of strings.Contains on every command of a
-	// million sessions: check for the 'mdrfckr' needle.
-	const needle = "mdrfckr"
-	if len(s) < len(needle) {
-		return false
-	}
-	for i := 0; i+len(needle) <= len(s); i++ {
-		if s[i] == 'm' && s[i:i+len(needle)] == needle {
-			return true
-		}
-	}
-	return false
+	return strings.Contains(s, "mdrfckr")
 }
 
 // RunAll executes every table/figure analyzer and writes the rendered
 // tables to out. ClusterConfig tunes the section 6 pipeline.
 func (p *Pipeline) RunAll(out io.Writer, ccfg analysis.ClusterConfig) error {
 	w := p.World
+	if ccfg.Workers == 0 {
+		ccfg.Workers = w.Workers
+	}
 	emit := func(t *report.Table) {
 		fmt.Fprintln(out, t.String())
 	}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"honeynet/internal/analysis"
+	"honeynet/internal/simulate"
+)
+
+// TestRunAllWorkerAndProcsInvariance is the determinism contract of the
+// parallel engine: the full simulate-and-analyze pipeline must render
+// byte-identical output for every worker count and GOMAXPROCS setting.
+func TestRunAllWorkerAndProcsInvariance(t *testing.T) {
+	render := func(workers int) string {
+		t.Helper()
+		p, err := Simulate(simulate.Config{Scale: 20000, Seed: 77, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		ccfg := analysis.ClusterConfig{K: 8, SampleSize: 100, Seed: 77, Workers: workers}
+		if err := p.RunAll(&buf, ccfg); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	ref := render(1)
+	if len(ref) < 10000 {
+		t.Fatalf("output suspiciously small: %d bytes", len(ref))
+	}
+	for _, procs := range []int{1, 4} {
+		prev := runtime.GOMAXPROCS(procs)
+		for _, workers := range []int{1, 2, 8} {
+			if got := render(workers); got != ref {
+				runtime.GOMAXPROCS(prev)
+				t.Fatalf("GOMAXPROCS=%d workers=%d: output differs from serial reference (%d vs %d bytes)",
+					procs, workers, len(got), len(ref))
+			}
+		}
+		runtime.GOMAXPROCS(prev)
+	}
+}

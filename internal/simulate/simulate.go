@@ -16,6 +16,7 @@ import (
 	"honeynet/internal/asdb"
 	"honeynet/internal/botnet"
 	"honeynet/internal/collector"
+	"honeynet/internal/parallel"
 	"honeynet/internal/session"
 	"honeynet/internal/shell"
 	"honeynet/internal/vfs"
@@ -45,6 +46,13 @@ type Config struct {
 	// set Discard to skip storing (streaming mode).
 	Sink    func(*session.Record)
 	Discard bool
+	// Workers caps the goroutines replaying attack scripts against the
+	// emulated shell (<= 0 means runtime.NumCPU(), 1 is fully serial).
+	// The generated dataset is identical for every value: all randomness
+	// and shared mutable state (storage rotators, AS allocation, session
+	// IDs, threat-intel feeds) stay on a serial path, and only the pure
+	// per-session shell replay fans out.
+	Workers int
 }
 
 func (c *Config) defaults() {
@@ -92,7 +100,38 @@ type Result struct {
 	Sessions int
 }
 
-// Run executes the simulation.
+// pending is a scripted session awaiting its shell replay: the record
+// has every random draw realized, and commands holds the attack script
+// to execute (empty when the session never reaches a shell).
+type pending struct {
+	bot      *botnet.Bot
+	rec      *session.Record
+	commands []string
+}
+
+// flushBatch is how many scripted sessions accumulate before a replay
+// flush. It is a fixed constant — independent of the worker count — so
+// batch boundaries (and therefore every downstream interleaving) are the
+// same for every Workers setting.
+const flushBatch = 4096
+
+// Run executes the simulation in three repeating stages:
+//
+//  1. Script (serial): walk days in order and bots in catalog order,
+//     drawing every random value — session counts, start times, logins,
+//     client IPs, attack commands — from per-bot PRNG streams
+//     (cfg.Seed ^ botIndex). Storage rotators and lazy AS allocation are
+//     shared mutable state consumed here, in one canonical order.
+//  2. Replay (parallel): execute each scripted attack against a fresh
+//     emulated shell. Replay is a pure function of the command list —
+//     each session gets its own shell and filesystem — so sessions fan
+//     out across cfg.Workers goroutines freely.
+//  3. Merge (serial): assign session IDs, store/sink records, and
+//     register threat-intel feeds in scripted order.
+//
+// Stages 2+3 run per fixed-size batch. The output is byte-identical for
+// every worker count by construction: nothing order-dependent ever runs
+// concurrently.
 func Run(cfg Config) (*Result, error) {
 	cfg.defaults()
 	if !cfg.Start.Before(cfg.End) {
@@ -102,8 +141,14 @@ func Run(cfg Config) (*Result, error) {
 	env.Scale = cfg.Scale
 	store := collector.NewStore()
 	res := &Result{Store: store, Registry: cfg.Registry, AbuseDB: cfg.AbuseDB, Env: env}
+	workers := parallel.Workers(cfg.Workers)
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	// One deterministic PRNG stream per bot: bot i's draws depend only on
+	// (seed, i) and its own consumption order, never on other bots.
+	rngs := make([]*rand.Rand, len(cfg.Bots))
+	for i := range rngs {
+		rngs[i] = rand.New(rand.NewSource(cfg.Seed ^ int64(i)))
+	}
 	var nextID uint64
 
 	emit := func(r *session.Record) {
@@ -120,21 +165,44 @@ func Run(cfg Config) (*Result, error) {
 
 	fetch := Fetcher()
 
+	batch := make([]pending, 0, flushBatch)
+	flush := func() {
+		parallel.ForEach(len(batch), workers, 8, func(_, lo, hi int) {
+			for x := lo; x < hi; x++ {
+				if len(batch[x].commands) > 0 {
+					replay(batch[x].rec, batch[x].commands, fetch)
+				}
+			}
+		})
+		for x := range batch {
+			emit(batch[x].rec)
+			if len(batch[x].commands) > 0 {
+				registerThreatIntel(cfg.AbuseDB, batch[x].bot, batch[x].rec)
+			}
+		}
+		batch = batch[:0]
+	}
+
 	for day := cfg.Start; day.Before(cfg.End); day = day.AddDate(0, 0, 1) {
 		if !cfg.SkipMaintenance && !day.Before(maintenanceStart) && day.Before(maintenanceEnd) {
 			continue // honeynet-wide outage: no sessions recorded
 		}
-		for _, bot := range cfg.Bots {
+		for bi, bot := range cfg.Bots {
 			rate := botnet.EffectiveRate(bot, day) / cfg.Scale
 			if rate <= 0 {
 				continue
 			}
+			rng := rngs[bi]
 			n := sampleCount(rng, botnet.Noisy(rate, 0.25, rng))
 			for i := 0; i < n; i++ {
-				emit(realize(bot, env, cfg, rng, day, fetch))
+				batch = append(batch, script(bot, env, cfg, rng, day))
+				if len(batch) == flushBatch {
+					flush()
+				}
 			}
 		}
 	}
+	flush()
 	return res, nil
 }
 
@@ -160,9 +228,11 @@ func Fetcher() shell.DownloadFunc {
 	}
 }
 
-// realize turns one attack script into a session record by replaying it
-// against a fresh emulated shell.
-func realize(bot *botnet.Bot, env *botnet.Env, cfg Config, rng *rand.Rand, day time.Time, fetch shell.DownloadFunc) *session.Record {
+// script turns one attack into a fully-randomized session record plus
+// the command list awaiting shell replay. Every rng draw happens here —
+// nothing in the replay stage touches the stream — so the scripted
+// record is independent of how the replay is later scheduled.
+func script(bot *botnet.Bot, env *botnet.Env, cfg Config, rng *rand.Rand, day time.Time) pending {
 	atk := bot.Gen(bot, env, rng, day)
 	start := day.Add(time.Duration(rng.Int63n(int64(24 * time.Hour))))
 	hp := rng.Intn(cfg.Honeypots)
@@ -181,7 +251,7 @@ func realize(bot *botnet.Bot, env *botnet.Env, cfg Config, rng *rand.Rand, day t
 	if atk.NoLogin {
 		rec.ClientIP = bot.ClientIP(env, rng, day)
 		rec.End = rec.Start.Add(time.Duration(rng.Intn(3000)) * time.Millisecond)
-		return rec
+		return pending{bot: bot, rec: rec}
 	}
 	if atk.ClientIP != "" {
 		rec.ClientIP = atk.ClientIP
@@ -196,25 +266,33 @@ func realize(bot *botnet.Bot, env *botnet.Env, cfg Config, rng *rand.Rand, day t
 		Username: atk.User, Password: atk.Password, Success: ok,
 	})
 	dur := time.Duration(1+rng.Intn(20)) * time.Second
+	p := pending{bot: bot, rec: rec}
 	if ok && len(atk.Commands) > 0 {
-		sh := shell.New("svr04", fetch)
-		for _, cmd := range atk.Commands {
-			sh.Run(cmd)
-			if sh.Exited() {
-				break
-			}
-		}
-		rec.Commands = sh.Commands()
-		rec.Downloads = sh.Downloads()
-		rec.ExecAttempts = sh.ExecAttempts()
-		rec.StateChanged = sh.StateChanged()
-		rec.DroppedHashes = sh.DroppedHashes()
+		p.commands = atk.Commands
 		dur += time.Duration(len(atk.Commands)) * time.Second
-
-		registerThreatIntel(cfg.AbuseDB, bot, rec)
 	}
 	rec.End = rec.Start.Add(dur)
-	return rec
+	return p
+}
+
+// replay executes a scripted attack against a fresh emulated shell and
+// fills in the execution-derived record fields. It is a pure function of
+// the command list: each call gets its own shell and filesystem, and the
+// fetcher derives content from the URI alone, so replays can run
+// concurrently in any order.
+func replay(rec *session.Record, commands []string, fetch shell.DownloadFunc) {
+	sh := shell.New("svr04", fetch)
+	for _, cmd := range commands {
+		sh.Run(cmd)
+		if sh.Exited() {
+			break
+		}
+	}
+	rec.Commands = sh.Commands()
+	rec.Downloads = sh.Downloads()
+	rec.ExecAttempts = sh.ExecAttempts()
+	rec.StateChanged = sh.StateChanged()
+	rec.DroppedHashes = sh.DroppedHashes()
 }
 
 // registerThreatIntel populates the synthetic abuse feeds the way the

