@@ -30,12 +30,12 @@ import (
 
 func main() {
 	var (
-		scale  = flag.Float64("scale", 2000, "scale divisor applied to paper-scale session rates")
-		seed   = flag.Int64("seed", 42, "deterministic RNG seed")
-		k      = flag.Int("k", 90, "cluster count for the section 6 pipeline")
-		sample = flag.Int("sample", 2000, "max distinct command texts to cluster")
-		months = flag.Int("months", 0, "simulate only the first N months (0 = full window)")
-		fig    = flag.String("fig", "all", "which figure/table to print")
+		scale   = flag.Float64("scale", 2000, "scale divisor applied to paper-scale session rates")
+		seed    = flag.Int64("seed", 42, "deterministic RNG seed")
+		k       = flag.Int("k", 90, "cluster count for the section 6 pipeline")
+		sample  = flag.Int("sample", 2000, "max distinct command texts to cluster")
+		months  = flag.Int("months", 0, "simulate only the first N months (0 = full window)")
+		fig     = flag.String("fig", "all", "which figure/table to print")
 		in      = flag.String("in", "", "analyze an existing hnsim JSONL dataset instead of simulating (pass the -seed hnsim used so AS attribution matches)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text (single-figure mode)")
 		workers = flag.Int("workers", runtime.NumCPU(), "worker goroutines for simulation and analysis (output is identical for any value; 1 = serial)")

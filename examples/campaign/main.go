@@ -30,7 +30,7 @@ func main() {
 		node, err := honeypot.New(honeypot.Config{
 			ID:       fmt.Sprintf("hp-%d", i+1),
 			Download: simulate.Fetcher(),
-			Sink:     store.Add,
+			Sink:     store.Sink,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -46,7 +46,7 @@ func startNode(persistent bool) (string, func(), error) {
 	node, err := honeypot.New(honeypot.Config{
 		ID:         "hp-consistency",
 		Persistent: persistent,
-		Sink:       func(*session.Record) {},
+		Sink:       func(*session.Record) error { return nil },
 	})
 	if err != nil {
 		return "", nil, err

@@ -22,7 +22,7 @@ import (
 
 func main() {
 	store := collector.NewStore()
-	node, err := honeypot.New(honeypot.Config{ID: "hp-fp", Sink: store.Add})
+	node, err := honeypot.New(honeypot.Config{ID: "hp-fp", Sink: store.Sink})
 	if err != nil {
 		log.Fatal(err)
 	}

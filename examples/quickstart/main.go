@@ -20,7 +20,7 @@ func main() {
 	node, err := honeypot.New(honeypot.Config{
 		ID:       "hp-quickstart",
 		Download: simulate.Fetcher(),
-		Sink:     func(r *session.Record) { records <- r },
+		Sink:     func(r *session.Record) error { records <- r; return nil },
 	})
 	if err != nil {
 		log.Fatal(err)

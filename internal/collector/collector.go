@@ -31,6 +31,13 @@ func (s *Store) Add(r *session.Record) {
 	s.mu.Unlock()
 }
 
+// Sink adapts the store to honeypot.Config.Sink: an in-memory append
+// cannot fail, so it always returns nil.
+func (s *Store) Sink(r *session.Record) error {
+	s.Add(r)
+	return nil
+}
+
 // Len returns the record count.
 func (s *Store) Len() int {
 	s.mu.Lock()

@@ -1,0 +1,390 @@
+// Package guard implements the abuse guardrails that keep a honeypot
+// node alive over a multi-year deployment: a token-bucket per-IP
+// connection rate limiter, global and per-IP concurrent-connection caps
+// with oldest-connection shedding, and an outbound-download budget that
+// throttles the curl_maxred-style open-proxy abuse the paper documents
+// (~20M curl requests relayed through the honeynet, Appendix C).
+//
+// The limiter never blocks: every decision is O(1) under one mutex, and
+// eviction callbacks run outside the lock so a slow Close cannot stall
+// the accept path.
+package guard
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxBuckets bounds the rate-limiter's per-IP state. Beyond this the
+// table is swept for refilled (idle) buckets before admitting new IPs,
+// so a spoofed-source flood cannot grow memory without bound.
+const maxBuckets = 65536
+
+// Decision is the limiter's verdict on one incoming connection.
+type Decision int
+
+// Admit verdicts.
+const (
+	// Admitted: the connection may proceed.
+	Admitted Decision = iota
+	// ShedPerIP: the source IP is at its concurrent-connection cap;
+	// the newcomer is shed.
+	ShedPerIP
+	// ShedRate: the source IP exceeded its connection rate.
+	ShedRate
+)
+
+// String names the decision for logs.
+func (d Decision) String() string {
+	switch d {
+	case Admitted:
+		return "admitted"
+	case ShedPerIP:
+		return "shed-per-ip"
+	case ShedRate:
+		return "shed-rate"
+	default:
+		return fmt.Sprintf("decision(%d)", int(d))
+	}
+}
+
+// Config parameterizes a Limiter.
+type Config struct {
+	// MaxConns caps concurrent connections across all IPs. When the cap
+	// is reached, the OLDEST tracked connection is evicted to admit the
+	// newcomer — a slow-loris fleet cannot pin every slot forever.
+	// Zero means unlimited.
+	MaxConns int
+	// MaxConnsPerIP caps concurrent connections per source IP. At the
+	// cap the NEW connection is shed (the attacker already holds its
+	// fair share). Zero means unlimited.
+	MaxConnsPerIP int
+	// Rate is the sustained per-IP connection admission rate in
+	// connections per second (see ParseRate). Zero means unlimited.
+	Rate float64
+	// Burst is the token-bucket depth; zero defaults to max(1, 2*Rate),
+	// letting the bursty campaign waves of the paper (mdrfckr, §10)
+	// land a handful of sessions before throttling kicks in.
+	Burst float64
+	// Now supplies time (injectable for tests); nil means time.Now.
+	Now func() time.Time
+}
+
+func (c *Config) burst() float64 {
+	if c.Burst > 0 {
+		return c.Burst
+	}
+	if b := 2 * c.Rate; b > 1 {
+		return b
+	}
+	return 1
+}
+
+// Stats is a snapshot of the limiter's shed counters.
+type Stats struct {
+	// ShedOldest counts connections evicted to make room under MaxConns.
+	ShedOldest int64
+	// ShedPerIP counts newcomers refused at the per-IP cap.
+	ShedPerIP int64
+	// ShedRate counts connections refused by the rate limiter.
+	ShedRate int64
+	// Active is the number of currently tracked connections.
+	Active int64
+}
+
+// Shed returns the total number of shed connections.
+func (s Stats) Shed() int64 { return s.ShedOldest + s.ShedPerIP + s.ShedRate }
+
+// connEntry tracks one admitted connection.
+type connEntry struct {
+	ip       string
+	evict    func()
+	elem     *list.Element
+	released bool
+}
+
+// bucket is one IP's token bucket.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// Limiter enforces connection caps and rates.
+type Limiter struct {
+	cfg Config
+
+	mu      sync.Mutex
+	conns   *list.List // *connEntry, oldest at front
+	perIP   map[string]int
+	buckets map[string]*bucket
+
+	shedOldest atomic.Int64
+	shedPerIP  atomic.Int64
+	shedRate   atomic.Int64
+}
+
+// NewLimiter builds a Limiter from cfg.
+func NewLimiter(cfg Config) *Limiter {
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Limiter{
+		cfg:     cfg,
+		conns:   list.New(),
+		perIP:   map[string]int{},
+		buckets: map[string]*bucket{},
+	}
+}
+
+// Stats snapshots the shed counters.
+func (l *Limiter) Stats() Stats {
+	l.mu.Lock()
+	active := int64(l.conns.Len())
+	l.mu.Unlock()
+	return Stats{
+		ShedOldest: l.shedOldest.Load(),
+		ShedPerIP:  l.shedPerIP.Load(),
+		ShedRate:   l.shedRate.Load(),
+		Active:     active,
+	}
+}
+
+// Admit decides whether a connection from ip may proceed. evict is
+// called (outside the limiter lock) if this connection is later chosen
+// as the oldest-connection victim under MaxConns pressure; it should
+// close the connection. On Admitted the caller MUST call release when
+// the connection ends; release is idempotent. On any shed decision
+// release is nil and the caller should close the connection.
+func (l *Limiter) Admit(ip string, evict func()) (release func(), d Decision) {
+	l.mu.Lock()
+	if l.cfg.Rate > 0 && !l.takeToken(ip) {
+		l.shedRate.Add(1)
+		l.mu.Unlock()
+		return nil, ShedRate
+	}
+	if l.cfg.MaxConnsPerIP > 0 && l.perIP[ip] >= l.cfg.MaxConnsPerIP {
+		l.shedPerIP.Add(1)
+		l.mu.Unlock()
+		return nil, ShedPerIP
+	}
+	var evicted []*connEntry
+	if l.cfg.MaxConns > 0 {
+		for l.conns.Len() >= l.cfg.MaxConns {
+			e := l.conns.Front().Value.(*connEntry)
+			l.unlink(e)
+			evicted = append(evicted, e)
+			l.shedOldest.Add(1)
+		}
+	}
+	e := &connEntry{ip: ip, evict: evict}
+	e.elem = l.conns.PushBack(e)
+	l.perIP[ip]++
+	l.mu.Unlock()
+	for _, v := range evicted {
+		if v.evict != nil {
+			v.evict()
+		}
+	}
+	return func() { l.release(e) }, Admitted
+}
+
+// release returns e's slot. Safe to call more than once.
+func (l *Limiter) release(e *connEntry) {
+	l.mu.Lock()
+	l.unlink(e)
+	l.mu.Unlock()
+}
+
+// unlink removes e from the tracking structures. Caller holds l.mu.
+func (l *Limiter) unlink(e *connEntry) {
+	if e.released {
+		return
+	}
+	e.released = true
+	l.conns.Remove(e.elem)
+	if n := l.perIP[e.ip] - 1; n > 0 {
+		l.perIP[e.ip] = n
+	} else {
+		delete(l.perIP, e.ip)
+	}
+}
+
+// takeToken consumes one token from ip's bucket, reporting whether one
+// was available. Caller holds l.mu.
+func (l *Limiter) takeToken(ip string) bool {
+	now := l.cfg.Now()
+	b, ok := l.buckets[ip]
+	if !ok {
+		if len(l.buckets) >= maxBuckets {
+			l.sweepBuckets()
+		}
+		b = &bucket{tokens: l.cfg.burst(), last: now}
+		l.buckets[ip] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.cfg.Rate
+	if max := l.cfg.burst(); b.tokens > max {
+		b.tokens = max
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// sweepBuckets drops buckets that have refilled to capacity — an idle
+// IP's bucket carries no information. Caller holds l.mu.
+func (l *Limiter) sweepBuckets() {
+	now := l.cfg.Now()
+	max := l.cfg.burst()
+	for ip, b := range l.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*l.cfg.Rate >= max {
+			delete(l.buckets, ip)
+		}
+	}
+}
+
+// ParseRate parses a human rate spec: "5/s", "300/m", "1000/h", or a
+// bare number meaning per second. Empty means unlimited (0).
+func ParseRate(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	num, unit := s, ""
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		num, unit = s[:i], s[i+1:]
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("guard: bad rate %q", s)
+	}
+	switch unit {
+	case "", "s":
+		return v, nil
+	case "m":
+		return v / 60, nil
+	case "h":
+		return v / 3600, nil
+	default:
+		return 0, fmt.Errorf("guard: bad rate unit %q in %q", unit, s)
+	}
+}
+
+// ErrBudget is returned by a budget-wrapped fetcher once a client has
+// exhausted its download allowance for the current window. The emulated
+// shell surfaces it as an ordinary network error, so the abuser sees a
+// flaky proxy rather than a honeypot tell.
+var ErrBudget = errors.New("guard: outbound download budget exhausted")
+
+// Budget throttles outbound downloads commanded through the emulated
+// fetcher, per client IP over a sliding window.
+type Budget struct {
+	// MaxFetches caps fetch attempts per IP per window (0 = unlimited).
+	MaxFetches int
+	// MaxBytes caps fetched bytes per IP per window (0 = unlimited).
+	MaxBytes int64
+	// Window is the accounting window; zero means one minute.
+	Window time.Duration
+	// Now supplies time (injectable); nil means time.Now.
+	Now func() time.Time
+
+	mu        sync.Mutex
+	perIP     map[string]*budgetWindow
+	throttled atomic.Int64
+}
+
+type budgetWindow struct {
+	start   time.Time
+	fetches int
+	bytes   int64
+}
+
+// Throttled returns the number of fetches refused over budget.
+func (b *Budget) Throttled() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.throttled.Load()
+}
+
+func (b *Budget) window() time.Duration {
+	if b.Window > 0 {
+		return b.Window
+	}
+	return time.Minute
+}
+
+func (b *Budget) now() time.Time {
+	if b.Now != nil {
+		return b.Now()
+	}
+	return time.Now()
+}
+
+// reserve admits one fetch attempt for ip, rolling the window as needed.
+func (b *Budget) reserve(ip string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.perIP == nil {
+		b.perIP = map[string]*budgetWindow{}
+	}
+	now := b.now()
+	w := b.perIP[ip]
+	if w == nil || now.Sub(w.start) >= b.window() {
+		// Roll the window; opportunistically drop other stale entries so
+		// the map tracks only currently-active abusers.
+		if len(b.perIP) > 4096 {
+			for k, v := range b.perIP {
+				if now.Sub(v.start) >= b.window() {
+					delete(b.perIP, k)
+				}
+			}
+		}
+		w = &budgetWindow{start: now}
+		b.perIP[ip] = w
+	}
+	if b.MaxFetches > 0 && w.fetches >= b.MaxFetches {
+		return false
+	}
+	if b.MaxBytes > 0 && w.bytes >= b.MaxBytes {
+		return false
+	}
+	w.fetches++
+	return true
+}
+
+// account records bytes fetched by ip.
+func (b *Budget) account(ip string, n int64) {
+	b.mu.Lock()
+	if w := b.perIP[ip]; w != nil {
+		w.bytes += n
+	}
+	b.mu.Unlock()
+}
+
+// Wrap returns fetch throttled by the budget for client ip. A nil
+// Budget or nil fetch passes through unchanged.
+func (b *Budget) Wrap(ip string, fetch func(uri string) ([]byte, error)) func(uri string) ([]byte, error) {
+	if b == nil || fetch == nil {
+		return fetch
+	}
+	return func(uri string) ([]byte, error) {
+		if !b.reserve(ip) {
+			b.throttled.Add(1)
+			return nil, ErrBudget
+		}
+		data, err := fetch(uri)
+		if err == nil {
+			b.account(ip, int64(len(data)))
+		}
+		return data, err
+	}
+}

@@ -1,0 +1,256 @@
+package guard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// clock is a manually advanced time source.
+type clock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newClock() *clock { return &clock{t: time.Unix(1_700_000_000, 0)} }
+
+func (c *clock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *clock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestPerIPCapShedsThirdConnection(t *testing.T) {
+	l := NewLimiter(Config{MaxConnsPerIP: 2})
+	r1, d := l.Admit("10.0.0.1", nil)
+	if d != Admitted {
+		t.Fatalf("conn 1: %v", d)
+	}
+	if _, d = l.Admit("10.0.0.1", nil); d != Admitted {
+		t.Fatalf("conn 2: %v", d)
+	}
+	// Third concurrent connection from the same IP is shed...
+	if _, d = l.Admit("10.0.0.1", nil); d != ShedPerIP {
+		t.Fatalf("conn 3: got %v, want ShedPerIP", d)
+	}
+	// ...while a different IP still connects.
+	if _, d = l.Admit("10.0.0.2", nil); d != Admitted {
+		t.Fatalf("other IP: got %v, want Admitted", d)
+	}
+	// Releasing one slot readmits the IP.
+	r1()
+	if _, d = l.Admit("10.0.0.1", nil); d != Admitted {
+		t.Fatalf("after release: got %v, want Admitted", d)
+	}
+	if got := l.Stats().ShedPerIP; got != 1 {
+		t.Errorf("ShedPerIP = %d, want 1", got)
+	}
+}
+
+func TestReleaseIdempotent(t *testing.T) {
+	l := NewLimiter(Config{MaxConnsPerIP: 1})
+	r, d := l.Admit("10.0.0.1", nil)
+	if d != Admitted {
+		t.Fatal(d)
+	}
+	r()
+	r() // double release must not corrupt the per-IP count
+	if _, d = l.Admit("10.0.0.1", nil); d != Admitted {
+		t.Fatalf("after double release: %v", d)
+	}
+	if st := l.Stats(); st.Active != 1 {
+		t.Errorf("Active = %d, want 1", st.Active)
+	}
+}
+
+func TestGlobalCapEvictsOldest(t *testing.T) {
+	l := NewLimiter(Config{MaxConns: 2})
+	evicted := []string{}
+	mkEvict := func(name string) func() {
+		return func() { evicted = append(evicted, name) }
+	}
+	if _, d := l.Admit("10.0.0.1", mkEvict("a")); d != Admitted {
+		t.Fatal(d)
+	}
+	if _, d := l.Admit("10.0.0.2", mkEvict("b")); d != Admitted {
+		t.Fatal(d)
+	}
+	// Third connection evicts the oldest ("a"), not the newcomer: a
+	// slow-loris fleet must not be able to pin every slot.
+	if _, d := l.Admit("10.0.0.3", mkEvict("c")); d != Admitted {
+		t.Fatal(d)
+	}
+	if len(evicted) != 1 || evicted[0] != "a" {
+		t.Fatalf("evicted = %v, want [a]", evicted)
+	}
+	st := l.Stats()
+	if st.ShedOldest != 1 || st.Active != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestEvictedConnReleaseIsNoop(t *testing.T) {
+	l := NewLimiter(Config{MaxConns: 1})
+	r1, _ := l.Admit("10.0.0.1", func() {})
+	if _, d := l.Admit("10.0.0.2", func() {}); d != Admitted {
+		t.Fatal(d)
+	}
+	r1() // the evicted conn's deferred release fires later; must be safe
+	if st := l.Stats(); st.Active != 1 {
+		t.Errorf("Active = %d, want 1", st.Active)
+	}
+}
+
+func TestRateLimiterTokenBucket(t *testing.T) {
+	clk := newClock()
+	l := NewLimiter(Config{Rate: 5, Burst: 5, Now: clk.now})
+	ip := "10.0.0.1"
+	for i := 0; i < 5; i++ {
+		if _, d := l.Admit(ip, nil); d != Admitted {
+			t.Fatalf("burst conn %d: %v", i, d)
+		}
+	}
+	if _, d := l.Admit(ip, nil); d != ShedRate {
+		t.Fatalf("over rate: got %v, want ShedRate", d)
+	}
+	// An unrelated IP has its own bucket.
+	if _, d := l.Admit("10.0.0.2", nil); d != Admitted {
+		t.Fatalf("other IP: %v", d)
+	}
+	// 200ms at 5/s refills one token.
+	clk.advance(200 * time.Millisecond)
+	if _, d := l.Admit(ip, nil); d != Admitted {
+		t.Fatalf("after refill: %v", d)
+	}
+	if _, d := l.Admit(ip, nil); d != ShedRate {
+		t.Fatalf("bucket must be empty again, got %v", d)
+	}
+	if got := l.Stats().ShedRate; got != 2 {
+		t.Errorf("ShedRate = %d, want 2", got)
+	}
+}
+
+func TestBucketSweepBoundsMemory(t *testing.T) {
+	clk := newClock()
+	l := NewLimiter(Config{Rate: 100, Now: clk.now})
+	for i := 0; i < maxBuckets; i++ {
+		l.Admit(fmt.Sprintf("10.%d.%d.%d", i>>16, (i>>8)&255, i&255), nil)
+	}
+	clk.advance(time.Hour) // every bucket refills
+	l.Admit("192.0.2.1", nil)
+	l.mu.Lock()
+	n := len(l.buckets)
+	l.mu.Unlock()
+	if n > 2 {
+		t.Errorf("buckets after sweep = %d, want <= 2", n)
+	}
+}
+
+func TestParseRate(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		err  bool
+	}{
+		{"", 0, false},
+		{"5/s", 5, false},
+		{"300/m", 5, false},
+		{"7200/h", 2, false},
+		{"2.5", 2.5, false},
+		{"5/d", 0, true},
+		{"x/s", 0, true},
+		{"-1/s", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseRate(c.in)
+		if (err != nil) != c.err || got != c.want {
+			t.Errorf("ParseRate(%q) = %v, %v; want %v, err=%v", c.in, got, err, c.want, c.err)
+		}
+	}
+}
+
+func TestDownloadBudgetFetchCap(t *testing.T) {
+	clk := newClock()
+	b := &Budget{MaxFetches: 3, Window: time.Minute, Now: clk.now}
+	fetch := b.Wrap("10.0.0.1", func(uri string) ([]byte, error) {
+		return []byte("payload"), nil
+	})
+	for i := 0; i < 3; i++ {
+		if _, err := fetch("http://evil/x"); err != nil {
+			t.Fatalf("fetch %d: %v", i, err)
+		}
+	}
+	if _, err := fetch("http://evil/x"); !errors.Is(err, ErrBudget) {
+		t.Fatalf("over budget: got %v, want ErrBudget", err)
+	}
+	// Another client is unaffected.
+	other := b.Wrap("10.0.0.2", func(uri string) ([]byte, error) { return nil, nil })
+	if _, err := other("http://evil/x"); err != nil {
+		t.Fatalf("other IP: %v", err)
+	}
+	// The window rolls over.
+	clk.advance(time.Minute)
+	if _, err := fetch("http://evil/x"); err != nil {
+		t.Fatalf("new window: %v", err)
+	}
+	if got := b.Throttled(); got != 1 {
+		t.Errorf("Throttled = %d, want 1", got)
+	}
+}
+
+func TestDownloadBudgetByteCap(t *testing.T) {
+	clk := newClock()
+	b := &Budget{MaxBytes: 10, Window: time.Minute, Now: clk.now}
+	fetch := b.Wrap("10.0.0.1", func(uri string) ([]byte, error) {
+		return make([]byte, 8), nil
+	})
+	if _, err := fetch("u1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fetch("u2"); err != nil { // 8 < 10: still admitted
+		t.Fatal(err)
+	}
+	if _, err := fetch("u3"); !errors.Is(err, ErrBudget) { // 16 >= 10
+		t.Fatalf("got %v, want ErrBudget", err)
+	}
+}
+
+func TestNilBudgetPassthrough(t *testing.T) {
+	var b *Budget
+	base := func(uri string) ([]byte, error) { return []byte("x"), nil }
+	if got := b.Wrap("ip", base); got == nil {
+		t.Fatal("nil budget must pass fetch through")
+	}
+	if b.Throttled() != 0 {
+		t.Fatal("nil budget Throttled must be 0")
+	}
+}
+
+func TestLimiterConcurrentChurn(t *testing.T) {
+	l := NewLimiter(Config{MaxConns: 32, MaxConnsPerIP: 4, Rate: 1e9})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ip := fmt.Sprintf("10.0.0.%d", g%4)
+			for i := 0; i < 500; i++ {
+				if release, d := l.Admit(ip, func() {}); d == Admitted {
+					release()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := l.Stats(); st.Active != 0 {
+		t.Errorf("Active after churn = %d, want 0", st.Active)
+	}
+}

@@ -1,0 +1,402 @@
+package honeypot
+
+// Long-run hardening fault-injection tests: guard shedding, slow-loris
+// eviction, graceful drain, failing sinks, and a concurrent soak —
+// the failure modes that end a 33-month deployment early.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"honeynet/internal/guard"
+	"honeynet/internal/session"
+	"honeynet/internal/sshclient"
+)
+
+// fakeAddr lets an in-memory pipe impersonate any client IP, so one
+// test process can simulate distinct attacking hosts.
+type fakeAddr string
+
+func (a fakeAddr) Network() string { return "tcp" }
+func (a fakeAddr) String() string  { return string(a) }
+
+type fakeAddrConn struct {
+	net.Conn
+	remote net.Addr
+}
+
+func (c fakeAddrConn) RemoteAddr() net.Addr { return c.remote }
+func (c fakeAddrConn) LocalAddr() net.Addr  { return fakeAddr("198.18.0.1:22") }
+
+// dialFake hands the node a connection that claims to come from ip and
+// returns the client end.
+func dialFake(t *testing.T, node *Node, ip string) net.Conn {
+	t.Helper()
+	client, server := net.Pipe()
+	t.Cleanup(func() { client.Close() })
+	go node.HandleSSHConn(fakeAddrConn{Conn: server, remote: fakeAddr(ip + ":40000")})
+	return client
+}
+
+// awaitBanner blocks until the server's SSH version banner arrives on
+// c — proof the connection was admitted past the guard (shed
+// connections are closed before the handshake).
+func awaitBanner(t *testing.T, c net.Conn) {
+	t.Helper()
+	_ = c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("awaiting banner: %v", err)
+	}
+	if string(buf) != "SSH-" {
+		t.Fatalf("banner = %q", buf)
+	}
+	_ = c.SetReadDeadline(time.Time{})
+}
+
+// closedWithin reports whether c reaches EOF/closed within d.
+func closedWithin(c net.Conn, d time.Duration) bool {
+	_ = c.SetReadDeadline(time.Now().Add(d))
+	buf := make([]byte, 64)
+	for {
+		_, err := c.Read(buf)
+		if err == nil {
+			continue
+		}
+		return !errors.Is(err, os.ErrDeadlineExceeded)
+	}
+}
+
+func guardedNode(t *testing.T, cfg Config) (*Node, *sink) {
+	t.Helper()
+	sk := newSink()
+	cfg.ID = "hp-guard"
+	cfg.Sink = sk.add
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	node, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return node, sk
+}
+
+// TestPerIPCapShedsAtNode is the acceptance scenario: with
+// -max-conns-per-ip 2 -rate 5/s, the 3rd concurrent connection from one
+// IP is shed while a second IP still connects.
+func TestPerIPCapShedsAtNode(t *testing.T) {
+	node, _ := guardedNode(t, Config{
+		Guard: guard.NewLimiter(guard.Config{MaxConnsPerIP: 2, Rate: 5, Burst: 10}),
+	})
+	defer node.Drain(0)
+
+	c1 := dialFake(t, node, "203.0.113.50")
+	awaitBanner(t, c1)
+	c2 := dialFake(t, node, "203.0.113.50")
+	awaitBanner(t, c2)
+	c3 := dialFake(t, node, "203.0.113.50")
+	if !closedWithin(c3, 2*time.Second) {
+		t.Fatal("3rd concurrent connection from one IP must be shed")
+	}
+	// A different IP still gets through: its connection stays open
+	// (the server is waiting for our SSH version string).
+	other := dialFake(t, node, "203.0.113.51")
+	if closedWithin(other, 300*time.Millisecond) {
+		t.Fatal("second IP must still connect while the first is capped")
+	}
+	if closedWithin(c1, 100*time.Millisecond) || closedWithin(c2, 100*time.Millisecond) {
+		t.Fatal("existing connections must survive the shed")
+	}
+	m := node.Metrics()
+	if m.ConnsShed != 1 {
+		t.Errorf("ConnsShed = %d, want 1", m.ConnsShed)
+	}
+}
+
+func TestRateLimitShedsAtNode(t *testing.T) {
+	node, _ := guardedNode(t, Config{
+		Guard: guard.NewLimiter(guard.Config{Rate: 1, Burst: 2}),
+	})
+	defer node.Drain(0)
+
+	shed := 0
+	for i := 0; i < 6; i++ {
+		c := dialFake(t, node, "203.0.113.60")
+		if closedWithin(c, 500*time.Millisecond) {
+			shed++
+		}
+		c.Close()
+	}
+	if shed < 3 {
+		t.Fatalf("only %d of 6 rapid connections shed; want >= 3 (burst 2)", shed)
+	}
+	if m := node.Metrics(); m.RateLimited == 0 {
+		t.Error("RateLimited metric not incremented")
+	}
+}
+
+// TestSlowLorisEvictedByNewcomer: silent connections pin slots until
+// the global cap, then the oldest is sacrificed for the newcomer.
+func TestSlowLorisEvictedByNewcomer(t *testing.T) {
+	node, _ := guardedNode(t, Config{
+		Guard:   guard.NewLimiter(guard.Config{MaxConns: 2}),
+		Timeout: time.Minute, // session timeout alone will not save us
+	})
+	defer node.Drain(0)
+
+	loris1 := dialFake(t, node, "203.0.113.70") // sends nothing, ever
+	awaitBanner(t, loris1)
+	loris2 := dialFake(t, node, "203.0.113.71")
+	awaitBanner(t, loris2)
+	fresh := dialFake(t, node, "203.0.113.72")
+
+	if !closedWithin(loris1, 2*time.Second) {
+		t.Fatal("oldest slow-loris connection must be evicted at the global cap")
+	}
+	if closedWithin(fresh, 200*time.Millisecond) {
+		t.Fatal("the newcomer must be admitted, not shed")
+	}
+	_ = loris2
+	if m := node.Metrics(); m.ConnsShed != 1 {
+		t.Errorf("ConnsShed = %d, want 1", m.ConnsShed)
+	}
+}
+
+// TestDrainRecordsInFlightSessions: sessions open at SIGTERM are
+// force-closed after the drain timeout but their records still land.
+func TestDrainRecordsInFlightSessions(t *testing.T) {
+	node, addr, _, sk := startNode(t)
+
+	cli, err := sshclient.Dial(addr, sshclient.Config{User: "root", Password: "hunter2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	sh, err := cli.Shell()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.ReadUntil("# "); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.Run("uname -a", "# "); err != nil {
+		t.Fatal(err)
+	}
+
+	// SIGTERM path: the client idles, so the drain deadline fires and
+	// the connection is force-closed — but the session is recorded.
+	start := time.Now()
+	forced := node.Drain(200 * time.Millisecond)
+	if forced != 1 {
+		t.Errorf("forced = %d, want 1", forced)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Errorf("drain took %v", time.Since(start))
+	}
+	rec := sk.wait(t)
+	if len(rec.Commands) != 1 || rec.Commands[0].Raw != "uname -a" {
+		t.Errorf("in-flight session commands = %+v", rec.Commands)
+	}
+	if !rec.LoggedIn() {
+		t.Error("in-flight session lost its login records")
+	}
+}
+
+func TestDrainCompletesGracefullyWhenIdle(t *testing.T) {
+	sk := newSink()
+	node, err := New(Config{ID: "hp-idle", Sink: sk.add})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.ListenSSH("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if forced := node.Drain(5 * time.Second); forced != 0 {
+		t.Errorf("forced = %d, want 0", forced)
+	}
+	if time.Since(start) > time.Second {
+		t.Errorf("idle drain took %v", time.Since(start))
+	}
+}
+
+func TestDrainRefusesNewConnections(t *testing.T) {
+	node, _ := guardedNode(t, Config{})
+	node.Drain(0)
+	c := dialFake(t, node, "203.0.113.80")
+	if !closedWithin(c, time.Second) {
+		t.Fatal("connections arriving during/after drain must be closed")
+	}
+}
+
+func TestFailingSinkCounted(t *testing.T) {
+	var delivered sync.WaitGroup
+	delivered.Add(1)
+	node, err := New(Config{
+		ID:      "hp-fulldisk",
+		Timeout: 5 * time.Second,
+		Sink: func(*session.Record) error {
+			defer delivered.Done()
+			return fmt.Errorf("write /var/sessions.jsonl: no space left on device")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := node.ListenSSH("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Drain(0)
+
+	cli, err := sshclient.Dial(addr, sshclient.Config{User: "root", Password: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := cli.Exec("id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(res.Output), "uid=0(root)") {
+		t.Errorf("exec output = %q", res.Output)
+	}
+	cli.Close()
+	delivered.Wait()
+	if m := node.Metrics(); m.SinkErrors != 1 {
+		t.Errorf("SinkErrors = %d, want 1", m.SinkErrors)
+	}
+}
+
+// TestDownloadBudgetThrottlesProxyAbuse: the curl_maxred defense — a
+// client hammering the emulated fetcher is cut off at its budget, and
+// sees only an ordinary network error.
+func TestDownloadBudgetThrottlesProxyAbuse(t *testing.T) {
+	sk := newSink()
+	node, err := New(Config{
+		ID:             "hp-budget",
+		Timeout:        10 * time.Second,
+		Sink:           sk.add,
+		Download:       func(uri string) ([]byte, error) { return []byte("PAYLOAD:" + uri), nil },
+		DownloadBudget: &guard.Budget{MaxFetches: 2, Window: time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := node.ListenSSH("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Drain(0)
+
+	cli, err := sshclient.Dial(addr, sshclient.Config{User: "root", Password: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	sh, err := cli.Shell()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.ReadUntil("# "); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		out, err := sh.Run(fmt.Sprintf("curl http://relay.example/page%d", i), "# ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out, "PAYLOAD:") {
+			t.Fatalf("fetch %d: output %q", i, out)
+		}
+	}
+	out, err := sh.Run("curl http://relay.example/page3", "# ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Could not resolve host") {
+		t.Errorf("over-budget fetch must look like a plain network error, got %q", out)
+	}
+	if m := node.Metrics(); m.DownloadsThrottled != 1 {
+		t.Errorf("DownloadsThrottled = %d, want 1", m.DownloadsThrottled)
+	}
+}
+
+// TestSoak100ConcurrentSessions drives ~100 concurrent SSH sessions
+// through the guard limits; every admitted session must be recorded
+// exactly once and the guard must unwind to zero active connections.
+func TestSoak100ConcurrentSessions(t *testing.T) {
+	lim := guard.NewLimiter(guard.Config{MaxConns: 256, MaxConnsPerIP: 256})
+	var recs int64
+	var mu sync.Mutex
+	node, err := New(Config{
+		ID:      "hp-soak",
+		Timeout: 30 * time.Second,
+		Guard:   lim,
+		Sink: func(r *session.Record) error {
+			mu.Lock()
+			recs++
+			mu.Unlock()
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := node.ListenSSH("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 100
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cli, err := sshclient.Dial(addr, sshclient.Config{User: "root", Password: "pw"})
+			if err != nil {
+				errCh <- fmt.Errorf("client %d dial: %w", i, err)
+				return
+			}
+			defer cli.Close()
+			res, err := cli.Exec(fmt.Sprintf("echo soak-%d", i))
+			if err != nil {
+				errCh <- fmt.Errorf("client %d exec: %w", i, err)
+				return
+			}
+			if want := fmt.Sprintf("soak-%d", i); !strings.Contains(string(res.Output), want) {
+				errCh <- fmt.Errorf("client %d output %q", i, res.Output)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if forced := node.Drain(10 * time.Second); forced != 0 {
+		t.Errorf("forced = %d connections at drain, want 0", forced)
+	}
+	mu.Lock()
+	got := recs
+	mu.Unlock()
+	if got != clients {
+		t.Errorf("recorded %d sessions, want %d", got, clients)
+	}
+	if st := lim.Stats(); st.Active != 0 || st.Shed() != 0 {
+		t.Errorf("guard stats after soak = %+v", st)
+	}
+	m := node.Metrics()
+	if m.SSHConnections != clients || m.ActiveConns != 0 {
+		t.Errorf("metrics after soak = %+v", m)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"honeynet/internal/guard"
 	"honeynet/internal/session"
 	"honeynet/internal/shell"
 	"honeynet/internal/sshd"
@@ -45,8 +46,17 @@ type Config struct {
 	HostKeySeed []byte
 	// Download supplies content for emulated wget/curl fetches.
 	Download shell.DownloadFunc
-	// Sink receives every completed session record. Required.
-	Sink func(*session.Record)
+	// DownloadBudget, if set, throttles emulated fetches per client IP
+	// so the honeypot cannot be farmed as an open proxy (the paper's
+	// curl_maxred abuse relayed ~20M requests through the honeynet).
+	DownloadBudget *guard.Budget
+	// Guard, if set, enforces per-IP connection rates and global /
+	// per-IP concurrency caps on both protocol endpoints.
+	Guard *guard.Limiter
+	// Sink receives every completed session record. Required. A non-nil
+	// error is counted in Metrics.SinkErrors — a full disk must be
+	// visible, not silent.
+	Sink func(*session.Record) error
 	// Timeout is the hard session cap; zero means DefaultTimeout.
 	Timeout time.Duration
 	// Now supplies timestamps (for simulation); nil means time.Now.
@@ -69,6 +79,13 @@ type Node struct {
 	mu        sync.Mutex
 	listeners []net.Listener
 
+	// Drain machinery: every in-flight connection is tracked so SIGTERM
+	// can stop accepting, wait for sessions to finish, then force-close.
+	draining atomic.Bool
+	inflight sync.WaitGroup
+	activeMu sync.Mutex
+	active   map[net.Conn]struct{}
+
 	// persist maps client IP -> retained filesystem (Persistent mode).
 	persistMu sync.Mutex
 	persist   map[string]*vfs.FS
@@ -82,6 +99,7 @@ type Node struct {
 		commands     atomic.Int64
 		downloads    atomic.Int64
 		stateChanges atomic.Int64
+		sinkErrs     atomic.Int64
 	}
 }
 
@@ -95,19 +113,41 @@ type Metrics struct {
 	Commands          int64
 	Downloads         int64
 	StateChanges      int64
+	// SinkErrors counts session records the Sink failed to persist.
+	SinkErrors int64
+	// ConnsShed counts connections refused or evicted by the guard
+	// (per-IP cap, rate limit, or oldest-connection eviction).
+	ConnsShed int64
+	// RateLimited is the rate-limiter share of ConnsShed.
+	RateLimited int64
+	// DownloadsThrottled counts emulated fetches refused over budget.
+	DownloadsThrottled int64
+	// ActiveConns is the number of connections currently in flight.
+	ActiveConns int64
 }
 
 // Metrics returns the node's current counters.
 func (n *Node) Metrics() Metrics {
-	return Metrics{
-		SSHConnections:    n.stats.connsSSH.Load(),
-		TelnetConnections: n.stats.connsTelnet.Load(),
-		AuthSuccesses:     n.stats.authOK.Load(),
-		AuthFailures:      n.stats.authFail.Load(),
-		Commands:          n.stats.commands.Load(),
-		Downloads:         n.stats.downloads.Load(),
-		StateChanges:      n.stats.stateChanges.Load(),
+	m := Metrics{
+		SSHConnections:     n.stats.connsSSH.Load(),
+		TelnetConnections:  n.stats.connsTelnet.Load(),
+		AuthSuccesses:      n.stats.authOK.Load(),
+		AuthFailures:       n.stats.authFail.Load(),
+		Commands:           n.stats.commands.Load(),
+		Downloads:          n.stats.downloads.Load(),
+		StateChanges:       n.stats.stateChanges.Load(),
+		SinkErrors:         n.stats.sinkErrs.Load(),
+		DownloadsThrottled: n.cfg.DownloadBudget.Throttled(),
 	}
+	if n.cfg.Guard != nil {
+		gs := n.cfg.Guard.Stats()
+		m.ConnsShed = gs.Shed()
+		m.RateLimited = gs.ShedRate
+	}
+	n.activeMu.Lock()
+	m.ActiveConns = int64(len(n.active))
+	n.activeMu.Unlock()
+	return m
 }
 
 // New builds a node from cfg.
@@ -182,7 +222,8 @@ func (n *Node) track(ln net.Listener) {
 	n.mu.Unlock()
 }
 
-// Close stops all listeners.
+// Close stops all listeners. In-flight sessions keep running; use
+// Drain to wait for (and then force) their completion.
 func (n *Node) Close() error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -191,6 +232,80 @@ func (n *Node) Close() error {
 	}
 	n.listeners = nil
 	return nil
+}
+
+// Drain gracefully shuts the node down: stop accepting, let in-flight
+// sessions finish for up to timeout, then force-close the stragglers.
+// Force-closed sessions still flow through the Sink — a record cut
+// short at shutdown beats a record lost. Drain returns the number of
+// connections that had to be force-closed.
+func (n *Node) Drain(timeout time.Duration) int {
+	n.draining.Store(true)
+	_ = n.Close()
+	done := make(chan struct{})
+	go func() {
+		n.inflight.Wait()
+		close(done)
+	}()
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		select {
+		case <-done:
+			return 0
+		case <-t.C:
+		}
+	}
+	// Deadline passed (or zero timeout): force-close what remains. The
+	// protocol handlers unwind on the closed conn and finish() still
+	// seals and delivers each record.
+	n.activeMu.Lock()
+	forced := len(n.active)
+	for c := range n.active {
+		_ = c.Close()
+	}
+	n.activeMu.Unlock()
+	<-done
+	return forced
+}
+
+// admit runs the guard policy for one incoming connection and registers
+// it for drain tracking. ok=false means the connection was shed and
+// closed; otherwise the caller must invoke release when done.
+func (n *Node) admit(nc net.Conn) (release func(), ok bool) {
+	if n.draining.Load() {
+		_ = nc.Close()
+		return nil, false
+	}
+	var guardRelease func()
+	if n.cfg.Guard != nil {
+		ip, _ := splitAddr(nc.RemoteAddr())
+		var d guard.Decision
+		guardRelease, d = n.cfg.Guard.Admit(ip, func() { _ = nc.Close() })
+		if d != guard.Admitted {
+			_ = nc.Close()
+			return nil, false
+		}
+	}
+	n.inflight.Add(1)
+	n.activeMu.Lock()
+	if n.active == nil {
+		n.active = map[net.Conn]struct{}{}
+	}
+	n.active[nc] = struct{}{}
+	n.activeMu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			n.activeMu.Lock()
+			delete(n.active, nc)
+			n.activeMu.Unlock()
+			if guardRelease != nil {
+				guardRelease()
+			}
+			n.inflight.Done()
+		})
+	}, true
 }
 
 func (n *Node) serveSSH(ln net.Listener) {
@@ -275,12 +390,19 @@ func (n *Node) finish(st *connState, timedOut bool) {
 			n.stats.authFail.Add(1)
 		}
 	}
-	n.cfg.Sink(rec)
+	if err := n.cfg.Sink(rec); err != nil {
+		n.stats.sinkErrs.Add(1)
+	}
 }
 
 // HandleSSHConn runs the complete honeypot lifecycle on one SSH TCP
 // connection.
 func (n *Node) HandleSSHConn(nc net.Conn) {
+	release, ok := n.admit(nc)
+	if !ok {
+		return
+	}
+	defer release()
 	n.stats.connsSSH.Add(1)
 	st := &connState{rec: n.newRecord(session.ProtoSSH, nc.RemoteAddr())}
 	start := time.Now()
@@ -325,7 +447,11 @@ func (n *Node) sessionShell(st *connState) *shell.Shell {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.sh == nil {
-		st.sh = shell.NewWithFS(n.cfg.Hostname, n.clientFS(st), n.cfg.Download)
+		dl := n.cfg.Download
+		if n.cfg.DownloadBudget != nil && st.rec != nil {
+			dl = shell.DownloadFunc(n.cfg.DownloadBudget.Wrap(st.rec.ClientIP, dl))
+		}
+		st.sh = shell.NewWithFS(n.cfg.Hostname, n.clientFS(st), dl)
 	}
 	return st.sh
 }
@@ -425,6 +551,11 @@ func crlf(s string) string {
 
 // HandleTelnetConn runs the honeypot lifecycle on one Telnet connection.
 func (n *Node) HandleTelnetConn(nc net.Conn) {
+	release, ok := n.admit(nc)
+	if !ok {
+		return
+	}
+	defer release()
 	n.stats.connsTelnet.Add(1)
 	st := &connState{rec: n.newRecord(session.ProtoTelnet, nc.RemoteAddr())}
 	start := time.Now()

@@ -20,11 +20,12 @@ type sink struct {
 
 func newSink() *sink { return &sink{ch: make(chan *session.Record, 64)} }
 
-func (s *sink) add(r *session.Record) {
+func (s *sink) add(r *session.Record) error {
 	s.mu.Lock()
 	s.recs = append(s.recs, r)
 	s.mu.Unlock()
 	s.ch <- r
+	return nil
 }
 
 func (s *sink) wait(t *testing.T) *session.Record {

@@ -1,0 +1,349 @@
+// Package sessionlog is the crash-safe JSONL session store for a
+// long-running honeypot: buffered appends with periodic fsync,
+// size-based rotation, torn-tail recovery on reopen, and an error
+// counter so a full disk is visible in metrics instead of silently
+// eating months of sessions. The on-disk format is exactly the JSONL
+// of internal/session — every rotated segment loads with
+// session.ReadAll.
+package sessionlog
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"honeynet/internal/session"
+)
+
+// Options parameterizes a file-backed Writer.
+type Options struct {
+	// MaxSize rotates the log when appending a record would push the
+	// current segment past this many bytes. Zero disables rotation.
+	MaxSize int64
+	// SyncEvery is the fsync cadence: a background ticker flushes and
+	// syncs dirty data at this interval. Zero means one second; a
+	// negative value disables periodic sync (Flush/Close still sync).
+	SyncEvery time.Duration
+	// BufSize is the write-buffer size; zero means 256 KiB.
+	BufSize int
+}
+
+func (o *Options) syncEvery() time.Duration {
+	if o.SyncEvery == 0 {
+		return time.Second
+	}
+	return o.SyncEvery
+}
+
+func (o *Options) bufSize() int {
+	if o.BufSize > 0 {
+		return o.BufSize
+	}
+	return 256 << 10
+}
+
+// Writer appends session records as JSON lines. All methods are safe
+// for concurrent use.
+type Writer struct {
+	mu     sync.Mutex
+	f      *os.File      // nil in stream mode
+	w      io.Writer     // underlying stream (stream mode only)
+	bw     *bufio.Writer // over f or w
+	path   string
+	opts   Options
+	size   int64 // current segment size including buffered bytes
+	rotIdx int   // next rotation suffix
+	dirty  bool
+	closed bool
+
+	errs      atomic.Int64
+	rotations atomic.Int64
+	written   atomic.Int64
+
+	stop chan struct{} // closes the sync loop; nil if none
+	done chan struct{}
+}
+
+// Open opens (creating if needed) the JSONL log at path, recovering a
+// torn tail left by a crash: any trailing partial or corrupt line is
+// truncated away so the file ends on a complete record boundary.
+func Open(path string, opts Options) (*Writer, error) {
+	if _, err := RecoverTail(path); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	w := &Writer{
+		f:      f,
+		bw:     bufio.NewWriterSize(f, opts.bufSize()),
+		path:   path,
+		opts:   opts,
+		size:   st.Size(),
+		rotIdx: nextRotIndex(path),
+	}
+	if opts.syncEvery() > 0 {
+		w.stop = make(chan struct{})
+		w.done = make(chan struct{})
+		go w.syncLoop(opts.syncEvery())
+	}
+	return w, nil
+}
+
+// NewStream returns a Writer over an arbitrary stream (e.g. stdout):
+// buffered, no rotation, no fsync, but the same error accounting.
+func NewStream(out io.Writer) *Writer {
+	return &Writer{w: out, bw: bufio.NewWriterSize(out, (&Options{}).bufSize())}
+}
+
+// Errors returns the number of failed writes (marshal, I/O, or
+// rotation failures). Each failed Write increments it exactly once.
+func (w *Writer) Errors() int64 { return w.errs.Load() }
+
+// Rotations returns how many segments have been rotated out.
+func (w *Writer) Rotations() int64 { return w.rotations.Load() }
+
+// Written returns the number of records successfully buffered.
+func (w *Writer) Written() int64 { return w.written.Load() }
+
+// Path returns the live segment path ("" in stream mode).
+func (w *Writer) Path() string { return w.path }
+
+// Write appends one record.
+func (w *Writer) Write(r *session.Record) error {
+	line, err := json.Marshal(r)
+	if err != nil {
+		w.errs.Add(1)
+		return fmt.Errorf("sessionlog: marshal: %w", err)
+	}
+	line = append(line, '\n')
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		w.errs.Add(1)
+		return fmt.Errorf("sessionlog: writer closed")
+	}
+	if w.f != nil && w.opts.MaxSize > 0 && w.size > 0 && w.size+int64(len(line)) > w.opts.MaxSize {
+		if err := w.rotateLocked(); err != nil {
+			w.errs.Add(1)
+			return fmt.Errorf("sessionlog: rotate: %w", err)
+		}
+	}
+	if _, err := w.bw.Write(line); err != nil {
+		w.errs.Add(1)
+		return fmt.Errorf("sessionlog: write: %w", err)
+	}
+	w.size += int64(len(line))
+	w.dirty = true
+	w.written.Add(1)
+	return nil
+}
+
+// rotateLocked seals the current segment as path.<n> and starts a
+// fresh one. Caller holds w.mu.
+func (w *Writer) rotateLocked() error {
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	rotated := fmt.Sprintf("%s.%d", w.path, w.rotIdx)
+	if err := os.Rename(w.path, rotated); err != nil {
+		// Reopen the old segment so writes keep flowing even if the
+		// rename failed (e.g. permissions): durability beats rotation.
+		f, oerr := os.OpenFile(w.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if oerr == nil {
+			w.f = f
+			w.bw.Reset(f)
+		}
+		return err
+	}
+	w.rotIdx++
+	w.rotations.Add(1)
+	f, err := os.OpenFile(w.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	w.f = f
+	w.bw.Reset(f)
+	w.size = 0
+	return nil
+}
+
+// Flush pushes buffered data to the OS and, for file-backed writers,
+// fsyncs it to stable storage.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.flushLocked()
+}
+
+func (w *Writer) flushLocked() error {
+	if err := w.bw.Flush(); err != nil {
+		w.errs.Add(1)
+		return err
+	}
+	if w.f != nil {
+		if err := w.f.Sync(); err != nil {
+			w.errs.Add(1)
+			return err
+		}
+	}
+	w.dirty = false
+	return nil
+}
+
+// Close flushes, syncs, and closes the writer. Further Writes fail.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
+	}
+	w.closed = true
+	err := w.flushLocked()
+	if w.f != nil {
+		if cerr := w.f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	stop := w.stop
+	w.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-w.done
+	}
+	return err
+}
+
+// syncLoop periodically flushes+fsyncs dirty data so an idle-period
+// crash loses at most SyncEvery worth of sessions.
+func (w *Writer) syncLoop(every time.Duration) {
+	defer close(w.done)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-t.C:
+			w.mu.Lock()
+			if !w.closed && w.dirty {
+				_ = w.flushLocked()
+			}
+			w.mu.Unlock()
+		}
+	}
+}
+
+// RecoverTail truncates path so it ends on a complete, valid JSON line
+// — undoing a torn write from a crash mid-append. It returns the
+// number of bytes dropped. A missing file is not an error.
+func RecoverTail(path string) (dropped int64, err error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return 0, nil
+	}
+	// Scan forward, tracking the offset just past the last line that
+	// both terminates with '\n' and parses as JSON.
+	br := bufio.NewReaderSize(f, 1<<20)
+	var good, off int64
+	for {
+		line, rerr := br.ReadBytes('\n')
+		off += int64(len(line))
+		if rerr == nil && json.Valid(bytes.TrimSuffix(line, []byte("\n"))) {
+			good = off
+		}
+		if rerr != nil {
+			break
+		}
+	}
+	if good == size {
+		return 0, nil
+	}
+	if err := f.Truncate(good); err != nil {
+		return 0, err
+	}
+	return size - good, nil
+}
+
+// nextRotIndex returns one past the highest existing rotation suffix
+// of path, so restarts never overwrite a sealed segment.
+func nextRotIndex(path string) int {
+	matches, err := filepath.Glob(path + ".*")
+	if err != nil {
+		return 1
+	}
+	next := 1
+	for _, m := range matches {
+		s := strings.TrimPrefix(m, path+".")
+		if n, err := strconv.Atoi(s); err == nil && n >= next {
+			next = n + 1
+		}
+	}
+	return next
+}
+
+// Segments returns the sealed rotation segments of path, oldest first,
+// followed by the live segment — the read order that reconstructs the
+// full stream.
+func Segments(path string) []string {
+	matches, _ := filepath.Glob(path + ".*")
+	type seg struct {
+		n    int
+		name string
+	}
+	var segs []seg
+	for _, m := range matches {
+		if n, err := strconv.Atoi(strings.TrimPrefix(m, path+".")); err == nil {
+			segs = append(segs, seg{n, m})
+		}
+	}
+	out := make([]string, 0, len(segs)+1)
+	for len(segs) > 0 {
+		min := 0
+		for i := range segs {
+			if segs[i].n < segs[min].n {
+				min = i
+			}
+		}
+		out = append(out, segs[min].name)
+		segs = append(segs[:min], segs[min+1:]...)
+	}
+	if _, err := os.Stat(path); err == nil {
+		out = append(out, path)
+	}
+	return out
+}

@@ -1,0 +1,273 @@
+package sessionlog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"honeynet/internal/session"
+)
+
+func rec(id uint64) *session.Record {
+	return &session.Record{
+		ID:       id,
+		Start:    time.Unix(1_700_000_000, 0).UTC(),
+		ClientIP: fmt.Sprintf("10.0.0.%d", id%250),
+		Protocol: session.ProtoSSH,
+		Commands: []session.Command{{Raw: "uname -a", Known: true}},
+	}
+}
+
+func readAll(t *testing.T, path string) []*session.Record {
+	t.Helper()
+	var out []*session.Record
+	for _, seg := range Segments(path) {
+		f, err := os.Open(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, err := session.ReadAll(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", seg, err)
+		}
+		out = append(out, recs...)
+	}
+	return out
+}
+
+func TestWriteFlushRead(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sessions.jsonl")
+	w, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		if err := w.Write(rec(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs := readAll(t, path)
+	if len(recs) != 10 {
+		t.Fatalf("read %d records, want 10", len(recs))
+	}
+	if w.Written() != 10 || w.Errors() != 0 {
+		t.Errorf("Written=%d Errors=%d", w.Written(), w.Errors())
+	}
+}
+
+func TestTornTailRecovered(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sessions.jsonl")
+	w, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		if err := w.Write(rec(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: a torn, newline-less JSON prefix.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"id":6,"start":"2023-11-1`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Reopen: the torn tail must be truncated and every complete record
+	// must survive.
+	w2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Write(rec(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs := readAll(t, path)
+	if len(recs) != 6 {
+		t.Fatalf("read %d records, want 6 (5 old + 1 new)", len(recs))
+	}
+	if recs[4].ID != 5 || recs[5].ID != 7 {
+		t.Errorf("tail records = %d, %d; want 5, 7", recs[4].ID, recs[5].ID)
+	}
+}
+
+func TestTornTailInvalidJSONLineDropped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sessions.jsonl")
+	// A complete-looking line that is not valid JSON (e.g. a partially
+	// flushed buffer that happened to end in "\n") must also be dropped.
+	if err := os.WriteFile(path, []byte(`{"id":1,"start":"2023-11-14T00:00:00Z","client_ip":"a","proto":"ssh"}`+"\n"+`{"id":2,"tr`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dropped, err := RecoverTail(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped == 0 {
+		t.Fatal("expected bytes dropped")
+	}
+	recs := readAll(t, path)
+	if len(recs) != 1 || recs[0].ID != 1 {
+		t.Fatalf("recs = %+v", recs)
+	}
+}
+
+func TestRecoverTailMissingAndEmpty(t *testing.T) {
+	dir := t.TempDir()
+	if n, err := RecoverTail(filepath.Join(dir, "absent.jsonl")); err != nil || n != 0 {
+		t.Fatalf("missing file: %d, %v", n, err)
+	}
+	empty := filepath.Join(dir, "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := RecoverTail(empty); err != nil || n != 0 {
+		t.Fatalf("empty file: %d, %v", n, err)
+	}
+}
+
+func TestRotationUnderConcurrentWrites(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sessions.jsonl")
+	// Tiny segments force many rotations while 8 writers hammer the log.
+	w, err := Open(path, Options{MaxSize: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, per = 8, 100
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := w.Write(rec(uint64(g*per + i + 1))); err != nil {
+					t.Errorf("write: %v", err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Rotations() == 0 {
+		t.Fatal("expected at least one rotation")
+	}
+	recs := readAll(t, path)
+	if len(recs) != writers*per {
+		t.Fatalf("read %d records across segments, want %d", len(recs), writers*per)
+	}
+	seen := map[uint64]bool{}
+	for _, r := range recs {
+		if seen[r.ID] {
+			t.Fatalf("duplicate record %d", r.ID)
+		}
+		seen[r.ID] = true
+	}
+}
+
+func TestRotationIndexSurvivesReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	for round := 0; round < 3; round++ {
+		w, err := Open(path, Options{MaxSize: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			if err := w.Write(rec(uint64(round*10 + i + 1))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs := readAll(t, path)
+	if len(recs) != 30 {
+		t.Fatalf("read %d records, want 30 — a restart overwrote a sealed segment", len(recs))
+	}
+}
+
+// failWriter fails every write after the first n bytes.
+type failWriter struct {
+	n int
+}
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, fmt.Errorf("disk full")
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+func TestStreamWriteErrorsCounted(t *testing.T) {
+	w := NewStream(&failWriter{n: 0})
+	for i := 0; i < 3; i++ {
+		_ = w.Write(rec(uint64(i + 1)))
+	}
+	// Buffered: errors surface at flush time at the latest.
+	_ = w.Flush()
+	if w.Errors() == 0 {
+		t.Fatal("write errors must be counted, not swallowed")
+	}
+}
+
+func TestWriteAfterCloseFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	w, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(rec(1)); err == nil {
+		t.Fatal("write after close must fail")
+	}
+	if w.Errors() != 1 {
+		t.Errorf("Errors = %d, want 1", w.Errors())
+	}
+	if err := w.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestPeriodicSyncFlushesIdleData(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.jsonl")
+	w, err := Open(path, Options{SyncEvery: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Write(rec(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Without any Flush call the background sync must land the record.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		st, err := os.Stat(path)
+		if err == nil && st.Size() > 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("record never reached disk via periodic sync")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

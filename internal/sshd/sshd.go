@@ -69,6 +69,11 @@ type Config struct {
 	ConnTimeout time.Duration
 	// HandshakeTimeout bounds the transport handshake.
 	HandshakeTimeout time.Duration
+	// Gate, if set, is consulted by Serve for each accepted connection
+	// (e.g. a guard.Limiter). ok=false sheds the connection: Serve
+	// closes it without handshaking. On ok, release (which may be nil)
+	// is called when the connection ends.
+	Gate func(nc net.Conn) (release func(), ok bool)
 }
 
 func (c *Config) maxTries() int {
@@ -105,7 +110,18 @@ func (s *Server) Serve(ln net.Listener) error {
 		if err != nil {
 			return err
 		}
+		var release func()
+		if s.cfg.Gate != nil {
+			var ok bool
+			if release, ok = s.cfg.Gate(c); !ok {
+				_ = c.Close()
+				continue
+			}
+		}
 		go func() {
+			if release != nil {
+				defer release()
+			}
 			_ = s.HandleConn(c)
 		}()
 	}

@@ -7,6 +7,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -529,5 +530,46 @@ func TestWrongServiceDisconnects(t *testing.T) {
 	var d *sshwire.DisconnectMsg
 	if !errors.As(err, &d) {
 		t.Errorf("want disconnect for bad service, got %v", err)
+	}
+}
+
+// TestServeGateSheds: a Gate wired into Serve (e.g. a guard.Limiter)
+// sheds connections before the SSH banner, and release fires when an
+// admitted connection ends.
+func TestServeGateSheds(t *testing.T) {
+	released := make(chan struct{}, 8)
+	var admit atomic.Bool
+	admit.Store(true)
+	addr, _ := startServer(t, func(cfg *Config) {
+		cfg.Gate = func(nc net.Conn) (func(), bool) {
+			if !admit.Load() {
+				return nil, false
+			}
+			return func() { released <- struct{}{} }, true
+		}
+	})
+	cli, err := sshclient.Dial(addr, sshclient.Config{User: "root", Password: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.Close()
+	select {
+	case <-released:
+	case <-time.After(5 * time.Second):
+		t.Fatal("gate release never called")
+	}
+
+	admit.Store(false)
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	nc.SetDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 16)
+	for {
+		if _, err := nc.Read(buf); err != nil {
+			return // shed: closed with no banner
+		}
 	}
 }

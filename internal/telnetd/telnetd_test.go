@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -278,4 +279,71 @@ func TestCarriageReturnNulLineEnding(t *testing.T) {
 	c.readUntil(t, "Password: ")
 	c.nc.Write([]byte("pw\r\n"))
 	c.readUntil(t, "# ")
+}
+
+// TestConnTimeoutEnforced mirrors sshd's test of the same name: an idle
+// Telnet connection must be dropped at the ConnTimeout deadline, not
+// held open forever (the honeynet's 3-minute session cap).
+func TestConnTimeoutEnforced(t *testing.T) {
+	addr := startTelnet(t, func(cfg *Config) {
+		cfg.ConnTimeout = 300 * time.Millisecond
+	})
+	c := dialTelnet(t, addr)
+	c.readUntil(t, "login: ")
+	c.send(t, "root")
+	c.readUntil(t, "Password: ")
+	c.send(t, "12345")
+	c.readUntil(t, "# ")
+	// Idle past the connection deadline: the server must drop us.
+	start := time.Now()
+	buf := make([]byte, 64)
+	for {
+		if _, err := c.nc.Read(buf); err != nil {
+			break
+		}
+		if time.Since(start) > 3*time.Second {
+			t.Fatal("expected connection teardown")
+		}
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Errorf("teardown took %v", time.Since(start))
+	}
+}
+
+// TestServeGateSheds: a Gate wired into Serve (e.g. a guard.Limiter)
+// can shed connections before any Telnet bytes flow.
+func TestServeGateSheds(t *testing.T) {
+	released := make(chan struct{}, 8)
+	var admit atomic.Bool
+	admit.Store(true)
+	addr := startTelnet(t, func(cfg *Config) {
+		cfg.Gate = func(nc net.Conn) (func(), bool) {
+			if !admit.Load() {
+				return nil, false
+			}
+			return func() { released <- struct{}{} }, true
+		}
+	})
+	c := dialTelnet(t, addr)
+	c.readUntil(t, "login: ") // admitted
+	c.nc.Close()
+	select {
+	case <-released:
+	case <-time.After(5 * time.Second):
+		t.Fatal("gate release never called")
+	}
+
+	admit.Store(false)
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	nc.SetDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 16)
+	for {
+		if _, err := nc.Read(buf); err != nil {
+			return // shed: closed without serving
+		}
+	}
 }
