@@ -23,6 +23,7 @@ import (
 	"honeynet/internal/asdb"
 	"honeynet/internal/botnet"
 	"honeynet/internal/core"
+	"honeynet/internal/obs"
 	"honeynet/internal/report"
 	"honeynet/internal/session"
 	"honeynet/internal/simulate"
@@ -39,8 +40,16 @@ func main() {
 		in      = flag.String("in", "", "analyze an existing hnsim JSONL dataset instead of simulating (pass the -seed hnsim used so AS attribution matches)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text (single-figure mode)")
 		workers = flag.Int("workers", runtime.NumCPU(), "worker goroutines for simulation and analysis (output is identical for any value; 1 = serial)")
+		timings = flag.Bool("timings", false, "print a per-phase timing breakdown to stderr after the run (tables on stdout are unaffected)")
 	)
 	flag.Parse()
+
+	// The tracer only observes the clock; tables on stdout stay
+	// byte-identical with or without -timings.
+	var tracer *obs.Tracer
+	if *timings {
+		tracer = obs.NewTracer()
+	}
 
 	start := time.Now()
 	var p *core.Pipeline
@@ -49,9 +58,14 @@ func main() {
 		p, err = loadDataset(*in, *seed)
 		if p != nil {
 			p.World.Workers = *workers
+			p.World.Tracer = tracer
+			if len(p.MissingJoins) > 0 {
+				fmt.Fprintf(os.Stderr, "hnanalyze: warning: dataset loaded without %v — figures 7, 8, 9, 17, and mdrfckr join on feeds only a simulation populates and will be empty (pass the -seed hnsim used for AS parity)\n",
+					p.MissingJoins)
+			}
 		}
 	} else {
-		cfg := simulate.Config{Scale: *scale, Seed: *seed, Workers: *workers}
+		cfg := simulate.Config{Scale: *scale, Seed: *seed, Workers: *workers, Tracer: tracer}
 		if *months > 0 {
 			cfg.End = botnet.WindowStart.AddDate(0, *months, 0)
 		}
@@ -64,14 +78,19 @@ func main() {
 		time.Since(start).Round(time.Millisecond), p.World.Store.Len())
 
 	ccfg := analysis.ClusterConfig{K: *k, SampleSize: *sample, Seed: *seed, Workers: *workers}
+	sp := tracer.Span("analyze")
 	if *fig == "all" {
-		if err := p.RunAll(os.Stdout, ccfg); err != nil {
-			log.Fatalf("hnanalyze: %v", err)
-		}
-		return
+		err = p.RunAll(os.Stdout, ccfg)
+	} else {
+		err = runOne(p, *fig, ccfg, *csv)
 	}
-	if err := runOne(p, *fig, ccfg, *csv); err != nil {
+	sp.End()
+	if err != nil {
 		log.Fatalf("hnanalyze: %v", err)
+	}
+	if tracer != nil {
+		fmt.Fprintln(os.Stderr)
+		tracer.WriteTable(os.Stderr)
 	}
 }
 

@@ -7,7 +7,7 @@
 //	honeypotd [-ssh :2222] [-telnet :2323] [-id hp-1] [-hostname svr04] [-timeout 3m]
 //	          [-out sessions.jsonl] [-log-max-size 256MB]
 //	          [-max-conns 512] [-max-conns-per-ip 8] [-rate 5/s]
-//	          [-drain-timeout 30s]
+//	          [-drain-timeout 30s] [-admin :9090]
 //
 // Connect with any SSH client as root (any password except "root"):
 //
@@ -19,7 +19,8 @@
 // emulated fetcher has a per-IP download budget so the node cannot be
 // farmed as an open proxy, the session log is crash-safe (fsynced,
 // rotated, torn-tail recovered), and SIGTERM drains in-flight sessions
-// before exiting.
+// before exiting. With -admin, the node serves Prometheus /metrics,
+// /healthz (503 while draining), and /debug/pprof.
 package main
 
 import (
@@ -28,119 +29,52 @@ import (
 	"log"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 	"syscall"
-	"time"
 
-	"honeynet/internal/guard"
-	"honeynet/internal/honeypot"
+	"honeynet"
 	"honeynet/internal/session"
-	"honeynet/internal/sessionlog"
-	"honeynet/internal/simulate"
 )
 
 func main() {
-	var (
-		sshAddr    = flag.String("ssh", ":2222", "SSH listen address")
-		telnetAddr = flag.String("telnet", ":2323", "Telnet listen address (empty to disable)")
-		id         = flag.String("id", "hp-1", "honeypot node id")
-		hostname   = flag.String("hostname", "svr04", "fake hostname the shell presents")
-		timeout    = flag.Duration("timeout", honeypot.DefaultTimeout, "hard session timeout")
-		out        = flag.String("out", "", "session JSONL output file (default stdout)")
-		persistent = flag.Bool("persistent", false, "retain each client's filesystem across connections (defeats attacker consistency checks)")
-
-		maxConns      = flag.Int("max-conns", 512, "global concurrent connection cap; oldest connection is shed at the cap (0 = unlimited)")
-		maxConnsPerIP = flag.Int("max-conns-per-ip", 8, "per-IP concurrent connection cap; newcomers beyond it are shed (0 = unlimited)")
-		rateSpec      = flag.String("rate", "5/s", "per-IP connection admission rate, e.g. 5/s, 300/m (empty = unlimited)")
-		logMaxSize    = flag.String("log-max-size", "256MB", "rotate the session log past this size, e.g. 64MB, 1GB (0 = never)")
-		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "on SIGTERM, wait this long for in-flight sessions before force-closing")
-
-		dlFetches = flag.Int("download-budget", 120, "per-IP emulated fetches allowed per minute (0 = unlimited)")
-	)
+	var cfg Config
+	cfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
-
-	rate, err := guard.ParseRate(*rateSpec)
-	if err != nil {
-		log.Fatalf("honeypotd: -rate: %v", err)
-	}
-	maxSize, err := parseSize(*logMaxSize)
-	if err != nil {
-		log.Fatalf("honeypotd: -log-max-size: %v", err)
+	if err := cfg.Validate(); err != nil {
+		log.Fatalf("honeypotd: %v", err)
 	}
 
-	// Session store: crash-safe rotated JSONL when -out is a file,
-	// buffered stdout otherwise.
-	var w *sessionlog.Writer
-	if *out != "" {
-		w, err = sessionlog.Open(*out, sessionlog.Options{MaxSize: maxSize})
-		if err != nil {
-			log.Fatalf("honeypotd: %v", err)
-		}
-	} else {
-		w = sessionlog.NewStream(os.Stdout)
+	scfg := cfg.ServeConfig()
+	if cfg.Out == "" {
+		scfg.LogOutput = os.Stdout
 	}
-	defer w.Close()
-
-	limiter := guard.NewLimiter(guard.Config{
-		MaxConns:      *maxConns,
-		MaxConnsPerIP: *maxConnsPerIP,
-		Rate:          rate,
-	})
-	var budget *guard.Budget
-	if *dlFetches > 0 {
-		budget = &guard.Budget{MaxFetches: *dlFetches, Window: time.Minute}
+	scfg.OnRecord = func(r *session.Record) {
+		log.Printf("session %d from %s: %s, %d commands", r.ID, r.ClientIP, r.Kind(), len(r.Commands))
 	}
-
-	node, err := honeypot.New(honeypot.Config{
-		ID:             *id,
-		Hostname:       *hostname,
-		Timeout:        *timeout,
-		Persistent:     *persistent,
-		Download:       simulate.Fetcher(),
-		Guard:          limiter,
-		DownloadBudget: budget,
-		Sink: func(r *session.Record) error {
-			err := w.Write(r)
-			if err != nil {
-				// Never silent: a full disk at month 14 of a 33-month run
-				// must show up in the logs and the metrics line.
-				log.Printf("honeypotd: session %d WRITE FAILED: %v", r.ID, err)
-				return err
-			}
-			log.Printf("session %d from %s: %s, %d commands", r.ID, r.ClientIP, r.Kind(), len(r.Commands))
-			return nil
-		},
-	})
+	srv, err := honeynet.Serve(scfg)
 	if err != nil {
 		log.Fatalf("honeypotd: %v", err)
 	}
-	addr, err := node.ListenSSH(*sshAddr)
-	if err != nil {
-		log.Fatalf("honeypotd: ssh: %v", err)
+	srv.Registry().PublishExpvar("honeynet")
+
+	fmt.Printf("honeypotd: SSH on %s\n", srv.SSHAddr())
+	if a := srv.TelnetAddr(); a != "" {
+		fmt.Printf("honeypotd: Telnet on %s\n", a)
 	}
-	fmt.Printf("honeypotd: SSH on %s\n", addr)
-	if *telnetAddr != "" {
-		taddr, err := node.ListenTelnet(*telnetAddr)
-		if err != nil {
-			log.Fatalf("honeypotd: telnet: %v", err)
-		}
-		fmt.Printf("honeypotd: Telnet on %s\n", taddr)
+	if a := srv.AdminAddr(); a != "" {
+		fmt.Printf("honeypotd: admin on http://%s/metrics\n", a)
 	}
 
 	// Serve until SIGINT/SIGTERM, then drain: stop accepting, let
 	// in-flight sessions finish up to -drain-timeout, force-close the
-	// rest (their partial records are still sealed and written), flush
-	// the session log, and print the node's counters.
+	// rest (their partial records are still sealed and written), seal
+	// the session log with a metrics snapshot, and print the counters.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Fprintf(os.Stderr, "honeypotd: draining (up to %v)...\n", *drainTimeout)
-	forced := node.Drain(*drainTimeout)
-	if err := w.Flush(); err != nil {
-		log.Printf("honeypotd: final flush: %v", err)
-	}
-	m := node.Metrics()
+	fmt.Fprintf(os.Stderr, "honeypotd: draining (up to %v)...\n", cfg.DrainTimeout)
+	w := srv.Log()
+	forced, derr := srv.Drain("shutdown")
+	m := srv.Metrics()
 	fmt.Fprintf(os.Stderr, "honeypotd: shutting down: %d ssh + %d telnet connections (%d shed, %d rate-limited, %d force-closed), %d logins ok / %d failed, %d commands, %d downloads (%d throttled), %d state changes, %d records written (%d rotations, %d write errors)\n",
 		m.SSHConnections, m.TelnetConnections, m.ConnsShed, m.RateLimited, forced,
 		m.AuthSuccesses, m.AuthFailures, m.Commands, m.Downloads, m.DownloadsThrottled,
@@ -148,33 +82,7 @@ func main() {
 	if m.SinkErrors > 0 {
 		fmt.Fprintf(os.Stderr, "honeypotd: WARNING: %d session records were lost to write errors\n", m.SinkErrors)
 	}
-}
-
-// parseSize parses human byte sizes: "256MB", "64m", "1GiB", "1048576".
-func parseSize(s string) (int64, error) {
-	t := strings.TrimSpace(strings.ToUpper(s))
-	if t == "" || t == "0" {
-		return 0, nil
+	if derr != nil {
+		fmt.Fprintf(os.Stderr, "honeypotd: drain: %v\n", derr)
 	}
-	mult := int64(1)
-	for _, u := range []struct {
-		suffix string
-		mult   int64
-	}{
-		{"KIB", 1 << 10}, {"MIB", 1 << 20}, {"GIB", 1 << 30},
-		{"KB", 1 << 10}, {"MB", 1 << 20}, {"GB", 1 << 30},
-		{"K", 1 << 10}, {"M", 1 << 20}, {"G", 1 << 30},
-		{"B", 1},
-	} {
-		if strings.HasSuffix(t, u.suffix) {
-			t = strings.TrimSuffix(t, u.suffix)
-			mult = u.mult
-			break
-		}
-	}
-	v, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
-	if err != nil || v < 0 {
-		return 0, fmt.Errorf("bad size %q", s)
-	}
-	return v * mult, nil
 }

@@ -16,12 +16,17 @@
 //   - classify, textdist, cluster: Table 1 signatures, token DLD, K-medoids
 //   - asdb, abusedb: the AS registry and abuse-feed substrates
 //   - analysis, report: per-figure analyzers and table rendering
+//   - obs: the metrics registry, exposition, and phase tracer
+//   - guard, sessionlog: long-run connection guardrails and the
+//     crash-safe session log
 //
 // Quick start:
 //
-//	p, err := honeynet.Simulate(honeynet.SimOptions{Scale: 2000, Seed: 42})
+//	p, err := honeynet.Simulate(honeynet.WithScale(2000), honeynet.WithSeed(42))
 //	if err != nil { ... }
 //	err = p.RunAll(os.Stdout, analysis.ClusterConfig{K: 90})
+//
+// To run a live honeypot node, see [Serve].
 package honeynet
 
 import (
@@ -29,6 +34,7 @@ import (
 
 	"honeynet/internal/analysis"
 	"honeynet/internal/core"
+	"honeynet/internal/obs"
 	"honeynet/internal/session"
 	"honeynet/internal/simulate"
 )
@@ -36,7 +42,76 @@ import (
 // Pipeline is a dataset plus every analyzer input; see internal/core.
 type Pipeline = core.Pipeline
 
+// Record is one honeypot session as stored in the honeynet database.
+type Record = session.Record
+
+// ClusterConfig re-exports the section 6 clustering parameters.
+type ClusterConfig = analysis.ClusterConfig
+
+// Tracer aggregates named phase timings; pass one via WithObserver to
+// time a run the way hnanalyze -timings does.
+type Tracer = obs.Tracer
+
+// NewTracer returns an empty phase tracer.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// Registry is a metrics registry with Prometheus text exposition; see
+// internal/obs. ServeConfig accepts one so several components can share
+// a scrape endpoint.
+type Registry = obs.Registry
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// config collects what the functional options tune.
+type config struct {
+	scale   float64
+	seed    int64
+	workers int
+	tracer  *obs.Tracer
+}
+
+// Option tunes Simulate and Load. Options are applied in order; the
+// zero-config defaults match the paper-scale run divided by 1000.
+type Option interface {
+	apply(*config)
+}
+
+type optionFunc func(*config)
+
+func (f optionFunc) apply(c *config) { f(c) }
+
+// WithScale divides paper-scale session volumes (default 1000: the
+// 546M-session window becomes ~546k sessions).
+func WithScale(scale float64) Option {
+	return optionFunc(func(c *config) { c.scale = scale })
+}
+
+// WithSeed fixes the run: the same seed produces a byte-identical
+// dataset for any worker count.
+func WithSeed(seed int64) Option {
+	return optionFunc(func(c *config) { c.seed = seed })
+}
+
+// WithWorkers caps the goroutines used for simulation and analysis
+// (<= 0 means runtime.NumCPU(), 1 is fully serial). Results are
+// identical for every value.
+func WithWorkers(n int) Option {
+	return optionFunc(func(c *config) { c.workers = n })
+}
+
+// WithObserver attaches a phase tracer: simulation and analysis record
+// per-phase wall time on it. The tracer only observes the clock —
+// results are identical with or without one.
+func WithObserver(t *Tracer) Option {
+	return optionFunc(func(c *config) { c.tracer = t })
+}
+
 // SimOptions selects the scale and seed of a dataset generation run.
+//
+// Deprecated: use the functional options (WithScale, WithSeed, ...)
+// instead. SimOptions implements Option, so existing
+// Simulate(SimOptions{...}) calls keep working.
 type SimOptions struct {
 	// Scale divides paper-scale session volumes (default 1000).
 	Scale float64
@@ -44,21 +119,43 @@ type SimOptions struct {
 	Seed int64
 }
 
+func (o SimOptions) apply(c *config) {
+	c.scale = o.Scale
+	c.seed = o.Seed
+}
+
 // Simulate generates the synthetic 33-month dataset and returns the
 // analysis pipeline over it.
-func Simulate(opts SimOptions) (*Pipeline, error) {
-	return core.Simulate(simulate.Config{Scale: opts.Scale, Seed: opts.Seed})
+func Simulate(opts ...Option) (*Pipeline, error) {
+	var c config
+	for _, o := range opts {
+		o.apply(&c)
+	}
+	return core.Simulate(simulate.Config{
+		Scale:   c.scale,
+		Seed:    c.seed,
+		Workers: c.workers,
+		Tracer:  c.tracer,
+	})
 }
 
 // Load builds a pipeline over records previously written as JSONL (for
-// example by cmd/hnsim or a live cmd/honeypotd).
-func Load(r io.Reader) (*Pipeline, error) {
+// example by cmd/hnsim or a live cmd/honeypotd). Only WithWorkers and
+// WithObserver apply to a loaded dataset. Figures that join on the
+// simulation-populated feeds render empty for loaded datasets; the
+// returned Pipeline's MissingJoins field names the substituted
+// databases.
+func Load(r io.Reader, opts ...Option) (*Pipeline, error) {
+	var c config
+	for _, o := range opts {
+		o.apply(&c)
+	}
 	recs, err := session.ReadAll(r)
 	if err != nil {
 		return nil, err
 	}
-	return core.FromRecords(recs, nil), nil
+	p := core.FromRecords(recs, nil)
+	p.World.Workers = c.workers
+	p.World.Tracer = c.tracer
+	return p, nil
 }
-
-// ClusterConfig re-exports the section 6 clustering parameters.
-type ClusterConfig = analysis.ClusterConfig

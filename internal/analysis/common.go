@@ -12,6 +12,7 @@ import (
 	"honeynet/internal/asdb"
 	"honeynet/internal/classify"
 	"honeynet/internal/collector"
+	"honeynet/internal/obs"
 	"honeynet/internal/parallel"
 	"honeynet/internal/session"
 )
@@ -26,10 +27,17 @@ type World struct {
 	// (<= 0 means runtime.NumCPU(), 1 is fully serial). Every analyzer
 	// produces identical output for every value.
 	Workers int
+	// Tracer, if set, records per-phase wall time (hnanalyze -timings).
+	// Spans only observe the clock: results are identical with or
+	// without one.
+	Tracer *obs.Tracer
 }
 
 // workers resolves the configured worker count.
 func (w *World) workers() int { return parallel.Workers(w.Workers) }
+
+// span starts a named phase span on the world's tracer (nil-safe).
+func (w *World) span(name string) *obs.Span { return w.Tracer.Span(name) }
 
 // IsSSH reports whether a record belongs to the SSH subset the paper's
 // analyses use (section 3.3 keeps 546M of 635M sessions).
@@ -113,12 +121,12 @@ func (m *MonthlyCategoryShares) Share(month time.Time, cat string) float64 {
 // classification fans out over `workers` goroutines via the classifier's
 // batch API; the monthly tally stays serial (counts are order-invariant
 // anyway).
-func categorize(cls *classify.Classifier, recs []*session.Record, workers int) *MonthlyCategoryShares {
+func categorize(w *World, recs []*session.Record) *MonthlyCategoryShares {
 	texts := make([]string, len(recs))
 	for i, r := range recs {
 		texts[i] = r.CommandText()
 	}
-	cats := cls.ClassifyAll(texts, workers)
+	cats := w.classifyAll(texts)
 	out := &MonthlyCategoryShares{
 		Counts: map[time.Time]map[string]int{},
 		Totals: map[time.Time]int{},
@@ -135,6 +143,12 @@ func categorize(cls *classify.Classifier, recs []*session.Record, workers int) *
 	}
 	out.Months = collector.SortedMonths(out.Counts)
 	return out
+}
+
+// classifyAll runs the batch classifier under a "classify.batch" span.
+func (w *World) classifyAll(texts []string) []string {
+	defer w.span("classify.batch").End()
+	return w.Classifier.ClassifyAll(texts, w.workers())
 }
 
 // quantile returns the q-quantile (0..1) of sorted values.

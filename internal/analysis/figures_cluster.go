@@ -140,12 +140,18 @@ func RunClustering(w *World, cfg ClusterConfig) (*ClusterResult, error) {
 	}
 	res.K = k
 
+	sp := w.span("cluster.tokenize")
 	tokens := make([][]string, len(res.Texts))
 	for i, t := range res.Texts {
 		tokens[i] = textdist.Tokenize(t)
 	}
+	sp.End()
+	sp = w.span("cluster.dld-matrix")
 	res.Matrix = fillDLDMatrix(tokens, cfg.Workers)
+	sp.End()
+	sp = w.span("cluster.kmedoids")
 	cres, err := cluster.KMedoids(res.Matrix, k, cluster.Config{Seed: cfg.Seed, Workers: cfg.Workers})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -172,6 +178,7 @@ func RunClustering(w *World, cfg ClusterConfig) (*ClusterResult, error) {
 	})
 
 	// Label clusters by joining member hashes against the abuse DB.
+	defer w.span("cluster.labels").End()
 	res.Labels = map[int][]string{}
 	for c := 0; c < k; c++ {
 		seen := map[string]bool{}
@@ -353,7 +360,7 @@ func Fig14(w *World, perCategory int) *Fig14Result {
 	for i, r := range recs {
 		texts[i] = r.CommandText()
 	}
-	catOf := w.Classifier.ClassifyAll(texts, w.workers())
+	catOf := w.classifyAll(texts)
 	// Exemplar selection walks records in store order, so it is
 	// independent of how the batch classification was sharded.
 	byCat := map[string][]string{}
@@ -393,6 +400,7 @@ func Fig14(w *World, perCategory int) *Fig14Result {
 	for i := range scratch {
 		scratch[i] = textdist.NewScratch()
 	}
+	defer w.span("fig14.dld-matrix").End()
 	m := cluster.FillParallel(len(cats), workers, func(wk, i, j int) float64 {
 		s := scratch[wk]
 		sum, n := 0.0, 0

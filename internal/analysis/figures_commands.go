@@ -176,7 +176,7 @@ func Fig2(w *World) *MonthlyCategoryShares {
 	recs := w.Store.Filter(func(r *session.Record) bool {
 		return IsSSH(r) && r.Kind() == session.CommandExec && !r.StateChanged && !HasExec(r)
 	})
-	return categorize(w.Classifier, recs, w.workers())
+	return categorize(w, recs)
 }
 
 // Fig3a classifies sessions that add/modify/delete files WITHOUT
@@ -185,7 +185,7 @@ func Fig3a(w *World) *MonthlyCategoryShares {
 	recs := w.Store.Filter(func(r *session.Record) bool {
 		return IsSSH(r) && r.Kind() == session.CommandExec && r.StateChanged && !HasExec(r)
 	})
-	return categorize(w.Classifier, recs, w.workers())
+	return categorize(w, recs)
 }
 
 // Fig3b classifies sessions that attempt to execute files.
@@ -193,7 +193,7 @@ func Fig3b(w *World) *MonthlyCategoryShares {
 	recs := w.Store.Filter(func(r *session.Record) bool {
 		return IsSSH(r) && r.Kind() == session.CommandExec && HasExec(r)
 	})
-	return categorize(w.Classifier, recs, w.workers())
+	return categorize(w, recs)
 }
 
 // SharesTable renders a monthly category-share analysis with the top-n
@@ -240,8 +240,8 @@ func Fig4(w *World) *Fig4Result {
 		}
 	}
 	return &Fig4Result{
-		Exists:  categorize(w.Classifier, exists, w.workers()),
-		Missing: categorize(w.Classifier, missing, w.workers()),
+		Exists:  categorize(w, exists),
+		Missing: categorize(w, missing),
 	}
 }
 
@@ -335,7 +335,7 @@ func Table1(w *World) *Table1Result {
 	for i, r := range recs {
 		texts[i] = r.CommandText()
 	}
-	for _, cat := range w.Classifier.ClassifyAll(texts, w.workers()) {
+	for _, cat := range w.classifyAll(texts) {
 		res.Total++
 		res.PerCat[cat]++
 		if cat == "unknown" {

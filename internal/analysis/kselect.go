@@ -52,7 +52,9 @@ func SelectK(w *World, ks []int, sampleSize int, seed int64) (*KSelection, error
 	for i, t := range texts {
 		tokens[i] = textdist.Tokenize(t)
 	}
+	sp := w.span("kselect.dld-matrix")
 	m := fillDLDMatrix(tokens, w.Workers)
+	sp.End()
 
 	var valid []int
 	for _, k := range ks {
@@ -64,7 +66,9 @@ func SelectK(w *World, ks []int, sampleSize int, seed int64) (*KSelection, error
 	if len(valid) == 0 {
 		return nil, fmt.Errorf("analysis: no valid k in %v for %d texts", ks, len(texts))
 	}
+	sp = w.span("kselect.sweep")
 	points, err := cluster.SweepK(m, valid, cluster.Config{Seed: seed, Workers: w.Workers})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"honeynet/internal/obs"
 	"honeynet/internal/parallel"
 	"honeynet/internal/session"
 )
@@ -36,6 +37,15 @@ func (s *Store) Add(r *session.Record) {
 func (s *Store) Sink(r *session.Record) error {
 	s.Add(r)
 	return nil
+}
+
+// Register exposes the store's size on reg:
+//
+//	honeynet_collector_records
+func (s *Store) Register(reg *obs.Registry) {
+	reg.GaugeFunc("honeynet_collector_records",
+		"Session records held by the in-memory collector store.",
+		func() float64 { return float64(s.Len()) })
 }
 
 // Len returns the record count.

@@ -27,6 +27,10 @@ type Pipeline struct {
 	World *analysis.World
 	// Scale records the simulation scale for paper-vs-measured notes.
 	Scale float64
+	// MissingJoins lists the join databases FromRecords substituted with
+	// empty ones because the caller had none. Figures that join on them
+	// (7, 8, 9, 17, and the mdrfckr case study) render empty.
+	MissingJoins []string
 }
 
 // Simulate generates the synthetic 33-month dataset and prepares the
@@ -42,6 +46,7 @@ func Simulate(cfg simulate.Config) (*Pipeline, error) {
 		AbuseDB:    res.AbuseDB,
 		Classifier: classify.New(),
 		Workers:    cfg.Workers,
+		Tracer:     cfg.Tracer,
 	}
 	populateFeeds(w, cfg.Seed)
 	scale := cfg.Scale
@@ -54,7 +59,8 @@ func Simulate(cfg simulate.Config) (*Pipeline, error) {
 // FromRecords builds a pipeline over an existing record set (e.g. loaded
 // from JSONL or captured by live honeypots). Registry- and abuse-joined
 // figures need the corresponding databases; passing nil substitutes
-// fresh empty ones.
+// fresh empty ones and records the substitution in Pipeline.MissingJoins
+// so callers can warn instead of silently printing empty joins.
 func FromRecords(recs []*session.Record, w *analysis.World) *Pipeline {
 	store := collector.NewStore()
 	for _, r := range recs {
@@ -67,10 +73,12 @@ func FromRecords(recs []*session.Record, w *analysis.World) *Pipeline {
 	if w.Classifier == nil {
 		w.Classifier = classify.New()
 	}
+	p := &Pipeline{World: w, Scale: 1}
 	if w.AbuseDB == nil {
 		w.AbuseDB = abusedb.New()
+		p.MissingJoins = append(p.MissingJoins, "abusedb")
 	}
-	return &Pipeline{World: w, Scale: 1}
+	return p
 }
 
 // populateFeeds installs the external threat-intelligence joins of

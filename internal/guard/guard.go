@@ -19,6 +19,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"honeynet/internal/obs"
 )
 
 // maxBuckets bounds the rate-limiter's per-IP state. Beyond this the
@@ -140,6 +142,29 @@ func NewLimiter(cfg Config) *Limiter {
 		perIP:   map[string]int{},
 		buckets: map[string]*bucket{},
 	}
+}
+
+// Register exposes the limiter's counters on reg:
+//
+//	honeynet_guard_shed_total{reason="oldest"|"per_ip"|"rate"}
+//	honeynet_guard_active_connections
+func (l *Limiter) Register(reg *obs.Registry) {
+	reg.CounterFunc("honeynet_guard_shed_total",
+		"Connections shed by the guard, by reason.",
+		l.shedOldest.Load, obs.L("reason", "oldest"))
+	reg.CounterFunc("honeynet_guard_shed_total",
+		"Connections shed by the guard, by reason.",
+		l.shedPerIP.Load, obs.L("reason", "per_ip"))
+	reg.CounterFunc("honeynet_guard_shed_total",
+		"Connections shed by the guard, by reason.",
+		l.shedRate.Load, obs.L("reason", "rate"))
+	reg.GaugeFunc("honeynet_guard_active_connections",
+		"Connections currently tracked by the guard.",
+		func() float64 {
+			l.mu.Lock()
+			defer l.mu.Unlock()
+			return float64(l.conns.Len())
+		})
 }
 
 // Stats snapshots the shed counters.
@@ -305,6 +330,15 @@ type budgetWindow struct {
 	start   time.Time
 	fetches int
 	bytes   int64
+}
+
+// Register exposes the budget's counter on reg:
+//
+//	honeynet_guard_downloads_throttled_total
+func (b *Budget) Register(reg *obs.Registry) {
+	reg.CounterFunc("honeynet_guard_downloads_throttled_total",
+		"Emulated fetches refused because the client exhausted its download budget.",
+		b.Throttled)
 }
 
 // Throttled returns the number of fetches refused over budget.

@@ -3,6 +3,7 @@ package guard
 import (
 	"errors"
 	"fmt"
+	"honeynet/internal/obs"
 	"sync"
 	"testing"
 	"time"
@@ -252,5 +253,36 @@ func TestLimiterConcurrentChurn(t *testing.T) {
 	wg.Wait()
 	if st := l.Stats(); st.Active != 0 {
 		t.Errorf("Active after churn = %d, want 0", st.Active)
+	}
+}
+
+func TestLimiterRegister(t *testing.T) {
+	l := NewLimiter(Config{MaxConnsPerIP: 1})
+	reg := obs.NewRegistry()
+	l.Register(reg)
+	b := &Budget{MaxFetches: 1, Window: time.Minute, Now: newClock().now}
+	b.Register(reg)
+
+	if _, d := l.Admit("10.0.0.1", nil); d != Admitted {
+		t.Fatalf("conn 1: %v", d)
+	}
+	if _, d := l.Admit("10.0.0.1", nil); d != ShedPerIP {
+		t.Fatalf("conn 2: %v", d)
+	}
+	fetch := b.Wrap("10.0.0.1", func(uri string) ([]byte, error) { return nil, nil })
+	fetch("u1") // consumes the only budgeted fetch
+	fetch("u2") // throttled
+
+	snap := reg.Snapshot()
+	for series, want := range map[string]float64{
+		`honeynet_guard_shed_total{reason="per_ip"}`: 1,
+		`honeynet_guard_shed_total{reason="oldest"}`: 0,
+		`honeynet_guard_shed_total{reason="rate"}`:   0,
+		"honeynet_guard_active_connections":          1,
+		"honeynet_guard_downloads_throttled_total":   1,
+	} {
+		if got := snap[series]; got != want {
+			t.Errorf("registry %s = %v, want %v", series, got, want)
+		}
 	}
 }

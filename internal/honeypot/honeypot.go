@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"honeynet/internal/guard"
+	"honeynet/internal/obs"
 	"honeynet/internal/session"
 	"honeynet/internal/shell"
 	"honeynet/internal/sshd"
@@ -101,6 +102,11 @@ type Node struct {
 		stateChanges atomic.Int64
 		sinkErrs     atomic.Int64
 	}
+
+	// durHist observes recorded session durations once the node is
+	// registered on an obs.Registry; nil (no-op) otherwise. Atomic so a
+	// late Register cannot race a concurrent finish.
+	durHist atomic.Pointer[obs.Histogram]
 }
 
 // Metrics is a snapshot of a node's operational counters — what a
@@ -148,6 +154,51 @@ func (n *Node) Metrics() Metrics {
 	m.ActiveConns = int64(len(n.active))
 	n.activeMu.Unlock()
 	return m
+}
+
+// Register exposes the node's operational counters on reg:
+//
+//	honeynet_node_connections_total{proto="ssh"|"telnet"}
+//	honeynet_node_auth_total{result="ok"|"fail"}
+//	honeynet_node_commands_total
+//	honeynet_node_downloads_total
+//	honeynet_node_state_changes_total
+//	honeynet_node_sink_errors_total
+//	honeynet_node_active_connections
+//	honeynet_session_duration_seconds (histogram)
+//
+// The guard's and budget's own counters register separately (see
+// guard.Limiter.Register and guard.Budget.Register).
+func (n *Node) Register(reg *obs.Registry) {
+	reg.CounterFunc("honeynet_node_connections_total",
+		"Connections handled by the node, by protocol.",
+		n.stats.connsSSH.Load, obs.L("proto", "ssh"))
+	reg.CounterFunc("honeynet_node_connections_total",
+		"Connections handled by the node, by protocol.",
+		n.stats.connsTelnet.Load, obs.L("proto", "telnet"))
+	reg.CounterFunc("honeynet_node_auth_total",
+		"Login attempts recorded, by outcome.",
+		n.stats.authOK.Load, obs.L("result", "ok"))
+	reg.CounterFunc("honeynet_node_auth_total",
+		"Login attempts recorded, by outcome.",
+		n.stats.authFail.Load, obs.L("result", "fail"))
+	reg.CounterFunc("honeynet_node_commands_total",
+		"Shell commands recorded across all sessions.", n.stats.commands.Load)
+	reg.CounterFunc("honeynet_node_downloads_total",
+		"Emulated file downloads recorded.", n.stats.downloads.Load)
+	reg.CounterFunc("honeynet_node_state_changes_total",
+		"Sessions that changed the virtual filesystem.", n.stats.stateChanges.Load)
+	reg.CounterFunc("honeynet_node_sink_errors_total",
+		"Session records the Sink failed to persist.", n.stats.sinkErrs.Load)
+	reg.GaugeFunc("honeynet_node_active_connections",
+		"Connections currently in flight.",
+		func() float64 {
+			n.activeMu.Lock()
+			defer n.activeMu.Unlock()
+			return float64(len(n.active))
+		})
+	n.durHist.Store(reg.Histogram("honeynet_session_duration_seconds",
+		"Recorded session durations.", obs.DurationBuckets))
 }
 
 // New builds a node from cfg.
@@ -268,6 +319,10 @@ func (n *Node) Drain(timeout time.Duration) int {
 	<-done
 	return forced
 }
+
+// Draining reports whether Drain has been initiated — the admin
+// endpoint's /healthz turns unhealthy on it.
+func (n *Node) Draining() bool { return n.draining.Load() }
 
 // admit runs the guard policy for one incoming connection and registers
 // it for drain tracking. ok=false means the connection was shed and
@@ -390,6 +445,7 @@ func (n *Node) finish(st *connState, timedOut bool) {
 			n.stats.authFail.Add(1)
 		}
 	}
+	n.durHist.Load().Observe(rec.End.Sub(rec.Start).Seconds())
 	if err := n.cfg.Sink(rec); err != nil {
 		n.stats.sinkErrs.Add(1)
 	}

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"honeynet/internal/obs"
 	"honeynet/internal/session"
 	"honeynet/internal/sshclient"
 )
@@ -402,6 +403,8 @@ func TestNonPersistentModeForgets(t *testing.T) {
 
 func TestNodeMetrics(t *testing.T) {
 	node, addr, _, sk := startNode(t)
+	reg := obs.NewRegistry()
+	node.Register(reg)
 	// One failed + one successful connection with a download.
 	sshclient.Dial(addr, sshclient.Config{User: "root", Password: "root"})
 	sk.wait(t)
@@ -422,5 +425,22 @@ func TestNodeMetrics(t *testing.T) {
 	}
 	if m.Commands != 1 || m.Downloads != 1 || m.StateChanges != 1 {
 		t.Errorf("activity counters = %+v", m)
+	}
+
+	// The obs registry view must agree with the legacy Metrics struct.
+	snap := reg.Snapshot()
+	for series, want := range map[string]float64{
+		`honeynet_node_connections_total{proto="ssh"}`: 2,
+		`honeynet_node_auth_total{result="ok"}`:        1,
+		`honeynet_node_auth_total{result="fail"}`:      1,
+		"honeynet_node_commands_total":                 1,
+		"honeynet_node_downloads_total":                1,
+		"honeynet_node_state_changes_total":            1,
+		"honeynet_node_active_connections":             0,
+		"honeynet_session_duration_seconds_count":      2,
+	} {
+		if got := snap[series]; got != want {
+			t.Errorf("registry %s = %v, want %v", series, got, want)
+		}
 	}
 }

@@ -1,0 +1,442 @@
+// Package obs is the honeynet's unified observability layer: a
+// dependency-free metrics registry (counters, gauges, histograms,
+// labeled families) with Prometheus text-format exposition and an
+// expvar bridge, plus a lightweight phase-timing tracer for the
+// analysis pipeline.
+//
+// Design constraints, in order:
+//
+//  1. Zero third-party dependencies — only the standard library.
+//  2. Instruments must be safe to leave in hot paths: counters are one
+//     atomic add, histograms one atomic add per bucket boundary, and
+//     every instrument method is nil-receiver safe so unobserved
+//     components (a Node nobody registered) pay a single nil check.
+//  3. Metrics never feed back into results: the registry only reads
+//     state, so analysis output is byte-identical with observability
+//     on or off.
+//
+// The paper's 33-month deployment (§2) was only operable because its
+// counters were scrapeable over time — drop-offs like the mdrfckr
+// volume collapse (§10) and the curl_maxred proxy abuse (§5) were
+// found by watching operational metrics, not session records.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name=value metric dimension.
+type Label struct {
+	Name, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// metricType is the Prometheus exposition type of a family.
+type metricType string
+
+const (
+	typeCounter   metricType = "counter"
+	typeGauge     metricType = "gauge"
+	typeHistogram metricType = "histogram"
+)
+
+// Counter is a monotonically increasing count. The zero value is ready
+// to use; a nil *Counter no-ops.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count. A nil counter reads 0.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down. The zero value is ready; a
+// nil *Gauge no-ops.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add increments the gauge by d.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value returns the current value. A nil gauge reads 0.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into a fixed bucket layout (cumulative
+// Prometheus semantics on exposition). A nil *Histogram no-ops.
+type Histogram struct {
+	// uppers are the inclusive upper bounds of the finite buckets,
+	// ascending; an implicit +Inf bucket follows.
+	uppers []float64
+	counts []atomic.Int64 // len(uppers)+1
+	sum    Gauge          // atomic float accumulator
+	count  atomic.Int64
+}
+
+// newHistogram builds a histogram over the given ascending bounds.
+func newHistogram(uppers []float64) *Histogram {
+	u := append([]float64(nil), uppers...)
+	sort.Float64s(u)
+	return &Histogram{uppers: u, counts: make([]atomic.Int64, len(u)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: layouts are small (≤ ~20 buckets) and the branch
+	// predictor does well on skewed observation distributions.
+	i := 0
+	for i < len(h.uppers) && v > h.uppers[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Value()
+}
+
+// ExpBuckets returns n exponential bucket bounds: start, start*factor,
+// ... — the standard layout for latencies and sizes.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DurationBuckets is the fixed layout used for session and phase
+// durations: 1ms .. ~16s plus the honeypot's 3-minute session cap.
+var DurationBuckets = append(ExpBuckets(0.001, 4, 8), 180)
+
+// sample is one labeled series inside a family.
+type sample struct {
+	labels  []Label
+	key     string // canonical label signature, sort key
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64 // func-backed value (counter or gauge)
+}
+
+func (s *sample) value() float64 {
+	switch {
+	case s.fn != nil:
+		return s.fn()
+	case s.counter != nil:
+		return float64(s.counter.Value())
+	default:
+		return s.gauge.Value()
+	}
+}
+
+// family is all series sharing one metric name.
+type family struct {
+	name    string
+	help    string
+	typ     metricType
+	samples map[string]*sample
+}
+
+// Registry holds metric families and renders them for scraping. The
+// zero value is not usable; construct with NewRegistry. A nil *Registry
+// is safe to register against: every constructor returns a usable
+// (orphan) instrument, so components can instrument unconditionally.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// labelKey canonicalizes a label set for dedup and stable exposition
+// ordering.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// register installs a sample, panicking on a duplicate (name, labels)
+// pair — a registration bug worth failing loudly on.
+func (r *Registry) register(name, help string, typ metricType, s *sample) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, samples: map[string]*sample{}}
+		r.families[name] = f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, typ, f.typ))
+	}
+	if _, dup := f.samples[s.key]; dup {
+		panic(fmt.Sprintf("obs: duplicate registration of %s{%s}", name, s.key))
+	}
+	f.samples[s.key] = s
+}
+
+// Counter registers (or returns an orphan, if r is nil) an owned
+// counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	if r != nil {
+		r.register(name, help, typeCounter, &sample{labels: labels, key: labelKey(labels), counter: c})
+	}
+	return c
+}
+
+// CounterFunc registers a counter series whose value is read from fn at
+// scrape time — the bridge for components that already count with their
+// own atomics. No-op when r is nil.
+func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, typeCounter, &sample{
+		labels: labels, key: labelKey(labels), fn: func() float64 { return float64(fn()) },
+	})
+}
+
+// Gauge registers (or returns an orphan) an owned gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	if r != nil {
+		r.register(name, help, typeGauge, &sample{labels: labels, key: labelKey(labels), gauge: g})
+	}
+	return g
+}
+
+// GaugeFunc registers a gauge series read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, typeGauge, &sample{labels: labels, key: labelKey(labels), fn: fn})
+}
+
+// Histogram registers (or returns an orphan) a histogram with the given
+// fixed bucket upper bounds.
+func (r *Registry) Histogram(name, help string, uppers []float64, labels ...Label) *Histogram {
+	h := newHistogram(uppers)
+	if r != nil {
+		r.register(name, help, typeHistogram, &sample{labels: labels, key: labelKey(labels), hist: h})
+	}
+	return h
+}
+
+// formatValue renders a float the way Prometheus clients do.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// renderLabels renders {a="b",c="d"} including the braces; extra label
+// pairs (for histogram le) are appended after the sample's own.
+func renderLabels(labels []Label, extra ...Label) string {
+	all := make([]Label, 0, len(labels)+len(extra))
+	all = append(all, labels...)
+	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
+	all = append(all, extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4). Families are sorted by name and
+// series by label signature, so output is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	// Snapshot family pointers under the lock; sample reads are atomic.
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		keys := make([]string, 0, len(f.samples))
+		for k := range f.samples {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.samples[k]
+			if s.hist != nil {
+				writeHistogram(&b, f.name, s)
+				continue
+			}
+			fmt.Fprintf(&b, "%s%s %s\n", f.name, renderLabels(s.labels), formatValue(s.value()))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram renders one histogram series with cumulative buckets.
+func writeHistogram(b *strings.Builder, name string, s *sample) {
+	h := s.hist
+	var cum int64
+	for i, upper := range h.uppers {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, renderLabels(s.labels, L("le", formatValue(upper))), cum)
+	}
+	cum += h.counts[len(h.uppers)].Load()
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, renderLabels(s.labels, L("le", "+Inf")), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, renderLabels(s.labels), formatValue(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, renderLabels(s.labels), h.Count())
+}
+
+// Snapshot flattens the registry into "name{labels}" -> value pairs —
+// the form recorded into the session-log trailer on drain and served
+// over the expvar bridge. Histograms contribute _sum and _count plus
+// one cumulative entry per bucket.
+func (r *Registry) Snapshot() map[string]float64 {
+	out := map[string]float64{}
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	for _, f := range fams {
+		for _, s := range f.samples {
+			if s.hist != nil {
+				h := s.hist
+				var cum int64
+				for i, upper := range h.uppers {
+					cum += h.counts[i].Load()
+					out[f.name+"_bucket"+renderLabels(s.labels, L("le", formatValue(upper)))] = float64(cum)
+				}
+				cum += h.counts[len(h.uppers)].Load()
+				out[f.name+"_bucket"+renderLabels(s.labels, L("le", "+Inf"))] = float64(cum)
+				out[f.name+"_sum"+renderLabels(s.labels)] = h.Sum()
+				out[f.name+"_count"+renderLabels(s.labels)] = float64(h.Count())
+				continue
+			}
+			out[f.name+renderLabels(s.labels)] = s.value()
+		}
+	}
+	return out
+}

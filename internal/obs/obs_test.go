@@ -1,0 +1,287 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentIncrements hammers one counter, one gauge, and one
+// histogram from many goroutines; totals must be exact (run under
+// -race in CI).
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	g := r.Gauge("test_level", "level")
+	h := r.Histogram("test_dur_seconds", "durations", []float64{0.1, 1, 10})
+
+	const goroutines, per = 16, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%3) + 0.05)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != goroutines*per {
+		t.Errorf("counter = %d, want %d", got, goroutines*per)
+	}
+	if got := g.Value(); got != goroutines*per {
+		t.Errorf("gauge = %v, want %d", got, goroutines*per)
+	}
+	if got := h.Count(); got != goroutines*per {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*per)
+	}
+}
+
+// TestCounterNeverDecrements: negative Adds are dropped.
+func TestCounterNeverDecrements(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-3)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+}
+
+// TestNilInstrumentsAreSafe: every instrument and the registry itself
+// must tolerate nil receivers, so unobserved components need no guards.
+func TestNilInstrumentsAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var tr *Tracer
+	var reg *Registry
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	tr.Span("x").End()
+	tr.Record("y", time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil instruments should read zero")
+	}
+	if tr.Phases() != nil {
+		t.Error("nil tracer should have no phases")
+	}
+	// A nil registry hands out working orphan instruments.
+	reg.Counter("a", "").Inc()
+	reg.Gauge("b", "").Set(1)
+	reg.Histogram("c", "", []float64{1}).Observe(2)
+	reg.CounterFunc("d", "", func() int64 { return 1 })
+	reg.GaugeFunc("e", "", func() float64 { return 1 })
+	if err := reg.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Errorf("nil registry WritePrometheus: %v", err)
+	}
+	if len(reg.Snapshot()) != 0 {
+		t.Error("nil registry snapshot should be empty")
+	}
+}
+
+// TestHistogramBucketEdges: a value exactly on an upper bound lands in
+// that bucket (le is inclusive), one past it in the next, and values
+// beyond the last bound in +Inf.
+func TestHistogramBucketEdges(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{1, 2, 4} {
+		h.Observe(v) // each exactly on a bound
+	}
+	h.Observe(math.Nextafter(1, 2)) // just past 1 -> bucket le=2
+	h.Observe(4.0001)               // past the last bound -> +Inf
+	h.Observe(0)                    // below everything -> le=1
+
+	want := []int64{2, 2, 1, 1} // le=1, le=2, le=4, +Inf (non-cumulative)
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if got := h.Count(); got != 6 {
+		t.Errorf("count = %d, want 6", got)
+	}
+	if got, want := h.Sum(), 1+2+4+math.Nextafter(1, 2)+4.0001+0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+}
+
+// TestExpositionGolden locks the Prometheus text format: HELP/TYPE
+// headers, sorted families, sorted+escaped labels, cumulative histogram
+// buckets with le, _sum and _count.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hn_conns_total", "connections", L("proto", "ssh"))
+	c.Add(7)
+	r.Counter("hn_conns_total", "connections", L("proto", "telnet")).Add(2)
+	r.GaugeFunc("hn_active", "active now", func() float64 { return 3 })
+	h := r.Histogram("hn_dur_seconds", "session durations", []float64{0.5, 2})
+	h.Observe(0.25)
+	h.Observe(0.5) // on the edge: le="0.5"
+	h.Observe(1.7)
+	h.Observe(99)
+	r.Counter("aa_first", "sorts first", L("q", `va"l\ue`)).Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP aa_first sorts first
+# TYPE aa_first counter
+aa_first{q="va\"l\\ue"} 1
+# HELP hn_active active now
+# TYPE hn_active gauge
+hn_active 3
+# HELP hn_conns_total connections
+# TYPE hn_conns_total counter
+hn_conns_total{proto="ssh"} 7
+hn_conns_total{proto="telnet"} 2
+# HELP hn_dur_seconds session durations
+# TYPE hn_dur_seconds histogram
+hn_dur_seconds_bucket{le="0.5"} 2
+hn_dur_seconds_bucket{le="2"} 3
+hn_dur_seconds_bucket{le="+Inf"} 4
+hn_dur_seconds_sum 101.45
+hn_dur_seconds_count 4
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestRegistryDuplicatePanics: re-registering the same (name, labels)
+// or changing a family's type is a bug and must fail loudly.
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x")
+	for name, f := range map[string]func(){
+		"dup-series":  func() { r.Counter("x_total", "x") },
+		"type-change": func() { r.Gauge("x_total", "x") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestSnapshotFlattens: snapshot carries labeled series and histogram
+// sub-series under their exposition names.
+func TestSnapshotFlattens(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("s_total", "", L("k", "v")).Add(4)
+	h := r.Histogram("s_dur", "", []float64{1})
+	h.Observe(0.5)
+	h.Observe(3)
+	snap := r.Snapshot()
+	checks := map[string]float64{
+		`s_total{k="v"}`:          4,
+		`s_dur_bucket{le="1"}`:    1,
+		`s_dur_bucket{le="+Inf"}`: 2,
+		`s_dur_count`:             2,
+		`s_dur_sum`:               3.5,
+	}
+	for k, want := range checks {
+		if got, ok := snap[k]; !ok || got != want {
+			t.Errorf("snapshot[%q] = %v (present=%v), want %v", k, got, ok, want)
+		}
+	}
+}
+
+// TestTracerAggregates: same-name spans accumulate count/total/max in
+// first-seen order, with an injectable clock.
+func TestTracerAggregates(t *testing.T) {
+	now := time.Unix(0, 0)
+	tr := NewTracer()
+	tr.Now = func() time.Time { return now }
+
+	s := tr.Span("matrix")
+	now = now.Add(100 * time.Millisecond)
+	s.End()
+	s = tr.Span("matrix")
+	now = now.Add(300 * time.Millisecond)
+	s.End()
+	tr.Record("kmedoids", 50*time.Millisecond)
+
+	ph := tr.Phases()
+	if len(ph) != 2 || ph[0].Name != "matrix" || ph[1].Name != "kmedoids" {
+		t.Fatalf("phases = %+v", ph)
+	}
+	if ph[0].Count != 2 || ph[0].Total != 400*time.Millisecond || ph[0].Max != 300*time.Millisecond {
+		t.Errorf("matrix agg = %+v", ph[0])
+	}
+	var b strings.Builder
+	tr.WriteTable(&b)
+	out := b.String()
+	for _, want := range []string{"phase", "matrix", "kmedoids", "share"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestAdminMux drives /metrics, /healthz (both states) and /debug/vars.
+func TestAdminMux(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("adm_total", "x").Add(9)
+	unhealthy := false
+	mux := AdminMux(r, func() error {
+		if unhealthy {
+			return errDraining
+		}
+		return nil
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, b.String()
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "adm_total 9") {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+	if code, body := get("/healthz"); code != 200 || body != "ok\n" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	unhealthy = true
+	if code, _ := get("/healthz"); code != 503 {
+		t.Errorf("unhealthy /healthz code = %d, want 503", code)
+	}
+	if code, _ := get("/debug/vars"); code != 200 {
+		t.Errorf("/debug/vars code = %d", code)
+	}
+}
+
+var errDraining = errorString("draining")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

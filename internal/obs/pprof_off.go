@@ -1,0 +1,9 @@
+//go:build nopprof
+
+package obs
+
+import "net/http"
+
+// attachPprof is a no-op in nopprof builds: the admin endpoint serves
+// metrics and health only, with no profiling surface.
+func attachPprof(*http.ServeMux) {}

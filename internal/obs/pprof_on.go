@@ -1,0 +1,17 @@
+//go:build !nopprof
+
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// attachPprof mounts the net/http/pprof handlers on the admin mux.
+func attachPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer aggregates named phase timings — a deliberately tiny span
+// recorder for answering "where does the analysis wall-clock go".
+// Spans with the same name accumulate (count, total, max). All methods
+// are safe for concurrent use, and every method is nil-receiver safe so
+// instrumented code pays one nil check when tracing is off.
+//
+// Tracing never influences computation: spans only read the clock, so
+// traced runs produce byte-identical analysis output.
+type Tracer struct {
+	// Now supplies time (injectable for tests); nil means time.Now.
+	Now func() time.Time
+
+	mu     sync.Mutex
+	order  []string // first-seen phase order, for stable display
+	phases map[string]*phaseAgg
+}
+
+type phaseAgg struct {
+	count int64
+	total time.Duration
+	max   time.Duration
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer {
+	return &Tracer{phases: map[string]*phaseAgg{}}
+}
+
+func (t *Tracer) now() time.Time {
+	if t.Now != nil {
+		return t.Now()
+	}
+	return time.Now()
+}
+
+// Span starts timing one phase occurrence; call End on the returned
+// span. A nil tracer returns a nil span, and a nil span's End no-ops.
+func (t *Tracer) Span(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, start: t.now()}
+}
+
+// Record adds one completed phase occurrence directly (for callers that
+// measured the duration themselves).
+func (t *Tracer) Record(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.phases[name]
+	if !ok {
+		p = &phaseAgg{}
+		t.phases[name] = p
+		t.order = append(t.order, name)
+	}
+	p.count++
+	p.total += d
+	if d > p.max {
+		p.max = d
+	}
+}
+
+// Span is one in-flight phase timing.
+type Span struct {
+	t     *Tracer
+	name  string
+	start time.Time
+}
+
+// End seals the span and returns its duration. Nil-safe; idempotence is
+// the caller's concern (End once).
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := s.t.now().Sub(s.start)
+	s.t.Record(s.name, d)
+	return d
+}
+
+// PhaseStat is one aggregated phase.
+type PhaseStat struct {
+	Name  string
+	Count int64
+	Total time.Duration
+	Max   time.Duration
+}
+
+// Phases returns the aggregated stats in first-seen order.
+func (t *Tracer) Phases() []PhaseStat {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]PhaseStat, 0, len(t.order))
+	for _, name := range t.order {
+		p := t.phases[name]
+		out = append(out, PhaseStat{Name: name, Count: p.count, Total: p.total, Max: p.max})
+	}
+	return out
+}
+
+// WriteTable renders the per-phase breakdown: name, calls, total, mean,
+// max, and share of the summed phase time (top-level phases overlap
+// nested ones, so shares are of the sum, not of wall-clock).
+func (t *Tracer) WriteTable(w io.Writer) {
+	phases := t.Phases()
+	if len(phases) == 0 {
+		fmt.Fprintln(w, "timings: no phases recorded")
+		return
+	}
+	var grand time.Duration
+	width := len("phase")
+	for _, p := range phases {
+		grand += p.Total
+		if len(p.Name) > width {
+			width = len(p.Name)
+		}
+	}
+	sorted := append([]PhaseStat(nil), phases...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Total > sorted[j].Total })
+	fmt.Fprintf(w, "%-*s  %8s  %12s  %12s  %12s  %6s\n", width, "phase", "calls", "total", "mean", "max", "share")
+	for _, p := range sorted {
+		mean := time.Duration(0)
+		if p.Count > 0 {
+			mean = p.Total / time.Duration(p.Count)
+		}
+		share := 0.0
+		if grand > 0 {
+			share = float64(p.Total) / float64(grand)
+		}
+		fmt.Fprintf(w, "%-*s  %8d  %12s  %12s  %12s  %5.1f%%\n",
+			width, p.Name, p.Count,
+			p.Total.Round(time.Microsecond), mean.Round(time.Microsecond),
+			p.Max.Round(time.Microsecond), 100*share)
+	}
+}

@@ -6,6 +6,7 @@ package session
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -184,18 +185,36 @@ func (w *Writer) Write(r *Record) error { return w.enc.Encode(r) }
 // Flush flushes buffered output.
 func (w *Writer) Flush() error { return w.bw.Flush() }
 
-// ReadAll parses a JSONL stream of records.
+// obsTrailerPrefix marks a metrics-snapshot trailer line written by
+// internal/sessionlog on drain. The envelope struct puts _obs first,
+// so a prefix check identifies trailers without parsing.
+var obsTrailerPrefix = []byte(`{"_obs"`)
+
+// IsObsTrailer reports whether a JSONL line is a metrics-snapshot
+// trailer rather than a session record.
+func IsObsTrailer(line []byte) bool { return bytes.HasPrefix(line, obsTrailerPrefix) }
+
+// ReadAll parses a JSONL stream of records, skipping blank lines and
+// the metrics-snapshot trailer lines a draining honeypotd appends
+// (see IsObsTrailer).
 func ReadAll(r io.Reader) ([]*Record, error) {
 	var out []*Record
-	dec := json.NewDecoder(bufio.NewReaderSize(r, 1<<20))
+	br := bufio.NewReaderSize(r, 1<<20)
 	for {
-		var rec Record
-		if err := dec.Decode(&rec); err != nil {
+		line, err := br.ReadBytes('\n')
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) > 0 && !IsObsTrailer(trimmed) {
+			rec := &Record{}
+			if uerr := json.Unmarshal(trimmed, rec); uerr != nil {
+				return nil, fmt.Errorf("session: decoding record %d: %w", len(out), uerr)
+			}
+			out = append(out, rec)
+		}
+		if err != nil {
 			if err == io.EOF {
 				return out, nil
 			}
-			return nil, fmt.Errorf("session: decoding record %d: %w", len(out), err)
+			return nil, err
 		}
-		out = append(out, &rec)
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"honeynet/internal/obs"
 	"honeynet/internal/session"
 )
 
@@ -68,6 +69,7 @@ type Writer struct {
 	errs      atomic.Int64
 	rotations atomic.Int64
 	written   atomic.Int64
+	recovered atomic.Int64
 
 	stop chan struct{} // closes the sync loop; nil if none
 	done chan struct{}
@@ -77,7 +79,8 @@ type Writer struct {
 // torn tail left by a crash: any trailing partial or corrupt line is
 // truncated away so the file ends on a complete record boundary.
 func Open(path string, opts Options) (*Writer, error) {
-	if _, err := RecoverTail(path); err != nil {
+	dropped, err := RecoverTail(path)
+	if err != nil {
 		return nil, err
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -97,6 +100,7 @@ func Open(path string, opts Options) (*Writer, error) {
 		size:   st.Size(),
 		rotIdx: nextRotIndex(path),
 	}
+	w.recovered.Store(dropped)
 	if opts.syncEvery() > 0 {
 		w.stop = make(chan struct{})
 		w.done = make(chan struct{})
@@ -121,8 +125,30 @@ func (w *Writer) Rotations() int64 { return w.rotations.Load() }
 // Written returns the number of records successfully buffered.
 func (w *Writer) Written() int64 { return w.written.Load() }
 
+// Recovered returns the number of torn-tail bytes truncated away when
+// the log was opened.
+func (w *Writer) Recovered() int64 { return w.recovered.Load() }
+
 // Path returns the live segment path ("" in stream mode).
 func (w *Writer) Path() string { return w.path }
+
+// Register exposes the writer's counters on reg:
+//
+//	honeynet_sessionlog_written_total
+//	honeynet_sessionlog_rotations_total
+//	honeynet_sessionlog_errors_total
+//	honeynet_sessionlog_recovered_bytes
+func (w *Writer) Register(reg *obs.Registry) {
+	reg.CounterFunc("honeynet_sessionlog_written_total",
+		"Session records successfully buffered to the log.", w.Written)
+	reg.CounterFunc("honeynet_sessionlog_rotations_total",
+		"Log segments rotated out.", w.Rotations)
+	reg.CounterFunc("honeynet_sessionlog_errors_total",
+		"Failed session-log writes (marshal, I/O, or rotation failures).", w.Errors)
+	reg.GaugeFunc("honeynet_sessionlog_recovered_bytes",
+		"Torn-tail bytes truncated away when the log was opened.",
+		func() float64 { return float64(w.Recovered()) })
+}
 
 // Write appends one record.
 func (w *Writer) Write(r *session.Record) error {
@@ -131,8 +157,17 @@ func (w *Writer) Write(r *session.Record) error {
 		w.errs.Add(1)
 		return fmt.Errorf("sessionlog: marshal: %w", err)
 	}
-	line = append(line, '\n')
+	if err := w.appendLine(line); err != nil {
+		return err
+	}
+	w.written.Add(1)
+	return nil
+}
 
+// appendLine appends one already-marshaled JSON line (without the
+// trailing newline), rotating first if needed.
+func (w *Writer) appendLine(line []byte) error {
+	line = append(line, '\n')
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
@@ -151,8 +186,65 @@ func (w *Writer) Write(r *session.Record) error {
 	}
 	w.size += int64(len(line))
 	w.dirty = true
-	w.written.Add(1)
 	return nil
+}
+
+// Snapshot is the operational-counter trailer recorded into the session
+// log when a node drains: a post-mortem of a long run keeps its
+// counters next to its sessions. On disk it is one JSONL line of the
+// form {"_obs":{...}} — session.ReadAll skips such lines (see
+// session.IsObsTrailer), so datasets with trailers load unchanged.
+type Snapshot struct {
+	// Time is when the snapshot was taken.
+	Time time.Time `json:"time"`
+	// Reason says why ("drain", "rotate", ...).
+	Reason string `json:"reason,omitempty"`
+	// Metrics is the flattened obs registry (obs.Registry.Snapshot).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// trailerLine is the on-disk envelope. The _obs field marshals first,
+// which is what session.IsObsTrailer keys on.
+type trailerLine struct {
+	Obs *Snapshot `json:"_obs"`
+}
+
+// WriteSnapshot appends a metrics snapshot trailer line. It does not
+// count toward Written (it is not a session record) but does count
+// toward segment size, and a failed write increments Errors.
+func (w *Writer) WriteSnapshot(s Snapshot) error {
+	line, err := json.Marshal(trailerLine{Obs: &s})
+	if err != nil {
+		w.errs.Add(1)
+		return fmt.Errorf("sessionlog: marshal snapshot: %w", err)
+	}
+	return w.appendLine(line)
+}
+
+// ReadSnapshots extracts the metrics-snapshot trailers from a JSONL
+// stream, in order, ignoring session records and blank lines.
+func ReadSnapshots(r io.Reader) ([]Snapshot, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var out []Snapshot
+	for {
+		line, err := br.ReadBytes('\n')
+		trimmed := bytes.TrimSpace(line)
+		if session.IsObsTrailer(trimmed) {
+			var t trailerLine
+			if uerr := json.Unmarshal(trimmed, &t); uerr != nil {
+				return nil, fmt.Errorf("sessionlog: bad snapshot trailer: %w", uerr)
+			}
+			if t.Obs != nil {
+				out = append(out, *t.Obs)
+			}
+		}
+		if err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, err
+		}
+	}
 }
 
 // rotateLocked seals the current segment as path.<n> and starts a
@@ -297,6 +389,36 @@ func RecoverTail(path string) (dropped int64, err error) {
 		return 0, err
 	}
 	return size - good, nil
+}
+
+// ParseSize parses human byte sizes for the rotation threshold:
+// "256MB", "64m", "1GiB", "1048576". Empty or "0" disables rotation.
+func ParseSize(s string) (int64, error) {
+	t := strings.TrimSpace(strings.ToUpper(s))
+	if t == "" || t == "0" {
+		return 0, nil
+	}
+	mult := int64(1)
+	for _, u := range []struct {
+		suffix string
+		mult   int64
+	}{
+		{"KIB", 1 << 10}, {"MIB", 1 << 20}, {"GIB", 1 << 30},
+		{"KB", 1 << 10}, {"MB", 1 << 20}, {"GB", 1 << 30},
+		{"K", 1 << 10}, {"M", 1 << 20}, {"G", 1 << 30},
+		{"B", 1},
+	} {
+		if strings.HasSuffix(t, u.suffix) {
+			t = strings.TrimSuffix(t, u.suffix)
+			mult = u.mult
+			break
+		}
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("sessionlog: bad size %q", s)
+	}
+	return v * mult, nil
 }
 
 // nextRotIndex returns one past the highest existing rotation suffix

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"honeynet/internal/obs"
 	"honeynet/internal/session"
 )
 
@@ -269,5 +270,159 @@ func TestPeriodicSyncFlushesIdleData(t *testing.T) {
 			t.Fatal("record never reached disk via periodic sync")
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSnapshotTrailerRoundTrip: a drain-time metrics snapshot lands in
+// the log, session.ReadAll skips it, and ReadSnapshots recovers it.
+func TestSnapshotTrailerRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sessions.jsonl")
+	w, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(rec(1)); err != nil {
+		t.Fatal(err)
+	}
+	snap := Snapshot{
+		Time:   time.Unix(1_700_000_123, 0).UTC(),
+		Reason: "drain",
+		Metrics: map[string]float64{
+			`honeynet_node_connections_total{proto="ssh"}`: 7,
+			"honeynet_sessionlog_written_total":            1,
+		},
+	}
+	if err := w.WriteSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(rec(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Written(); got != 2 {
+		t.Errorf("Written = %d, want 2 (trailers are not records)", got)
+	}
+
+	// Records load as before, trailer invisible.
+	recs := readAll(t, path)
+	if len(recs) != 2 || recs[0].ID != 1 || recs[1].ID != 2 {
+		t.Fatalf("records = %d, want the 2 session records", len(recs))
+	}
+
+	// The snapshot is recoverable for post-mortems.
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	snaps, err := ReadSnapshots(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 {
+		t.Fatalf("snapshots = %d, want 1", len(snaps))
+	}
+	got := snaps[0]
+	if !got.Time.Equal(snap.Time) || got.Reason != "drain" {
+		t.Errorf("snapshot header = %+v", got)
+	}
+	if got.Metrics[`honeynet_node_connections_total{proto="ssh"}`] != 7 {
+		t.Errorf("snapshot metrics = %v", got.Metrics)
+	}
+}
+
+// TestTrailerSurvivesTornTailRecovery: a torn write after a trailer
+// truncates back to the trailer line, keeping it valid.
+func TestTrailerSurvivesTornTailRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sessions.jsonl")
+	w, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(rec(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteSnapshot(Snapshot{Reason: "drain"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append after the trailer.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"id":99,"torn`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	w2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if w2.Recovered() == 0 {
+		t.Error("expected Recovered > 0 after torn tail")
+	}
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	snaps, err := ReadSnapshots(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 || snaps[0].Reason != "drain" {
+		t.Fatalf("snapshots after recovery = %+v", snaps)
+	}
+}
+
+// TestParseSize covers the human size grammar.
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		err  bool
+	}{
+		{"", 0, false},
+		{"0", 0, false},
+		{"1048576", 1 << 20, false},
+		{"256MB", 256 << 20, false},
+		{"64m", 64 << 20, false},
+		{"1GiB", 1 << 30, false},
+		{"2k", 2 << 10, false},
+		{"10B", 10, false},
+		{"-1", 0, true},
+		{"huge", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseSize(c.in)
+		if (err != nil) != c.err || got != c.want {
+			t.Errorf("ParseSize(%q) = %d, %v; want %d, err=%v", c.in, got, err, c.want, c.err)
+		}
+	}
+}
+
+// TestWriterRegister: the writer's counters are scrapeable.
+func TestWriterRegister(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sessions.jsonl")
+	w, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	reg := obs.NewRegistry()
+	w.Register(reg)
+	if err := w.Write(rec(1)); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if snap["honeynet_sessionlog_written_total"] != 1 {
+		t.Errorf("snapshot = %v", snap)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"honeynet/internal/asdb"
 	"honeynet/internal/botnet"
 	"honeynet/internal/collector"
+	"honeynet/internal/obs"
 	"honeynet/internal/parallel"
 	"honeynet/internal/session"
 	"honeynet/internal/shell"
@@ -53,6 +54,10 @@ type Config struct {
 	// IDs, threat-intel feeds) stay on a serial path, and only the pure
 	// per-session shell replay fans out.
 	Workers int
+	// Tracer, if set, records per-phase wall time (script vs replay vs
+	// merge). Spans only observe the clock: the generated dataset is
+	// identical with or without one.
+	Tracer *obs.Tracer
 }
 
 func (c *Config) defaults() {
@@ -167,6 +172,7 @@ func Run(cfg Config) (*Result, error) {
 
 	batch := make([]pending, 0, flushBatch)
 	flush := func() {
+		sp := cfg.Tracer.Span("simulate.replay")
 		parallel.ForEach(len(batch), workers, 8, func(_, lo, hi int) {
 			for x := lo; x < hi; x++ {
 				if len(batch[x].commands) > 0 {
@@ -174,15 +180,20 @@ func Run(cfg Config) (*Result, error) {
 				}
 			}
 		})
+		sp.End()
+		sp = cfg.Tracer.Span("simulate.merge")
 		for x := range batch {
 			emit(batch[x].rec)
 			if len(batch[x].commands) > 0 {
 				registerThreatIntel(cfg.AbuseDB, batch[x].bot, batch[x].rec)
 			}
 		}
+		sp.End()
 		batch = batch[:0]
 	}
 
+	total := cfg.Tracer.Span("simulate")
+	defer total.End()
 	for day := cfg.Start; day.Before(cfg.End); day = day.AddDate(0, 0, 1) {
 		if !cfg.SkipMaintenance && !day.Before(maintenanceStart) && day.Before(maintenanceEnd) {
 			continue // honeynet-wide outage: no sessions recorded

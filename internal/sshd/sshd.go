@@ -9,8 +9,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"honeynet/internal/obs"
 	"honeynet/internal/sshwire"
 )
 
@@ -86,6 +88,29 @@ func (c *Config) maxTries() int {
 // Server accepts SSH connections and dispatches sessions.
 type Server struct {
 	cfg Config
+
+	// Accept-loop counters (Serve only; HandleConn callers count their
+	// own accepts).
+	accepted atomic.Int64
+	shed     atomic.Int64
+}
+
+// AcceptStats returns how many connections Serve admitted and how many
+// its Gate shed.
+func (s *Server) AcceptStats() (accepted, shed int64) {
+	return s.accepted.Load(), s.shed.Load()
+}
+
+// Register exposes the accept-loop counters on reg:
+//
+//	honeynet_sshd_conns_total{result="accepted"|"shed"}
+func (s *Server) Register(reg *obs.Registry) {
+	reg.CounterFunc("honeynet_sshd_conns_total",
+		"Connections seen by the SSH accept loop, by admission result.",
+		s.accepted.Load, obs.L("result", "accepted"))
+	reg.CounterFunc("honeynet_sshd_conns_total",
+		"Connections seen by the SSH accept loop, by admission result.",
+		s.shed.Load, obs.L("result", "shed"))
 }
 
 // New validates cfg and returns a Server.
@@ -114,10 +139,12 @@ func (s *Server) Serve(ln net.Listener) error {
 		if s.cfg.Gate != nil {
 			var ok bool
 			if release, ok = s.cfg.Gate(c); !ok {
+				s.shed.Add(1)
 				_ = c.Close()
 				continue
 			}
 		}
+		s.accepted.Add(1)
 		go func() {
 			if release != nil {
 				defer release()

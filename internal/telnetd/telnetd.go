@@ -9,7 +9,10 @@ import (
 	"errors"
 	"io"
 	"net"
+	"sync/atomic"
 	"time"
+
+	"honeynet/internal/obs"
 )
 
 // Telnet protocol bytes.
@@ -55,6 +58,29 @@ func (c *Config) maxTries() int {
 // Server accepts Telnet connections.
 type Server struct {
 	cfg Config
+
+	// Accept-loop counters (Serve only; HandleConn callers count their
+	// own accepts).
+	accepted atomic.Int64
+	shed     atomic.Int64
+}
+
+// AcceptStats returns how many connections Serve admitted and how many
+// its Gate shed.
+func (s *Server) AcceptStats() (accepted, shed int64) {
+	return s.accepted.Load(), s.shed.Load()
+}
+
+// Register exposes the accept-loop counters on reg:
+//
+//	honeynet_telnetd_conns_total{result="accepted"|"shed"}
+func (s *Server) Register(reg *obs.Registry) {
+	reg.CounterFunc("honeynet_telnetd_conns_total",
+		"Connections seen by the Telnet accept loop, by admission result.",
+		s.accepted.Load, obs.L("result", "accepted"))
+	reg.CounterFunc("honeynet_telnetd_conns_total",
+		"Connections seen by the Telnet accept loop, by admission result.",
+		s.shed.Load, obs.L("result", "shed"))
 }
 
 // New validates cfg and returns a Server.
@@ -76,10 +102,12 @@ func (s *Server) Serve(ln net.Listener) error {
 		if s.cfg.Gate != nil {
 			var ok bool
 			if release, ok = s.cfg.Gate(c); !ok {
+				s.shed.Add(1)
 				_ = c.Close()
 				continue
 			}
 		}
+		s.accepted.Add(1)
 		go func() {
 			if release != nil {
 				defer release()

