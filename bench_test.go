@@ -48,13 +48,21 @@ func benchPipeline(b *testing.B) *analysis.World {
 	return benchWorld
 }
 
-// withWorkers returns a shallow copy of the world with a different
-// worker budget (the dataset and databases stay shared — analyzer
-// output is identical for any value).
+// withWorkers returns a new world over the same dataset with a
+// different worker budget (the dataset and databases stay shared —
+// analyzer output is identical for any value). Built field by field
+// rather than by struct copy: World carries its matrix-memo lock, and
+// each copy deliberately starts with a cold memo so parallel benchmarks
+// measure real fills.
 func withWorkers(w *analysis.World, n int) *analysis.World {
-	cp := *w
-	cp.Workers = n
-	return &cp
+	return &analysis.World{
+		Store:      w.Store,
+		Registry:   w.Registry,
+		AbuseDB:    w.AbuseDB,
+		Classifier: w.Classifier,
+		Workers:    n,
+		Tracer:     w.Tracer,
+	}
 }
 
 // ---------- Dataset generation ----------
@@ -481,7 +489,7 @@ func BenchmarkKSelection(b *testing.B) {
 	w := benchPipeline(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sel, err := analysis.SelectK(w, []int{5, 10, 20}, 150, 1)
+		sel, err := analysis.SelectK(w, []int{5, 10, 20}, 150, 1, analysis.ClusterConfig{SampleSize: 400, Seed: 1, Workers: w.Workers})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -504,8 +512,12 @@ func BenchmarkFig05DLDMatrixParallel(b *testing.B) {
 		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
+				// Fresh world per iteration: RunClustering memoizes its
+				// sample+matrix on the world, which would otherwise turn
+				// every iteration after the first into a memo hit.
+				ww := withWorkers(w, workers)
 				cfg := analysis.ClusterConfig{K: 30, SampleSize: 400, Seed: 1, Workers: workers}
-				res, err := analysis.RunClustering(w, cfg)
+				res, err := analysis.RunClustering(ww, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -523,7 +535,7 @@ func BenchmarkKSelectionParallel(b *testing.B) {
 		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
 			ww := withWorkers(w, workers)
 			for i := 0; i < b.N; i++ {
-				sel, err := analysis.SelectK(ww, []int{5, 10, 20}, 150, 1)
+				sel, err := analysis.SelectK(ww, []int{5, 10, 20}, 150, 1, analysis.ClusterConfig{SampleSize: 400, Seed: 1, Workers: workers})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -561,6 +573,76 @@ func BenchmarkDatasetStatsParallel(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if analysis.Stats(ww).Total == 0 {
 					b.Fatal("empty stats")
+				}
+			}
+		})
+	}
+}
+
+// benchSink keeps the kernel comparison loops from being optimized out.
+var benchSink float64
+
+// BenchmarkDLDMatrixBounded compares a full pairwise matrix fill over
+// the clustering sample with the unbounded full-DP kernel (kept as
+// NormalizedIDsFull, the pre-optimization implementation) against the
+// doubling-band Ukkonen kernel NormalizedIDs routes through now. Both
+// produce bit-identical distances; the ratio of their ns/op is the
+// kernel speedup reported in BENCH_4.json.
+func BenchmarkDLDMatrixBounded(b *testing.B) {
+	w := benchPipeline(b)
+	smp, err := w.DLDSample(analysis.ClusterConfig{SampleSize: 2000, Seed: 42, Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := textdist.NewInterner()
+	ids := make([][]int32, len(smp.Tokens))
+	for i, tok := range smp.Tokens {
+		ids[i] = in.Intern(tok)
+	}
+	pairs := float64(len(ids)) * float64(len(ids)-1) / 2
+	for _, v := range []struct {
+		name string
+		dist func(s *textdist.Scratch, a, b []int32) float64
+	}{
+		{"unbounded", (*textdist.Scratch).NormalizedIDsFull},
+		{"bounded", (*textdist.Scratch).NormalizedIDs},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			s := textdist.NewScratch()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sum := 0.0
+				for x := range ids {
+					for y := x + 1; y < len(ids); y++ {
+						sum += v.dist(s, ids[x], ids[y])
+					}
+				}
+				benchSink = sum
+			}
+			b.ReportMetric(pairs, "pairs/op")
+		})
+	}
+}
+
+// BenchmarkRunAllParallel measures the full -fig all pipeline under the
+// dependency-aware figure scheduler at several pool sizes. Output goes
+// to io.Discard; correctness (byte-identical tables for every worker
+// count) is pinned by the determinism tests, so this bench is purely
+// about wall time.
+func BenchmarkRunAllParallel(b *testing.B) {
+	w := benchPipeline(b)
+	for _, workers := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// Fresh classifier and world per iteration so the memos
+				// (classification, shared DLD sample) do not absorb the
+				// work being measured.
+				ww := withWorkers(w, workers)
+				ww.Classifier = classify.New()
+				p := &core.Pipeline{World: ww, Scale: 10000}
+				ccfg := analysis.ClusterConfig{K: 30, SampleSize: 400, Seed: 1, Workers: workers}
+				if err := p.RunAll(io.Discard, ccfg); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	hnanalyze [-scale 2000] [-seed 42] [-k 90] [-sample 2000] [-months 33] [-fig all] [-csv] [-in dataset.jsonl] [-workers N]
+//	hnanalyze [-scale 2000] [-seed 42] [-k 90] [-sample 2000] [-months 33] [-fig all] [-csv] [-in dataset.jsonl] [-workers N] [-cache DIR]
 //
 // -fig selects a single output: stats, 1, 2, 3a, 3b, 4a, 4b, 5, 6, 7, 8,
 // 9, 10, 11, 12, 13, 14, 16, 17, table1, storage, mdrfckr, appc, kselect,
@@ -41,6 +41,7 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text (single-figure mode)")
 		workers = flag.Int("workers", runtime.NumCPU(), "worker goroutines for simulation and analysis (output is identical for any value; 1 = serial)")
 		timings = flag.Bool("timings", false, "print a per-phase timing breakdown to stderr after the run (tables on stdout are unaffected)")
+		cache   = flag.String("cache", "", "directory for the on-disk DLD matrix cache (content-hash keyed; results are identical with or without it)")
 	)
 	flag.Parse()
 
@@ -74,6 +75,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("hnanalyze: %v", err)
 	}
+	p.World.MatrixCache = *cache
 	fmt.Fprintf(os.Stderr, "hnanalyze: dataset ready in %v (%d sessions)\n",
 		time.Since(start).Round(time.Millisecond), p.World.Store.Len())
 
@@ -184,7 +186,7 @@ func runOne(p *core.Pipeline, fig string, ccfg analysis.ClusterConfig, csv bool)
 	case "events":
 		emit(analysis.EventsTable(analysis.EventCorrelation(w)), csv)
 	case "kselect":
-		sel, err := analysis.SelectK(w, []int{10, 20, 40, 60, 90, 120, 150}, 400, 42)
+		sel, err := analysis.SelectK(w, []int{10, 20, 40, 60, 90, 120, 150}, 400, 42, ccfg)
 		if err != nil {
 			return err
 		}

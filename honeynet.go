@@ -65,10 +65,11 @@ func NewRegistry() *Registry { return obs.NewRegistry() }
 
 // config collects what the functional options tune.
 type config struct {
-	scale   float64
-	seed    int64
-	workers int
-	tracer  *obs.Tracer
+	scale       float64
+	seed        int64
+	workers     int
+	tracer      *obs.Tracer
+	matrixCache string
 }
 
 // Option tunes Simulate and Load. Options are applied in order; the
@@ -107,6 +108,16 @@ func WithObserver(t *Tracer) Option {
 	return optionFunc(func(c *config) { c.tracer = t })
 }
 
+// WithMatrixCache stores the clustering pipeline's pairwise DLD matrix
+// under dir, keyed by a content hash of the sampled texts and the
+// distance-kernel version, and reuses it on later runs over the same
+// dataset. The cache only skips recomputation — results are identical
+// with or without it, and a stale or corrupt entry is recomputed, never
+// trusted.
+func WithMatrixCache(dir string) Option {
+	return optionFunc(func(c *config) { c.matrixCache = dir })
+}
+
 // SimOptions selects the scale and seed of a dataset generation run.
 //
 // Deprecated: use the functional options (WithScale, WithSeed, ...)
@@ -131,17 +142,22 @@ func Simulate(opts ...Option) (*Pipeline, error) {
 	for _, o := range opts {
 		o.apply(&c)
 	}
-	return core.Simulate(simulate.Config{
+	p, err := core.Simulate(simulate.Config{
 		Scale:   c.scale,
 		Seed:    c.seed,
 		Workers: c.workers,
 		Tracer:  c.tracer,
 	})
+	if err != nil {
+		return nil, err
+	}
+	p.World.MatrixCache = c.matrixCache
+	return p, nil
 }
 
 // Load builds a pipeline over records previously written as JSONL (for
-// example by cmd/hnsim or a live cmd/honeypotd). Only WithWorkers and
-// WithObserver apply to a loaded dataset. Figures that join on the
+// example by cmd/hnsim or a live cmd/honeypotd). Only WithWorkers,
+// WithObserver, and WithMatrixCache apply to a loaded dataset. Figures that join on the
 // simulation-populated feeds render empty for loaded datasets; the
 // returned Pipeline's MissingJoins field names the substituted
 // databases.
@@ -157,5 +173,6 @@ func Load(r io.Reader, opts ...Option) (*Pipeline, error) {
 	p := core.FromRecords(recs, nil)
 	p.World.Workers = c.workers
 	p.World.Tracer = c.tracer
+	p.World.MatrixCache = c.matrixCache
 	return p, nil
 }

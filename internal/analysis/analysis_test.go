@@ -557,7 +557,7 @@ func TestIntrusionPasswordSessions(t *testing.T) {
 
 func TestSelectK(t *testing.T) {
 	w := testWorld(t)
-	sel, err := SelectK(w, []int{2, 5, 10, 20, 40}, 150, 7)
+	sel, err := SelectK(w, []int{2, 5, 10, 20, 40}, 150, 7, ClusterConfig{SampleSize: 300, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -586,7 +586,7 @@ func TestSelectK(t *testing.T) {
 		t.Error("empty table")
 	}
 	// Invalid k values are rejected.
-	if _, err := SelectK(w, []int{0, 1}, 50, 7); err == nil {
+	if _, err := SelectK(w, []int{0, 1}, 50, 7, ClusterConfig{SampleSize: 300, Seed: 7}); err == nil {
 		t.Error("k<2 only should fail")
 	}
 }

@@ -6,6 +6,7 @@ package analysis
 
 import (
 	"sort"
+	"sync"
 	"time"
 
 	"honeynet/internal/abusedb"
@@ -31,6 +32,19 @@ type World struct {
 	// Spans only observe the clock: results are identical with or
 	// without one.
 	Tracer *obs.Tracer
+	// MatrixCache, when non-empty, is a directory for the on-disk DLD
+	// matrix cache (hnanalyze -cache). Entries are keyed by a content
+	// hash over the sampled texts plus the textdist kernel version, so
+	// a cached matrix is only ever reused for the byte-identical input
+	// it was computed from.
+	MatrixCache string
+
+	// The memoized shared DLD sample (see DLDSample): one
+	// tokenize+intern pass and one matrix fill feed both SelectK and
+	// RunClustering.
+	sampleMu  sync.Mutex
+	sampleCfg sampleKey
+	sample    *DLDSample
 }
 
 // workers resolves the configured worker count.

@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestFig5TableRowSums pins the row-sum refactor of Fig5Table to the
+// direct per-cluster rescan it replaced: for every displayed cluster,
+// the rendered intra- and inter-cluster means must match what the
+// original O(members·N) loops produce, cell for cell. Rendering rounds
+// to three decimals, so the test also bounds the raw drift the changed
+// accumulation order may introduce.
+func TestFig5TableRowSums(t *testing.T) {
+	w := testWorld(t)
+	cres, err := RunClustering(w, ClusterConfig{K: 25, SampleSize: 300, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := cres.Fig5Table(0)
+	if len(tbl.Rows) != cres.K {
+		t.Fatalf("rows = %d, want %d", len(tbl.Rows), cres.K)
+	}
+	for rank, c := range cres.Order {
+		members := cres.Res.Members(c)
+		// The pre-refactor reference: rescan the matrix per cluster.
+		intra, intraN := 0.0, 0
+		inter, interN := 0.0, 0
+		for ii, i := range members {
+			for _, j := range members[ii+1:] {
+				intra += cres.Matrix.At(i, j)
+				intraN++
+			}
+		}
+		for _, i := range members {
+			for j := 0; j < cres.Matrix.N; j++ {
+				if cres.Res.Assign[j] != c {
+					inter += cres.Matrix.At(i, j)
+					interN++
+				}
+			}
+		}
+		if intraN > 0 {
+			intra /= float64(intraN)
+		}
+		if interN > 0 {
+			inter /= float64(interN)
+		}
+		row := tbl.Rows[rank]
+		if got, want := row[3], fmt.Sprintf("%.3f", intra); got != want {
+			t.Errorf("cluster C-%d intra = %s, reference %s", rank+1, got, want)
+		}
+		if got, want := row[4], fmt.Sprintf("%.3f", inter); got != want {
+			t.Errorf("cluster C-%d inter = %s, reference %s", rank+1, got, want)
+		}
+		if got, want := row[1], fmt.Sprint(len(members)); got != want {
+			t.Errorf("cluster C-%d texts = %s, want %s", rank+1, got, want)
+		}
+	}
+}

@@ -2,7 +2,6 @@ package analysis
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 	"strings"
 	"time"
@@ -62,12 +61,13 @@ type ClusterResult struct {
 }
 
 // fillDLDMatrix builds the pairwise normalized token-DLD matrix on up to
-// `workers` goroutines. Tokens are interned to int32 IDs first (serially,
-// so ID assignment is deterministic) and each worker carries a reusable
-// textdist.Scratch, making the O(n²·len²) DP loop allocation-free with
-// integer equality checks. The matrix is identical to a serial
-// string-token fill for every worker count.
-func fillDLDMatrix(tokens [][]string, workers int) *cluster.Matrix {
+// `workers` goroutines and returns the merged kernel work counters.
+// Tokens are interned to int32 IDs first (serially, so ID assignment is
+// deterministic) and each worker carries a reusable textdist.Scratch,
+// making the banded DP loop allocation-free with integer equality
+// checks. The matrix is identical to a serial string-token fill for
+// every worker count.
+func fillDLDMatrix(tokens [][]string, workers int) (*cluster.Matrix, textdist.KernelStats) {
 	workers = parallel.Workers(workers)
 	in := textdist.NewInterner()
 	ids := make([][]int32, len(tokens))
@@ -78,61 +78,33 @@ func fillDLDMatrix(tokens [][]string, workers int) *cluster.Matrix {
 	for i := range scratch {
 		scratch[i] = textdist.NewScratch()
 	}
-	return cluster.FillParallel(len(ids), workers, func(w, i, j int) float64 {
+	m := cluster.FillParallel(len(ids), workers, func(w, i, j int) float64 {
 		return scratch[w].NormalizedIDs(ids[i], ids[j])
 	})
+	var st textdist.KernelStats
+	for _, s := range scratch {
+		st.Add(s.Stats())
+	}
+	return m, st
 }
 
 // RunClustering executes the full pipeline: select sessions with
-// downloads/drops, tokenize, build the DLD matrix, K-medoids, and label
-// clusters via the abuse database.
+// downloads/drops, tokenize, build the DLD matrix (all via the shared
+// DLDSample, so a preceding or following SelectK reuses the work),
+// K-medoids, and label clusters via the abuse database.
 func RunClustering(w *World, cfg ClusterConfig) (*ClusterResult, error) {
 	cfg = cfg.defaults()
-	// Section 6 clusters the sessions in which files are loaded onto the
-	// honeypot (the ~3M download sessions), not every state change.
-	recs := w.Store.Filter(func(r *session.Record) bool {
-		return IsSSH(r) && r.Kind() == session.CommandExec && len(r.Downloads) > 0
-	})
-
-	// Deduplicate by command text, keeping multiplicity. Obfuscated
-	// variants remain distinct texts — that is what DLD absorbs.
-	index := map[string]int{}
-	res := &ClusterResult{}
-	for _, r := range recs {
-		txt := r.CommandText()
-		i, ok := index[txt]
-		if !ok {
-			i = len(res.Texts)
-			index[txt] = i
-			res.Texts = append(res.Texts, txt)
-			res.Weight = append(res.Weight, 0)
-			res.Sessions = append(res.Sessions, nil)
-		}
-		res.Weight[i]++
-		res.Sessions[i] = append(res.Sessions[i], r)
+	smp, err := w.DLDSample(cfg)
+	if err != nil {
+		return nil, err
 	}
-	if len(res.Texts) == 0 {
-		return nil, fmt.Errorf("analysis: no file-involving sessions to cluster")
+	res := &ClusterResult{
+		Texts:    smp.Texts,
+		Weight:   smp.Weight,
+		Sessions: smp.Sessions,
+		Matrix:   smp.Matrix,
 	}
-
-	// Downsample distinct texts if needed (weighted-preserving: drop
-	// the rarest texts first after a shuffle for ties).
-	if len(res.Texts) > cfg.SampleSize {
-		rng := rand.New(rand.NewSource(cfg.Seed))
-		order := rng.Perm(len(res.Texts))
-		sort.SliceStable(order, func(a, b int) bool {
-			return res.Weight[order[a]] > res.Weight[order[b]]
-		})
-		keep := order[:cfg.SampleSize]
-		sort.Ints(keep)
-		nt := make([]string, len(keep))
-		nw := make([]int, len(keep))
-		ns := make([][]*session.Record, len(keep))
-		for j, i := range keep {
-			nt[j], nw[j], ns[j] = res.Texts[i], res.Weight[i], res.Sessions[i]
-		}
-		res.Texts, res.Weight, res.Sessions = nt, nw, ns
-	}
+	tokens := smp.Tokens
 
 	k := cfg.K
 	if k > len(res.Texts) {
@@ -140,16 +112,7 @@ func RunClustering(w *World, cfg ClusterConfig) (*ClusterResult, error) {
 	}
 	res.K = k
 
-	sp := w.span("cluster.tokenize")
-	tokens := make([][]string, len(res.Texts))
-	for i, t := range res.Texts {
-		tokens[i] = textdist.Tokenize(t)
-	}
-	sp.End()
-	sp = w.span("cluster.dld-matrix")
-	res.Matrix = fillDLDMatrix(tokens, cfg.Workers)
-	sp.End()
-	sp = w.span("cluster.kmedoids")
+	sp := w.span("cluster.kmedoids")
 	cres, err := cluster.KMedoids(res.Matrix, k, cluster.Config{Seed: cfg.Seed, Workers: cfg.Workers})
 	sp.End()
 	if err != nil {
@@ -214,32 +177,44 @@ func (cr *ClusterResult) Fig5Table(maxRows int) *report.Table {
 		Title:   "Figure 5: normalized DLD matrix (cluster summary)",
 		Headers: []string{"cluster", "texts", "sessions", "mean_intra_dld", "mean_inter_dld", "labels"},
 	}
+	// One pass over the matrix triangle accumulates, per text, its
+	// distance mass toward every cluster. Each displayed row then reads
+	// its intra/inter sums in O(members) instead of rescanning all
+	// O(members·N) cells per cluster.
+	k, n := cr.K, cr.Matrix.N
+	rowCluster := make([]float64, n*k)
+	rowTotal := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := cr.Matrix.At(i, j)
+			rowCluster[i*k+cr.Res.Assign[j]] += d
+			rowCluster[j*k+cr.Res.Assign[i]] += d
+			rowTotal[i] += d
+			rowTotal[j] += d
+		}
+	}
 	for rank, c := range cr.Order {
 		if maxRows > 0 && rank >= maxRows {
 			break
 		}
 		members := cr.Res.Members(c)
-		intra, intraN := 0.0, 0
-		inter, interN := 0.0, 0
-		for ii, i := range members {
-			for _, j := range members[ii+1:] {
-				intra += cr.Matrix.At(i, j)
-				intraN++
-			}
-		}
+		intra, inter := 0.0, 0.0
 		for _, i := range members {
-			for j := 0; j < cr.Matrix.N; j++ {
-				if cr.Res.Assign[j] != c {
-					inter += cr.Matrix.At(i, j)
-					interN++
-				}
-			}
+			intra += rowCluster[i*k+c]
+			inter += rowTotal[i] - rowCluster[i*k+c]
 		}
+		// Intra sums count each unordered member pair twice.
+		intraN := len(members) * (len(members) - 1) / 2
+		interN := len(members) * (n - len(members))
 		if intraN > 0 {
-			intra /= float64(intraN)
+			intra = intra / 2 / float64(intraN)
+		} else {
+			intra = 0
 		}
 		if interN > 0 {
 			inter /= float64(interN)
+		} else {
+			inter = 0
 		}
 		t.AddRow(fmt.Sprintf("C-%d", rank+1), len(members), cr.ClusterWeight(c),
 			intra, inter, strings.Join(cr.Labels[c], "+"))
@@ -385,11 +360,14 @@ func Fig14(w *World, perCategory int) *Fig14Result {
 	}
 	sort.Strings(cats)
 
+	// Exemplar token streams indexed by category position, so the hot
+	// cross-product loop below does two slice loads per cell instead of
+	// hashing the category name on every exemplar pair.
 	intern := textdist.NewInterner()
-	tokens := map[string][][]int32{}
-	for _, c := range cats {
+	tokens := make([][][]int32, len(cats))
+	for ci, c := range cats {
 		for _, txt := range byCat[c] {
-			tokens[c] = append(tokens[c], intern.Intern(textdist.Tokenize(txt)))
+			tokens[ci] = append(tokens[ci], intern.Intern(textdist.Tokenize(txt)))
 		}
 	}
 	// Each matrix cell is the mean over an exemplar cross product; the
@@ -403,9 +381,10 @@ func Fig14(w *World, perCategory int) *Fig14Result {
 	defer w.span("fig14.dld-matrix").End()
 	m := cluster.FillParallel(len(cats), workers, func(wk, i, j int) float64 {
 		s := scratch[wk]
+		rows, cols := tokens[i], tokens[j]
 		sum, n := 0.0, 0
-		for _, ta := range tokens[cats[i]] {
-			for _, tb := range tokens[cats[j]] {
+		for _, ta := range rows {
+			for _, tb := range cols {
 				sum += s.NormalizedIDs(ta, tb)
 				n++
 			}

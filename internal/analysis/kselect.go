@@ -7,8 +7,6 @@ import (
 
 	"honeynet/internal/cluster"
 	"honeynet/internal/report"
-	"honeynet/internal/session"
-	"honeynet/internal/textdist"
 )
 
 // KSelection is the model-selection sweep of section 6: WCSS (for the
@@ -21,50 +19,48 @@ type KSelection struct {
 	BestSilhouetteK int
 }
 
-// SelectK runs K-medoids over the download-session sample for each
-// candidate k, reproducing the elbow + silhouette procedure with which
-// the paper settles on k=90.
-func SelectK(w *World, ks []int, sampleSize int, seed int64) (*KSelection, error) {
-	if sampleSize <= 0 {
-		sampleSize = 500
+// SelectK runs K-medoids over a sweep-sized subset of the shared
+// download-session sample for each candidate k, reproducing the elbow +
+// silhouette procedure with which the paper settles on k=90. The subset
+// is drawn deterministically (by seed) from the DLDSample built for
+// ccfg, and its distance submatrix is copied out of the already-filled
+// shared matrix — no pairwise DLD is recomputed, which the
+// kselect.submatrix span's pairs_reused tag and the
+// honeynet_analysis_dld_pairs_reused_total counter surface.
+func SelectK(w *World, ks []int, sweepSize int, seed int64, ccfg ClusterConfig) (*KSelection, error) {
+	if sweepSize <= 0 {
+		sweepSize = 500
 	}
-	recs := w.Store.Filter(func(r *session.Record) bool {
-		return IsSSH(r) && r.Kind() == session.CommandExec && len(r.Downloads) > 0
-	})
-	seen := map[string]bool{}
-	var texts []string
-	for _, r := range recs {
-		txt := r.CommandText()
-		if !seen[txt] {
-			seen[txt] = true
-			texts = append(texts, txt)
-		}
+	smp, err := w.DLDSample(ccfg)
+	if err != nil {
+		return nil, err
 	}
-	if len(texts) == 0 {
-		return nil, fmt.Errorf("analysis: no download sessions to sweep")
+	idx := make([]int, len(smp.Texts))
+	for i := range idx {
+		idx[i] = i
 	}
-	if len(texts) > sampleSize {
+	if len(idx) > sweepSize {
 		rng := rand.New(rand.NewSource(seed))
-		rng.Shuffle(len(texts), func(i, j int) { texts[i], texts[j] = texts[j], texts[i] })
-		texts = texts[:sampleSize]
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		idx = idx[:sweepSize]
+		sort.Ints(idx)
 	}
-	tokens := make([][]string, len(texts))
-	for i, t := range texts {
-		tokens[i] = textdist.Tokenize(t)
-	}
-	sp := w.span("kselect.dld-matrix")
-	m := fillDLDMatrix(tokens, w.Workers)
+	sp := w.span("kselect.submatrix")
+	m := submatrix(smp.Matrix, idx)
+	reused := int64(len(idx)) * int64(len(idx)-1) / 2
+	dldPairsReused.Add(reused)
+	sp.Tag("pairs_reused", reused)
 	sp.End()
 
 	var valid []int
 	for _, k := range ks {
-		if k >= 2 && k <= len(texts) {
+		if k >= 2 && k <= len(idx) {
 			valid = append(valid, k)
 		}
 	}
 	sort.Ints(valid)
 	if len(valid) == 0 {
-		return nil, fmt.Errorf("analysis: no valid k in %v for %d texts", ks, len(texts))
+		return nil, fmt.Errorf("analysis: no valid k in %v for %d texts", ks, len(idx))
 	}
 	sp = w.span("kselect.sweep")
 	points, err := cluster.SweepK(m, valid, cluster.Config{Seed: seed, Workers: w.Workers})

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"sync/atomic"
+
+	"honeynet/internal/obs"
+	"honeynet/internal/textdist"
+)
+
+// Package-level work counters for the DLD kernel and the shared-matrix
+// reuse paths. They are plain atomics (instrument pattern 2 of the obs
+// package): analyzers add to them unconditionally, and Register bridges
+// them into a registry via CounterFunc so a daemon that embeds the
+// analysis pipeline exposes them on /metrics. Counters never feed back
+// into results.
+var (
+	dldPairs        atomic.Int64 // pairwise distances requested
+	dldPairsTrivial atomic.Int64 // resolved by affix strip / empty side alone
+	dldPairsReused  atomic.Int64 // served from the shared matrix, not recomputed
+	dldBandPasses   atomic.Int64 // banded DP passes across all pairs
+	dldCells        atomic.Int64 // DP cells actually evaluated
+	dldCellsSaved   atomic.Int64 // full-DP cells the band made unnecessary
+
+	matrixReuse       atomic.Int64 // shared-sample memo hits (SelectK after RunClustering etc.)
+	matrixCacheHits   atomic.Int64 // on-disk cache hits
+	matrixCacheMisses atomic.Int64 // on-disk cache misses (matrix recomputed)
+	matrixCacheErrors atomic.Int64 // unreadable/corrupt/unwritable cache entries
+)
+
+// addKernelStats folds one fill's merged per-worker kernel counters into
+// the package totals.
+func addKernelStats(st textdist.KernelStats) {
+	dldPairs.Add(st.Pairs)
+	dldPairsTrivial.Add(st.Trivial)
+	dldBandPasses.Add(st.BandPasses)
+	dldCells.Add(st.CellsDP)
+	if saved := st.CellsFull - st.CellsDP; saved > 0 {
+		dldCellsSaved.Add(saved)
+	}
+}
+
+// Register exposes the analysis work counters on reg (nil-safe). Call
+// once per registry; the daemon wires this next to its component
+// registrations so long-running analyze endpoints are observable.
+func Register(reg *obs.Registry) {
+	reg.CounterFunc("honeynet_analysis_dld_pairs_total",
+		"Pairwise token-DLD computations requested by the analysis pipeline.",
+		dldPairs.Load)
+	reg.CounterFunc("honeynet_analysis_dld_pairs_trivial_total",
+		"DLD pairs resolved by prefix/suffix stripping without any DP pass.",
+		dldPairsTrivial.Load)
+	reg.CounterFunc("honeynet_analysis_dld_pairs_reused_total",
+		"DLD pairs served from an already-computed shared matrix instead of recomputed.",
+		dldPairsReused.Load)
+	reg.CounterFunc("honeynet_analysis_dld_band_passes_total",
+		"Banded DP passes run by the doubling-band DLD kernel.",
+		dldBandPasses.Load)
+	reg.CounterFunc("honeynet_analysis_dld_cells_total",
+		"DP cells evaluated by the DLD kernel.",
+		dldCells.Load)
+	reg.CounterFunc("honeynet_analysis_dld_cells_saved_total",
+		"Full-DP cells the banded DLD kernel short-circuited.",
+		dldCellsSaved.Load)
+	reg.CounterFunc("honeynet_analysis_matrix_reuse_total",
+		"Times a memoized shared DLD sample+matrix satisfied an analysis stage.",
+		matrixReuse.Load)
+	reg.CounterFunc("honeynet_analysis_matrix_cache_hits_total",
+		"On-disk DLD matrix cache hits.",
+		matrixCacheHits.Load)
+	reg.CounterFunc("honeynet_analysis_matrix_cache_misses_total",
+		"On-disk DLD matrix cache misses (matrix recomputed and stored).",
+		matrixCacheMisses.Load)
+	reg.CounterFunc("honeynet_analysis_matrix_cache_errors_total",
+		"On-disk DLD matrix cache entries that were unreadable, corrupt, or unwritable.",
+		matrixCacheErrors.Load)
+}

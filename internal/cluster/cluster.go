@@ -32,6 +32,20 @@ func NewMatrix(n int) *Matrix {
 	return &Matrix{N: n, d: make([]float64, n*(n-1)/2)}
 }
 
+// Packed exposes the upper-triangle backing array (row-major, j > i),
+// length N*(N-1)/2 — the serialization surface of the on-disk matrix
+// cache. The slice is shared; do not mutate.
+func (m *Matrix) Packed() []float64 { return m.d }
+
+// NewMatrixFromPacked rebuilds a matrix from a packed upper triangle,
+// as returned by Packed.
+func NewMatrixFromPacked(n int, packed []float64) (*Matrix, error) {
+	if want := n * (n - 1) / 2; len(packed) != want {
+		return nil, fmt.Errorf("cluster: packed triangle has %d cells, want %d for n=%d", len(packed), want, n)
+	}
+	return &Matrix{N: n, d: packed}, nil
+}
+
 func (m *Matrix) idx(i, j int) int {
 	if i > j {
 		i, j = j, i

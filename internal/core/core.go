@@ -6,7 +6,6 @@
 package core
 
 import (
-	"fmt"
 	"io"
 	"math/rand"
 	"sort"
@@ -17,7 +16,7 @@ import (
 	"honeynet/internal/botnet"
 	"honeynet/internal/classify"
 	"honeynet/internal/collector"
-	"honeynet/internal/report"
+	"honeynet/internal/parallel"
 	"honeynet/internal/session"
 	"honeynet/internal/simulate"
 )
@@ -126,51 +125,28 @@ func containsMdrfckr(s string) bool {
 
 // RunAll executes every table/figure analyzer and writes the rendered
 // tables to out. ClusterConfig tunes the section 6 pipeline.
+//
+// Figures run on a dependency-aware worker pool (see schedule.go): all
+// analyzers are read-only over the dataset, so independent figures fill
+// their buffers concurrently while the two cluster figures wait for the
+// K-medoids stage. Buffers flush in the paper's figure order, so the
+// output is byte-identical to a serial run for any worker count. On a
+// failed stage the figures before it (in output order) are still
+// written, exactly as the serial loop behaved.
 func (p *Pipeline) RunAll(out io.Writer, ccfg analysis.ClusterConfig) error {
 	w := p.World
 	if ccfg.Workers == 0 {
 		ccfg.Workers = w.Workers
 	}
-	emit := func(t *report.Table) {
-		fmt.Fprintln(out, t.String())
+	tasks := runAllTasks()
+	bufs, errs := scheduleTasks(tasks, &runState{w: w, ccfg: ccfg}, parallel.Workers(w.Workers))
+	for i := range tasks {
+		if errs[i] != nil {
+			return errs[i]
+		}
+		if _, err := out.Write(bufs[i].Bytes()); err != nil {
+			return err
+		}
 	}
-
-	emit(analysis.Stats(w).Table())
-	emit(analysis.Fig1Table(analysis.Fig1(w)))
-	emit(analysis.SharesTable("Figure 2: non-state-changing sessions, top bots/month", analysis.Fig2(w), 8))
-	emit(analysis.SharesTable("Figure 3a: file add/modify/delete without exec", analysis.Fig3a(w), 8))
-	emit(analysis.SharesTable("Figure 3b: file-execution sessions", analysis.Fig3b(w), 8))
-	f4 := analysis.Fig4(w)
-	emit(analysis.SharesTable("Figure 4a: exec sessions, file exists", f4.Exists, 8))
-	emit(analysis.SharesTable("Figure 4b: exec sessions, file missing", f4.Missing, 8))
-
-	cres, err := analysis.RunClustering(w, ccfg)
-	if err != nil {
-		return fmt.Errorf("core: clustering: %w", err)
-	}
-	emit(cres.Fig5Table(12))
-	emit(analysis.Fig6Table(cres.Fig6(5)))
-
-	emit(analysis.Storage(w).Table())
-	emit(analysis.Fig7(w).Table())
-	emit(analysis.Fig8Table(analysis.Fig8(w)))
-	for _, rc := range []struct {
-		name string
-		days int
-	}{{"1-week", 7}, {"4-week", 28}, {"1-year", 365}, {"all", 0}} {
-		emit(analysis.Fig9Table("Figure 9 ("+rc.name+" recall): storage IP activity days", analysis.Fig9(w, rc.days)))
-	}
-	emit(analysis.Fig10(w, 5).Table())
-	emit(analysis.Fig11(w).Table())
-	emit(analysis.Fig12Table(analysis.Fig12(w)))
-	cs := analysis.Mdrfckr(w, botnet.MdrfckrKeyHash())
-	emit(cs.Fig13Table())
-	emit(cs.Table())
-	emit(analysis.EventsTable(analysis.EventCorrelation(w)))
-	emit(analysis.Fig14(w, 10).Table())
-	emit(analysis.Fig16Table(analysis.Fig16(w)))
-	emit(analysis.Fig17Table(analysis.Fig17(w)))
-	emit(analysis.Table1(w).Table())
-	emit(analysis.CurlProxy(w).Table())
 	return nil
 }

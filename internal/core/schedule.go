@@ -1,0 +1,212 @@
+// Dependency-aware figure scheduler for RunAll. Every analyzer in the
+// paper reproduction reads the immutable dataset and its own scratch
+// state, so independent figures can run concurrently; only the two
+// cluster figures depend on an earlier stage (the section 6 K-medoids
+// pipeline). Each task renders into a private buffer and the buffers
+// are flushed in declaration order, so `-fig all` output is
+// byte-identical to the old serial loop for any worker count.
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"honeynet/internal/analysis"
+	"honeynet/internal/botnet"
+	"honeynet/internal/report"
+)
+
+// runState carries the cross-task values: the analysis world plus the
+// clustering result the cluster stage hands to its dependent figures.
+// cres is written by the cluster task and read only by tasks that
+// declare it as a dependency (the scheduler's completion signaling
+// orders the accesses).
+type runState struct {
+	w    *analysis.World
+	ccfg analysis.ClusterConfig
+	cres *analysis.ClusterResult
+}
+
+// figTask is one scheduling unit of RunAll.
+type figTask struct {
+	name string
+	// deps lists prerequisite task indices in the runAllTasks slice.
+	deps []int
+	run  func(s *runState, buf *bytes.Buffer) error
+}
+
+// emitInto renders one table the way the serial loop did.
+func emitInto(buf *bytes.Buffer, t *report.Table) {
+	fmt.Fprintln(buf, t.String())
+}
+
+// table wraps the common infallible emit-one-or-more-tables task body.
+func tables(f func(s *runState, buf *bytes.Buffer)) func(*runState, *bytes.Buffer) error {
+	return func(s *runState, buf *bytes.Buffer) error {
+		f(s, buf)
+		return nil
+	}
+}
+
+// runAllTasks returns RunAll's task graph. Slice order IS output order:
+// the flusher concatenates buffers by index, reproducing the paper's
+// figure sequence exactly.
+func runAllTasks() []figTask {
+	const clusterStage = 6 // index of the K-medoids stage below
+	return []figTask{
+		{name: "stats", run: tables(func(s *runState, b *bytes.Buffer) {
+			emitInto(b, analysis.Stats(s.w).Table())
+		})},
+		{name: "fig1", run: tables(func(s *runState, b *bytes.Buffer) {
+			emitInto(b, analysis.Fig1Table(analysis.Fig1(s.w)))
+		})},
+		{name: "fig2", run: tables(func(s *runState, b *bytes.Buffer) {
+			emitInto(b, analysis.SharesTable("Figure 2: non-state-changing sessions, top bots/month", analysis.Fig2(s.w), 8))
+		})},
+		{name: "fig3a", run: tables(func(s *runState, b *bytes.Buffer) {
+			emitInto(b, analysis.SharesTable("Figure 3a: file add/modify/delete without exec", analysis.Fig3a(s.w), 8))
+		})},
+		{name: "fig3b", run: tables(func(s *runState, b *bytes.Buffer) {
+			emitInto(b, analysis.SharesTable("Figure 3b: file-execution sessions", analysis.Fig3b(s.w), 8))
+		})},
+		{name: "fig4", run: tables(func(s *runState, b *bytes.Buffer) {
+			f4 := analysis.Fig4(s.w)
+			emitInto(b, analysis.SharesTable("Figure 4a: exec sessions, file exists", f4.Exists, 8))
+			emitInto(b, analysis.SharesTable("Figure 4b: exec sessions, file missing", f4.Missing, 8))
+		})},
+		{name: "cluster", run: func(s *runState, _ *bytes.Buffer) error {
+			cres, err := analysis.RunClustering(s.w, s.ccfg)
+			if err != nil {
+				return fmt.Errorf("core: clustering: %w", err)
+			}
+			s.cres = cres
+			return nil
+		}},
+		{name: "fig5", deps: []int{clusterStage}, run: tables(func(s *runState, b *bytes.Buffer) {
+			emitInto(b, s.cres.Fig5Table(12))
+		})},
+		{name: "fig6", deps: []int{clusterStage}, run: tables(func(s *runState, b *bytes.Buffer) {
+			emitInto(b, analysis.Fig6Table(s.cres.Fig6(5)))
+		})},
+		{name: "storage", run: tables(func(s *runState, b *bytes.Buffer) {
+			emitInto(b, analysis.Storage(s.w).Table())
+		})},
+		{name: "fig7", run: tables(func(s *runState, b *bytes.Buffer) {
+			emitInto(b, analysis.Fig7(s.w).Table())
+		})},
+		{name: "fig8", run: tables(func(s *runState, b *bytes.Buffer) {
+			emitInto(b, analysis.Fig8Table(analysis.Fig8(s.w)))
+		})},
+		{name: "fig9", run: tables(func(s *runState, b *bytes.Buffer) {
+			for _, rc := range []struct {
+				name string
+				days int
+			}{{"1-week", 7}, {"4-week", 28}, {"1-year", 365}, {"all", 0}} {
+				emitInto(b, analysis.Fig9Table("Figure 9 ("+rc.name+" recall): storage IP activity days", analysis.Fig9(s.w, rc.days)))
+			}
+		})},
+		{name: "fig10", run: tables(func(s *runState, b *bytes.Buffer) {
+			emitInto(b, analysis.Fig10(s.w, 5).Table())
+		})},
+		{name: "fig11", run: tables(func(s *runState, b *bytes.Buffer) {
+			emitInto(b, analysis.Fig11(s.w).Table())
+		})},
+		{name: "fig12", run: tables(func(s *runState, b *bytes.Buffer) {
+			emitInto(b, analysis.Fig12Table(analysis.Fig12(s.w)))
+		})},
+		{name: "mdrfckr", run: tables(func(s *runState, b *bytes.Buffer) {
+			cs := analysis.Mdrfckr(s.w, botnet.MdrfckrKeyHash())
+			emitInto(b, cs.Fig13Table())
+			emitInto(b, cs.Table())
+		})},
+		{name: "events", run: tables(func(s *runState, b *bytes.Buffer) {
+			emitInto(b, analysis.EventsTable(analysis.EventCorrelation(s.w)))
+		})},
+		{name: "fig14", run: tables(func(s *runState, b *bytes.Buffer) {
+			emitInto(b, analysis.Fig14(s.w, 10).Table())
+		})},
+		{name: "fig16", run: tables(func(s *runState, b *bytes.Buffer) {
+			emitInto(b, analysis.Fig16Table(analysis.Fig16(s.w)))
+		})},
+		{name: "fig17", run: tables(func(s *runState, b *bytes.Buffer) {
+			emitInto(b, analysis.Fig17Table(analysis.Fig17(s.w)))
+		})},
+		{name: "table1", run: tables(func(s *runState, b *bytes.Buffer) {
+			emitInto(b, analysis.Table1(s.w).Table())
+		})},
+		{name: "appc", run: tables(func(s *runState, b *bytes.Buffer) {
+			emitInto(b, analysis.CurlProxy(s.w).Table())
+		})},
+	}
+}
+
+// scheduleTasks runs the task graph on up to `workers` goroutines.
+// A task becomes runnable when all its dependencies completed; no
+// worker ever blocks on an incomplete dependency, so the pool is
+// deadlock-free at any size (including 1, which degenerates to the old
+// serial order). When a dependency fails, its dependents are skipped
+// and inherit the error. Returns per-task buffers and errors indexed
+// like tasks.
+func scheduleTasks(tasks []figTask, s *runState, workers int) ([]bytes.Buffer, []error) {
+	n := len(tasks)
+	bufs := make([]bytes.Buffer, n)
+	errs := make([]error, n)
+	indeg := make([]int, n)
+	dependents := make([][]int, n)
+	for i, t := range tasks {
+		indeg[i] = len(t.deps)
+		for _, d := range t.deps {
+			dependents[d] = append(dependents[d], i)
+		}
+	}
+	// Buffered to n: every enqueue below is non-blocking, so completing
+	// a task never stalls behind a full channel while holding the lock.
+	ready := make(chan int, n)
+	for i, d := range indeg {
+		if d == 0 {
+			ready <- i
+		}
+	}
+	var mu sync.Mutex
+	pending := n
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ready {
+				// errs[i] was pre-set (under mu, before this task was
+				// enqueued) iff a dependency failed; skip its body then.
+				if errs[i] == nil {
+					sp := s.w.Tracer.Span("fig." + tasks[i].name)
+					errs[i] = tasks[i].run(s, &bufs[i])
+					sp.End()
+				}
+				mu.Lock()
+				pending--
+				for _, j := range dependents[i] {
+					if errs[i] != nil && errs[j] == nil {
+						errs[j] = errs[i]
+					}
+					indeg[j]--
+					if indeg[j] == 0 {
+						ready <- j
+					}
+				}
+				if pending == 0 {
+					close(ready)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	return bufs, errs
+}

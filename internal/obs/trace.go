@@ -29,6 +29,9 @@ type phaseAgg struct {
 	count int64
 	total time.Duration
 	max   time.Duration
+	// tags accumulate named integer annotations (work counters a phase
+	// reports alongside its wall time, e.g. DP cells short-circuited).
+	tags map[string]int64
 }
 
 // NewTracer returns an empty tracer.
@@ -73,11 +76,42 @@ func (t *Tracer) Record(name string, d time.Duration) {
 	}
 }
 
+// Tag accumulates a named integer annotation on a phase — work
+// counters that explain the phase's wall time (pairs computed, cells
+// skipped, cache hits). Tags are additive across occurrences and only
+// affect the -timings breakdown, never results. Nil-safe.
+func (t *Tracer) Tag(phase, name string, v int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p, ok := t.phases[phase]
+	if !ok {
+		p = &phaseAgg{}
+		t.phases[phase] = p
+		t.order = append(t.order, phase)
+	}
+	if p.tags == nil {
+		p.tags = map[string]int64{}
+	}
+	p.tags[name] += v
+}
+
 // Span is one in-flight phase timing.
 type Span struct {
 	t     *Tracer
 	name  string
 	start time.Time
+}
+
+// Tag annotates the span's phase with an additive work counter; see
+// Tracer.Tag. Nil-safe.
+func (s *Span) Tag(name string, v int64) {
+	if s == nil {
+		return
+	}
+	s.t.Tag(s.name, name, v)
 }
 
 // End seals the span and returns its duration. Nil-safe; idempotence is
@@ -97,6 +131,9 @@ type PhaseStat struct {
 	Count int64
 	Total time.Duration
 	Max   time.Duration
+	// Tags are the accumulated work-counter annotations (nil when the
+	// phase recorded none).
+	Tags map[string]int64
 }
 
 // Phases returns the aggregated stats in first-seen order.
@@ -109,7 +146,14 @@ func (t *Tracer) Phases() []PhaseStat {
 	out := make([]PhaseStat, 0, len(t.order))
 	for _, name := range t.order {
 		p := t.phases[name]
-		out = append(out, PhaseStat{Name: name, Count: p.count, Total: p.total, Max: p.max})
+		st := PhaseStat{Name: name, Count: p.count, Total: p.total, Max: p.max}
+		if len(p.tags) > 0 {
+			st.Tags = make(map[string]int64, len(p.tags))
+			for k, v := range p.tags {
+				st.Tags[k] = v
+			}
+		}
+		out = append(out, st)
 	}
 	return out
 }
@@ -147,5 +191,22 @@ func (t *Tracer) WriteTable(w io.Writer) {
 			width, p.Name, p.Count,
 			p.Total.Round(time.Microsecond), mean.Round(time.Microsecond),
 			p.Max.Round(time.Microsecond), 100*share)
+	}
+	// Work-counter annotations, one line per tagged phase (sorted tag
+	// names for stable output).
+	for _, p := range sorted {
+		if len(p.Tags) == 0 {
+			continue
+		}
+		names := make([]string, 0, len(p.Tags))
+		for n := range p.Tags {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "%-*s ", width, p.Name)
+		for _, n := range names {
+			fmt.Fprintf(w, " %s=%d", n, p.Tags[n])
+		}
+		fmt.Fprintln(w)
 	}
 }

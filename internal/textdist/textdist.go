@@ -11,7 +11,10 @@
 // worker) and brings per-pair allocations to zero.
 package textdist
 
-import "strings"
+import (
+	"math/bits"
+	"strings"
+)
 
 // Tokenize splits session command text into tokens. Separators are
 // whitespace and the shell operators `;`, `|`, `&`, matching the paper's
@@ -26,15 +29,80 @@ func Tokenize(text string) []string {
 	})
 }
 
+// Version identifies the distance-kernel implementation. Any change
+// that could alter a computed distance (it never should — the kernel is
+// exact) or the tokenization must bump this string: the on-disk matrix
+// cache keys on it, so stale cache entries can never be mistaken for
+// current ones.
+const Version = "dld-bitvec-1"
+
+// KernelStats counts the work the bounded kernel did and, crucially,
+// the work it avoided — the observability hook behind the
+// analysis-layer obs counters and the -timings span tags.
+type KernelStats struct {
+	// Pairs is the number of normalized-distance computations.
+	Pairs int64
+	// Trivial counts pairs fully resolved without any DP: equal after
+	// affix stripping, one side empty after stripping, or (interned
+	// path) token-disjoint, where the histogram bound pins the distance.
+	Trivial int64
+	// BandPasses counts DP passes: banded passes including
+	// band-widening retries, and bit-parallel scans (one per pair).
+	BandPasses int64
+	// CellsDP measures the DP work actually done. Banded passes count
+	// cells; the bit-parallel kernel computes a whole 64-cell column per
+	// machine word step and counts one per step, so the CellsFull -
+	// CellsDP gap is the work the kernel structure avoided.
+	CellsDP int64
+	// CellsFull is the number of cells a full unbounded DP would have
+	// computed for the same pairs (pre-stripping lengths). The
+	// short-circuited work is CellsFull - CellsDP.
+	CellsFull int64
+}
+
+// Add accumulates other into s (for merging per-worker stats).
+func (s *KernelStats) Add(other KernelStats) {
+	s.Pairs += other.Pairs
+	s.Trivial += other.Trivial
+	s.BandPasses += other.BandPasses
+	s.CellsDP += other.CellsDP
+	s.CellsFull += other.CellsFull
+}
+
 // Scratch holds the DP row buffers for one worker. The zero value is
 // ready to use; rows grow on demand and are reused across calls. Not
 // safe for concurrent use — give each goroutine its own Scratch.
 type Scratch struct {
 	prev2, prev, cur []int
+	// b* are the int32 rows of the banded kernel: half the memory
+	// traffic of int rows, and the DLD of any real pair fits easily
+	// (sequences are token lists, not genomes).
+	bprev2, bprev, bcur []int32
+	// peq* form the per-pair match-vector table of the bit-parallel
+	// kernel: a small open-addressing map from token ID to the bitmask
+	// of pattern positions holding that token. Keys are stored as id+1
+	// so the zero value means "empty"; peqUsed records occupied slots
+	// for an O(pattern) clear after each pair.
+	peqKeys [peqSize]int32
+	peqVals [peqSize]uint64
+	peqUsed [bitvecMax]uint8
+	peqN    int
+	// counts is the token-ID histogram behind the multiset lower bound
+	// of the long-pair path; grown to the largest ID seen and zeroed
+	// after each pair via the same ID list.
+	counts []int32
+	// stats accumulates bounded-kernel work counters.
+	stats KernelStats
 }
 
 // NewScratch returns an empty Scratch.
 func NewScratch() *Scratch { return &Scratch{} }
+
+// Stats returns the accumulated bounded-kernel counters.
+func (s *Scratch) Stats() KernelStats { return s.stats }
+
+// ResetStats zeroes the counters.
+func (s *Scratch) ResetStats() { s.stats = KernelStats{} }
 
 // rows returns the three DP rows sized for a second sequence of length
 // lb, growing the backing arrays when needed.
@@ -45,6 +113,16 @@ func (s *Scratch) rows(lb int) (prev2, prev, cur []int) {
 		s.cur = make([]int, lb+1)
 	}
 	return s.prev2[:lb+1], s.prev[:lb+1], s.cur[:lb+1]
+}
+
+// rows32 returns the three int32 DP rows for the banded kernel.
+func (s *Scratch) rows32(lb int) (prev2, prev, cur []int32) {
+	if cap(s.bprev) <= lb {
+		s.bprev2 = make([]int32, lb+1)
+		s.bprev = make([]int32, lb+1)
+		s.bcur = make([]int32, lb+1)
+	}
+	return s.bprev2[:lb+1], s.bprev[:lb+1], s.bcur[:lb+1]
 }
 
 // damerau computes the edit-unit DLD over any comparable element type.
@@ -145,35 +223,386 @@ func damerauBanded[T comparable](s *Scratch, a, b []T, bound int) int {
 	return d
 }
 
-// normalized scales the DLD into [0,1] by the longer sequence length.
-// Clearly-dissimilar pairs — where the length difference alone forces
-// at least half the tokens to be edited — are routed through the banded
-// DP with bound n-1, which abandons rows early. That bound keeps the
-// result exact: the DLD never exceeds n = max(len(a), len(b))
-// (substitute min(la,lb) tokens and insert/delete the rest), so a
-// banded verdict of "> n-1" pins the distance to exactly n.
-func normalized[T comparable](s *Scratch, a, b []T) float64 {
+// bandInf is the banded DP's out-of-band sentinel. Row-to-row
+// propagation adds at most 1 per row, so values stay far below
+// math.MaxInt32 for any realistic sequence.
+const bandInf = int32(1) << 30
+
+// damerauBanded32 computes the OSA Damerau DP restricted to the
+// diagonal band |i-j| <= band, over int32 rows. Out-of-band cells are
+// bandInf. The caller must pass band > |len(a)-len(b)| so the (la, lb)
+// corner lies inside the band.
+//
+// The Ukkonen band argument: every insertion or deletion moves the
+// alignment one diagonal over and costs 1, while matches,
+// substitutions, and adjacent transpositions stay on their diagonal. An
+// alignment of cost d therefore never leaves |i-j| <= d, so
+//
+//   - the banded value is always >= the true distance (it minimizes
+//     over a subset of alignments), and
+//   - if the banded value v satisfies v <= band, the optimal alignment
+//     (cost <= v <= band) fits inside the band and v IS the true
+//     distance — exactly, not approximately.
+func damerauBanded32[T comparable](s *Scratch, a, b []T, band int) int {
 	la, lb := len(a), len(b)
-	n, diff := la, la-lb
-	if lb > n {
-		n = lb
+	prev2, prev, cur := s.rows32(lb)
+	// Row 0: cells j <= band, then one sentinel.
+	top := lb
+	if band < top {
+		top = band
 	}
+	for j := 0; j <= top; j++ {
+		prev[j] = int32(j)
+	}
+	if band+1 <= lb {
+		prev[band+1] = bandInf
+	}
+	cells := int64(0)
+	for i := 1; i <= la; i++ {
+		jlo, jhi := i-band, i+band
+		if jlo < 1 {
+			jlo = 1
+		}
+		if jhi > lb {
+			jhi = lb
+		}
+		// Left boundary: column jlo-1 of this row is out of band except
+		// when it is column 0 with i <= band.
+		if jlo == 1 && i <= band {
+			cur[0] = int32(i)
+		} else {
+			cur[jlo-1] = bandInf
+		}
+		for j := jlo; j <= jhi; j++ {
+			cost := int32(1)
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			m := prev[j] + 1 // deletion
+			if v := cur[j-1] + 1; v < m {
+				m = v // insertion
+			}
+			if v := prev[j-1] + cost; v < m {
+				m = v // substitution
+			}
+			if i > 1 && j > 1 && a[i-1] == b[j-2] && a[i-2] == b[j-1] {
+				if v := prev2[j-2] + 1; v < m {
+					m = v // transposition
+				}
+			}
+			cur[j] = m
+		}
+		cells += int64(jhi - jlo + 1)
+		// Right boundary sentinel for the next row's prev[j] read.
+		if jhi < lb {
+			cur[jhi+1] = bandInf
+		}
+		prev2, prev, cur = prev, cur, prev2
+	}
+	s.stats.CellsDP += cells
+	return int(prev[lb])
+}
+
+// damerauDoubling is the exact bounded kernel of the string-token path
+// (the interned hot path dispatches in damerauBoundedIDs instead):
+// strip the common prefix and suffix, apply the
+// |len(a)-len(b)| lower bound to size the initial band, then run the
+// banded DP with an exponentially widening band until the result fits
+// inside the band — at which point it provably equals the full DP (see
+// damerauBanded32). Near-duplicate pairs (the bulk of deduplicated bot
+// traffic) finish in O(n·d) instead of O(n²); wildly different-length
+// pairs are cheap because the DP is only min(la,lb) wide.
+//
+// Affix stripping preserves the OSA distance: a cost-1 transposition
+// spanning the strip boundary needs a[p-1]==b[p] and a[p]==b[p-1] with
+// a[p-1]==b[p-1] (the common affix), which forces all four tokens equal
+// — and then plain matches are at least as good.
+func damerauDoubling[T comparable](s *Scratch, a, b []T) int {
+	s.stats.Pairs++
+	s.stats.CellsFull += int64(len(a)) * int64(len(b))
+	for len(a) > 0 && len(b) > 0 && a[0] == b[0] {
+		a, b = a[1:], b[1:]
+	}
+	for len(a) > 0 && len(b) > 0 && a[len(a)-1] == b[len(b)-1] {
+		a, b = a[:len(a)-1], b[:len(b)-1]
+	}
+	la, lb := len(a), len(b)
+	if la == 0 || lb == 0 {
+		s.stats.Trivial++
+		return la + lb
+	}
+	diff, maxLen := la-lb, la
 	if diff < 0 {
 		diff = -diff
+	}
+	if lb > maxLen {
+		maxLen = lb
+	}
+	for band := diff + 1; ; band *= 2 {
+		// Once the band covers most of the matrix, widen to the full
+		// width: d <= maxLen always holds, so this pass is final.
+		if 2*band >= maxLen {
+			band = maxLen
+		}
+		s.stats.BandPasses++
+		if d := damerauBanded32(s, a, b, band); d <= band {
+			return d
+		}
+	}
+}
+
+const (
+	// bitvecMax is the longest pattern the single-word bit-parallel
+	// kernel handles: one pattern position per bit of a uint64.
+	bitvecMax = 64
+	// peqSize is the open-addressing table size for the match vectors:
+	// a power of two at load factor <= 1/2 for <= bitvecMax keys.
+	peqSize = 128
+)
+
+// damerauBitVector computes the exact OSA Damerau distance by Hyyrö's
+// bit-parallel algorithm (Myers' Levenshtein vectors plus a
+// transposition term). pattern must be non-empty and at most bitvecMax
+// tokens; text is unbounded. Each text token costs a handful of word
+// operations instead of a len(pattern)-cell DP row, so a pair costs
+// O(len(text)) regardless of pattern length — the decisive win on the
+// skewed-length pairs that dominate real command corpora.
+//
+// Vector semantics (bit k <-> pattern position k+1, column j = text
+// position): D0 marks diagonal zeros D[i,j] == D[i-1,j-1]; VP/VN the
+// +1/-1 vertical deltas; HP/HN the horizontal ones. The restricted
+// transposition D[i,j] = D[i-2,j-2]+1 surfaces as an extra diagonal
+// zero exactly when pattern[i-1] == text[j], pattern[i] == text[j-1],
+// and (i-1,j-1) was not itself a diagonal zero — the TR term below,
+// built from the previous column's D0 and match vector.
+func (s *Scratch) damerauBitVector(pattern, text []int32) int {
+	m := len(pattern)
+	for i, id := range pattern {
+		h := (uint32(id) * 2654435761) & (peqSize - 1)
+		for {
+			k := s.peqKeys[h]
+			if k == 0 {
+				s.peqKeys[h] = id + 1
+				s.peqVals[h] = 1 << uint(i)
+				s.peqUsed[s.peqN] = uint8(h)
+				s.peqN++
+				break
+			}
+			if k == id+1 {
+				s.peqVals[h] |= 1 << uint(i)
+				break
+			}
+			h = (h + 1) & (peqSize - 1)
+		}
+	}
+	vp := ^uint64(0)
+	if m < 64 {
+		vp = (uint64(1) << uint(m)) - 1
+	}
+	var vn, d0prev, pmprev uint64
+	mask := uint64(1) << uint(m-1)
+	score := m
+	for _, id := range text {
+		h := (uint32(id) * 2654435761) & (peqSize - 1)
+		var pm uint64
+		for {
+			k := s.peqKeys[h]
+			if k == id+1 {
+				pm = s.peqVals[h]
+				break
+			}
+			if k == 0 {
+				break
+			}
+			h = (h + 1) & (peqSize - 1)
+		}
+		tr := ((^d0prev & pm) << 1) & pmprev
+		d0 := tr | (((pm & vp) + vp) ^ vp) | pm | vn
+		hp := vn | ^(d0 | vp)
+		hn := d0 & vp
+		if hp&mask != 0 {
+			score++
+		} else if hn&mask != 0 {
+			score--
+		}
+		x := (hp << 1) | 1
+		vp = (hn << 1) | ^(d0 | x)
+		vn = d0 & x
+		d0prev, pmprev = d0, pm
+	}
+	for i := 0; i < s.peqN; i++ {
+		s.peqKeys[s.peqUsed[i]] = 0
+	}
+	s.peqN = 0
+	return score
+}
+
+// damerauBitVectorBlocked extends damerauBitVector to patterns longer
+// than one machine word: the pattern is split into ceil(m/64)-word
+// blocks and each text token updates the blocks bottom-up, chaining the
+// adder carry, the horizontal-delta shift bits, and the transposition
+// term's shift bit across block boundaries. A pair costs
+// O(len(text) * ceil(len(pattern)/64)) word operations — for the rare
+// both-sides-long pairs this replaces millions of banded DP cells with
+// tens of thousands of word steps. Long pairs are a sliver of any
+// matrix fill, so this path allocates its per-pair state instead of
+// threading more buffers through Scratch.
+func damerauBitVectorBlocked(pattern, text []int32) int {
+	m := len(pattern)
+	nb := (m + 63) / 64
+	peq := make(map[int32][]uint64, m)
+	for i, id := range pattern {
+		v := peq[id]
+		if v == nil {
+			v = make([]uint64, nb)
+			peq[id] = v
+		}
+		v[i/64] |= 1 << uint(i%64)
+	}
+	vp := make([]uint64, nb)
+	vn := make([]uint64, nb)
+	d0prev := make([]uint64, nb)
+	pmprev := make([]uint64, nb)
+	zero := make([]uint64, nb)
+	for k := range vp {
+		vp[k] = ^uint64(0)
+	}
+	if r := m % 64; r != 0 {
+		vp[nb-1] = (uint64(1) << uint(r)) - 1
+	}
+	mask := uint64(1) << uint((m-1)%64)
+	score := m
+	for _, id := range text {
+		pmc := peq[id]
+		if pmc == nil {
+			pmc = zero
+		}
+		var addC, yC uint64
+		hpC, hnC := uint64(1), uint64(0)
+		for k := 0; k < nb; k++ {
+			pm := pmc[k]
+			y := ^d0prev[k] & pm
+			tr := ((y << 1) | yC) & pmprev[k]
+			sum, carry := bits.Add64(pm&vp[k], vp[k], addC)
+			d0 := tr | (sum ^ vp[k]) | pm | vn[k]
+			hp := vn[k] | ^(d0 | vp[k])
+			hn := d0 & vp[k]
+			if k == nb-1 {
+				if hp&mask != 0 {
+					score++
+				} else if hn&mask != 0 {
+					score--
+				}
+			}
+			x := (hp << 1) | hpC
+			nvp := (hn << 1) | hnC | ^(d0 | x)
+			vn[k] = d0 & x
+			vp[k] = nvp
+			yC, hpC, hnC, addC = y>>63, hp>>63, hn>>63, carry
+			d0prev[k], pmprev[k] = d0, pm
+		}
+	}
+	return score
+}
+
+// histLowerBound returns the multiset lower bound on the DLD of the
+// stripped pair (shorter, longer): len(longer) minus the multiset
+// intersection size. Every cost-0 match and cost-1 transposition in an
+// alignment consumes equal tokens from both sides, so at most
+// |intersection| tokens of the longer side escape a paid edit — the
+// distance is at least len(longer) - |intersection|. O(la+lb) via an
+// ID-indexed histogram.
+func (s *Scratch) histLowerBound(shorter, longer []int32) int {
+	for _, id := range shorter {
+		if int(id) >= len(s.counts) {
+			s.counts = append(s.counts, make([]int32, int(id)+1-len(s.counts))...)
+		}
+		s.counts[id]++
+	}
+	c := 0
+	for _, id := range longer {
+		if int(id) < len(s.counts) && s.counts[id] > 0 {
+			c++
+			s.counts[id]--
+		}
+	}
+	for _, id := range shorter {
+		s.counts[id] = 0
+	}
+	return len(longer) - c
+}
+
+// damerauBoundedIDs is the exact kernel of the interned distance-matrix
+// hot path. After stripping the common affixes it dispatches:
+//
+//   - shorter side <= bitvecMax tokens (virtually every pair of real,
+//     deduplicated command texts): the single-word bit-parallel kernel,
+//     O(longer) word operations.
+//   - both sides longer: the multiset lower bound first — if it reaches
+//     len(longer), the distance IS len(longer) (substitute-and-delete
+//     achieves it, the bound forbids less) with no DP at all —
+//     otherwise the blocked bit-parallel kernel.
+//
+// Every branch returns the exact OSA distance; only the work differs.
+func (s *Scratch) damerauBoundedIDs(a, b []int32) int {
+	s.stats.Pairs++
+	s.stats.CellsFull += int64(len(a)) * int64(len(b))
+	for len(a) > 0 && len(b) > 0 && a[0] == b[0] {
+		a, b = a[1:], b[1:]
+	}
+	for len(a) > 0 && len(b) > 0 && a[len(a)-1] == b[len(b)-1] {
+		a, b = a[:len(a)-1], b[:len(b)-1]
+	}
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	la, lb := len(a), len(b)
+	if la == 0 {
+		s.stats.Trivial++
+		return lb
+	}
+	if la <= bitvecMax {
+		s.stats.BandPasses++
+		s.stats.CellsDP += int64(lb)
+		return s.damerauBitVector(a, b)
+	}
+	if low := s.histLowerBound(a, b); low == lb {
+		s.stats.Trivial++
+		return lb
+	}
+	s.stats.BandPasses++
+	s.stats.CellsDP += int64((la+63)/64) * int64(lb)
+	return damerauBitVectorBlocked(a, b)
+}
+
+// normalized scales the exact DLD into [0,1] by the longer sequence
+// length, routing through the bounded doubling kernel — byte-identical
+// to the full DP for every pair.
+func normalized[T comparable](s *Scratch, a, b []T) float64 {
+	la, lb := len(a), len(b)
+	n := la
+	if lb > n {
+		n = lb
 	}
 	if n == 0 {
 		return 0
 	}
-	var d int
-	if 2*diff >= n {
-		d = damerauBanded(s, a, b, n-1)
-		if d > n {
-			d = n
-		}
-	} else {
-		d = damerau(s, a, b)
+	return float64(damerauDoubling(s, a, b)) / float64(n)
+}
+
+// normalizedFull is the unbounded reference: the full-DP distance
+// scaled the same way. Kept for the kernel-equivalence tests and the
+// bounded-vs-unbounded matrix benchmark.
+func normalizedFull[T comparable](s *Scratch, a, b []T) float64 {
+	la, lb := len(a), len(b)
+	n := la
+	if lb > n {
+		n = lb
 	}
-	return float64(d) / float64(n)
+	if n == 0 {
+		return 0
+	}
+	return float64(damerau(s, a, b)) / float64(n)
 }
 
 // Damerau computes the token-level DLD using the scratch rows.
@@ -186,8 +615,8 @@ func (s *Scratch) DamerauBanded(a, b []string, bound int) int {
 }
 
 // Normalized returns the DLD scaled into [0,1] by the longer sequence
-// length; see the package normalized helper for the exact-prefilter
-// contract.
+// length, computed by the exact bounded kernel (see damerauDoubling) —
+// byte-identical to the full DP for every pair.
 func (s *Scratch) Normalized(a, b []string) float64 { return normalized(s, a, b) }
 
 // DamerauIDs is Damerau over interned token IDs.
@@ -196,9 +625,29 @@ func (s *Scratch) DamerauIDs(a, b []int32) int { return damerau(s, a, b) }
 // NormalizedIDs is Normalized over interned token IDs. Because an
 // Interner assigns equal tokens equal IDs (and distinct tokens distinct
 // IDs), this returns exactly Normalized of the original sequences while
-// the DP inner loop compares single integers instead of strings — the
-// distance-matrix hot path.
-func (s *Scratch) NormalizedIDs(a, b []int32) float64 { return normalized(s, a, b) }
+// the distance comes from the exact hybrid kernel (see
+// damerauBoundedIDs) — the distance-matrix hot path.
+func (s *Scratch) NormalizedIDs(a, b []int32) float64 {
+	la, lb := len(a), len(b)
+	n := la
+	if lb > n {
+		n = lb
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(s.damerauBoundedIDs(a, b)) / float64(n)
+}
+
+// NormalizedIDsFull is NormalizedIDs computed by the unbounded full DP
+// — the reference the bounded kernel must match exactly. Kept for the
+// equivalence tests and the bounded-vs-unbounded matrix benchmark.
+func (s *Scratch) NormalizedIDsFull(a, b []int32) float64 { return normalizedFull(s, a, b) }
+
+// DamerauBounded returns the exact DLD via the bounded doubling kernel
+// (affix stripping + exponentially widening Ukkonen band). It always
+// equals Damerau; only the work differs.
+func (s *Scratch) DamerauBounded(a, b []string) int { return damerauDoubling(s, a, b) }
 
 // Interner maps distinct tokens to dense int32 IDs so the DP can
 // compare integers instead of strings. Equality is preserved exactly:

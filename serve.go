@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"time"
 
+	"honeynet/internal/analysis"
 	"honeynet/internal/guard"
 	"honeynet/internal/honeypot"
 	"honeynet/internal/obs"
@@ -170,6 +171,7 @@ func Serve(cfg ServeConfig) (*Server, error) {
 	s.limiter.Register(s.reg)
 	s.budget.Register(s.reg)
 	s.writer.Register(s.reg)
+	analysis.Register(s.reg)
 
 	s.sshAddr, err = node.ListenSSH(cfg.SSHAddr)
 	if err != nil {
