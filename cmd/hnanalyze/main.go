@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	hnanalyze [-scale 2000] [-seed 42] [-k 90] [-sample 2000] [-months 33] [-fig all] [-csv] [-in dataset.jsonl] [-workers N] [-cache DIR]
+//	hnanalyze [-scale 2000] [-seed 42] [-k 90] [-sample 2000] [-months 33] [-fig all] [-csv] [-in dataset.jsonl[.gz]] [-store DIR] [-workers N] [-cache DIR]
 //
 // -fig selects a single output: stats, 1, 2, 3a, 3b, 4a, 4b, 5, 6, 7, 8,
 // 9, 10, 11, 12, 13, 14, 16, 17, table1, storage, mdrfckr, appc, kselect,
@@ -27,21 +27,23 @@ import (
 	"honeynet/internal/report"
 	"honeynet/internal/session"
 	"honeynet/internal/simulate"
+	"honeynet/internal/store"
 )
 
 func main() {
 	var (
-		scale   = flag.Float64("scale", 2000, "scale divisor applied to paper-scale session rates")
-		seed    = flag.Int64("seed", 42, "deterministic RNG seed")
-		k       = flag.Int("k", 90, "cluster count for the section 6 pipeline")
-		sample  = flag.Int("sample", 2000, "max distinct command texts to cluster")
-		months  = flag.Int("months", 0, "simulate only the first N months (0 = full window)")
-		fig     = flag.String("fig", "all", "which figure/table to print")
-		in      = flag.String("in", "", "analyze an existing hnsim JSONL dataset instead of simulating (pass the -seed hnsim used so AS attribution matches)")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text (single-figure mode)")
-		workers = flag.Int("workers", runtime.NumCPU(), "worker goroutines for simulation and analysis (output is identical for any value; 1 = serial)")
-		timings = flag.Bool("timings", false, "print a per-phase timing breakdown to stderr after the run (tables on stdout are unaffected)")
-		cache   = flag.String("cache", "", "directory for the on-disk DLD matrix cache (content-hash keyed; results are identical with or without it)")
+		scale    = flag.Float64("scale", 2000, "scale divisor applied to paper-scale session rates")
+		seed     = flag.Int64("seed", 42, "deterministic RNG seed")
+		k        = flag.Int("k", 90, "cluster count for the section 6 pipeline")
+		sample   = flag.Int("sample", 2000, "max distinct command texts to cluster")
+		months   = flag.Int("months", 0, "simulate only the first N months (0 = full window)")
+		fig      = flag.String("fig", "all", "which figure/table to print")
+		in       = flag.String("in", "", "analyze an existing hnsim JSONL dataset (plain or .gz) instead of simulating (pass the -seed hnsim used so AS attribution matches)")
+		storeDir = flag.String("store", "", "analyze a month-partitioned session store directory (hnsim -store / honeypotd -store) instead of simulating")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text (single-figure mode)")
+		workers  = flag.Int("workers", runtime.NumCPU(), "worker goroutines for simulation and analysis (output is identical for any value; 1 = serial)")
+		timings  = flag.Bool("timings", false, "print a per-phase timing breakdown to stderr after the run (tables on stdout are unaffected)")
+		cache    = flag.String("cache", "", "directory for the on-disk DLD matrix cache (content-hash keyed; results are identical with or without it)")
 	)
 	flag.Parse()
 
@@ -52,11 +54,19 @@ func main() {
 		tracer = obs.NewTracer()
 	}
 
+	if *in != "" && *storeDir != "" {
+		log.Fatal("hnanalyze: -in and -store are mutually exclusive")
+	}
+
 	start := time.Now()
 	var p *core.Pipeline
 	var err error
-	if *in != "" {
-		p, err = loadDataset(*in, *seed)
+	if *in != "" || *storeDir != "" {
+		if *in != "" {
+			p, err = loadDataset(*in, *seed)
+		} else {
+			p, err = loadStore(*storeDir, *seed, *workers)
+		}
 		if p != nil {
 			p.World.Workers = *workers
 			p.World.Tracer = tracer
@@ -116,6 +126,24 @@ func loadDataset(path string, seed int64) (*core.Pipeline, error) {
 	}
 	defer f.Close()
 	recs, err := session.ReadAll(f)
+	if err != nil {
+		return nil, err
+	}
+	w := &analysis.World{Registry: asdb.NewRegistry(seed+1, 2000)}
+	return core.FromRecords(recs, w), nil
+}
+
+// loadStore materializes a month-partitioned session store (written by
+// hnsim -store or a live honeypotd -store) in exact global append
+// order, decompressing sealed segments in parallel. The figure output
+// is byte-identical to analyzing the equivalent JSONL via -in.
+func loadStore(dir string, seed int64, workers int) (*core.Pipeline, error) {
+	st, err := store.Open(dir, store.Options{ReadOnly: true})
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	recs, err := st.Load(workers)
 	if err != nil {
 		return nil, err
 	}

@@ -1,12 +1,19 @@
 package main
 
 import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"honeynet/internal/analysis"
 	"honeynet/internal/botnet"
 	"honeynet/internal/core"
+	"honeynet/internal/session"
 	"honeynet/internal/simulate"
+	"honeynet/internal/store"
 )
 
 // TestRunOneCoversEveryFigure executes the CLI dispatch for every figure
@@ -38,5 +45,156 @@ func TestRunOneCoversEveryFigure(t *testing.T) {
 	// CSV mode works for a representative figure.
 	if err := runOne(p, "stats", ccfg, true); err != nil {
 		t.Errorf("csv mode: %v", err)
+	}
+}
+
+// TestStoreAndJSONLByteIdentical is the store PR's acceptance
+// criterion: `-fig all` output must be byte-identical whether the
+// dataset comes from -in (JSONL) or -store (session store directory),
+// for any -workers value. The store persists a dense global append
+// sequence per record, so Load reconstructs the exact insertion order
+// the figure sample depends on.
+func TestStoreAndJSONLByteIdentical(t *testing.T) {
+	p, err := core.Simulate(simulate.Config{
+		Scale: 5000,
+		Seed:  11,
+		End:   botnet.WindowStart.AddDate(0, 14, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := p.World.Store.All()
+
+	dir := t.TempDir()
+	jsonl := filepath.Join(dir, "dataset.jsonl")
+	f, err := os.Create(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := session.NewWriter(f)
+	for _, r := range recs {
+		if err := sw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	storeDir := filepath.Join(dir, "store")
+	st, err := store.Open(storeDir, store.Options{SealBytes: 1 << 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := st.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ccfg := analysis.ClusterConfig{K: 8, SampleSize: 100, Seed: 11}
+	run := func(p *core.Pipeline, workers int) string {
+		t.Helper()
+		p.World.Workers = workers
+		cc := ccfg
+		cc.Workers = workers
+		var buf bytes.Buffer
+		if err := p.RunAll(&buf, cc); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+
+	pj, err := loadDataset(jsonl, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := run(pj, 1)
+	for _, workers := range []int{1, 3, 8} {
+		ps, err := loadStore(storeDir, 11, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := run(ps, workers); got != want {
+			t.Fatalf("-store output differs from -in output at workers=%d (lengths %d vs %d)",
+				workers, len(got), len(want))
+		}
+	}
+	// The JSONL path itself is worker-invariant too (regression guard).
+	pj2, err := loadDataset(jsonl, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := run(pj2, 6); got != want {
+		t.Fatal("-in output differs across -workers")
+	}
+}
+
+// TestStoreGzipInputParity: -in reads .gz transparently, so compressing
+// the dataset must not change a byte of output.
+func TestStoreGzipInputParity(t *testing.T) {
+	p, err := core.Simulate(simulate.Config{
+		Scale: 20000,
+		Seed:  3,
+		End:   botnet.WindowStart.AddDate(0, 3, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := p.World.Store.All()
+
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "d.jsonl")
+	gzPath := filepath.Join(dir, "d.jsonl.gz")
+	pf, err := os.Create(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf, err := os.Create(gzPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zw := gzip.NewWriter(gf)
+	mw := session.NewWriter(io.MultiWriter(pf, zw))
+	for _, r := range recs {
+		if err := mw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := gf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pf.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ccfg := analysis.ClusterConfig{K: 4, SampleSize: 50, Seed: 3}
+	outs := make([]string, 2)
+	for i, path := range []string{plain, gzPath} {
+		p, err := loadDataset(path, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		p.World.Workers = 2
+		var buf bytes.Buffer
+		if err := p.RunAll(&buf, ccfg); err != nil {
+			t.Fatal(err)
+		}
+		outs[i] = buf.String()
+	}
+	if outs[0] != outs[1] {
+		t.Fatal("gzip-compressed dataset produced different output than plain JSONL")
 	}
 }

@@ -36,6 +36,7 @@ type Config struct {
 	Hostname   string
 	Timeout    time.Duration
 	Out        string
+	Store      string
 	Persistent bool
 
 	MaxConns      int
@@ -58,6 +59,7 @@ func (c *Config) RegisterFlags(fs *flag.FlagSet) {
 	fs.StringVar(&c.Hostname, "hostname", defaultHostname, "fake hostname the shell presents")
 	fs.DurationVar(&c.Timeout, "timeout", honeypot.DefaultTimeout, "hard session timeout")
 	fs.StringVar(&c.Out, "out", "", "session JSONL output file (default stdout)")
+	fs.StringVar(&c.Store, "store", "", "also sink sessions into a month-partitioned session store at this directory (queryable via hnanalyze -store)")
 	fs.BoolVar(&c.Persistent, "persistent", false, "retain each client's filesystem across connections (defeats attacker consistency checks)")
 	fs.IntVar(&c.MaxConns, "max-conns", defaultMaxConns, "global concurrent connection cap; oldest connection is shed at the cap (0 = unlimited)")
 	fs.IntVar(&c.MaxConnsPerIP, "max-conns-per-ip", defaultMaxConnsPerIP, "per-IP concurrent connection cap; newcomers beyond it are shed (0 = unlimited)")
@@ -98,6 +100,7 @@ func (c *Config) ServeConfig() honeynet.ServeConfig {
 		MaxConnsPerIP:  c.MaxConnsPerIP,
 		Rate:           c.Rate,
 		DownloadBudget: c.DLBudget,
+		StorePath:      c.Store,
 		LogPath:        c.Out,
 		LogMaxSize:     c.logMaxBytes,
 		DrainTimeout:   c.DrainTimeout,

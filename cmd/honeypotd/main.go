@@ -5,7 +5,7 @@
 // Usage:
 //
 //	honeypotd [-ssh :2222] [-telnet :2323] [-id hp-1] [-hostname svr04] [-timeout 3m]
-//	          [-out sessions.jsonl] [-log-max-size 256MB]
+//	          [-out sessions.jsonl] [-store DIR] [-log-max-size 256MB]
 //	          [-max-conns 512] [-max-conns-per-ip 8] [-rate 5/s]
 //	          [-drain-timeout 30s] [-admin :9090]
 //
@@ -44,7 +44,7 @@ func main() {
 	}
 
 	scfg := cfg.ServeConfig()
-	if cfg.Out == "" {
+	if cfg.Out == "" && cfg.Store == "" {
 		scfg.LogOutput = os.Stdout
 	}
 	scfg.OnRecord = func(r *session.Record) {
@@ -75,10 +75,14 @@ func main() {
 	w := srv.Log()
 	forced, derr := srv.Drain("shutdown")
 	m := srv.Metrics()
+	var written, rotations, werrs int64
+	if w != nil {
+		written, rotations, werrs = w.Written(), w.Rotations(), w.Errors()
+	}
 	fmt.Fprintf(os.Stderr, "honeypotd: shutting down: %d ssh + %d telnet connections (%d shed, %d rate-limited, %d force-closed), %d logins ok / %d failed, %d commands, %d downloads (%d throttled), %d state changes, %d records written (%d rotations, %d write errors)\n",
 		m.SSHConnections, m.TelnetConnections, m.ConnsShed, m.RateLimited, forced,
 		m.AuthSuccesses, m.AuthFailures, m.Commands, m.Downloads, m.DownloadsThrottled,
-		m.StateChanges, w.Written(), w.Rotations(), w.Errors())
+		m.StateChanges, written, rotations, werrs)
 	if m.SinkErrors > 0 {
 		fmt.Fprintf(os.Stderr, "honeypotd: WARNING: %d session records were lost to write errors\n", m.SinkErrors)
 	}

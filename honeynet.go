@@ -19,6 +19,8 @@
 //   - obs: the metrics registry, exposition, and phase tracer
 //   - guard, sessionlog: long-run connection guardrails and the
 //     crash-safe session log
+//   - store: the embedded month-partitioned session store with a
+//     streaming query engine (see [Open] and ServeConfig.StorePath)
 //
 // Quick start:
 //
@@ -37,6 +39,7 @@ import (
 	"honeynet/internal/obs"
 	"honeynet/internal/session"
 	"honeynet/internal/simulate"
+	"honeynet/internal/store"
 )
 
 // Pipeline is a dataset plus every analyzer input; see internal/core.
@@ -70,6 +73,7 @@ type config struct {
 	workers     int
 	tracer      *obs.Tracer
 	matrixCache string
+	storeDir    string
 }
 
 // Option tunes Simulate and Load. Options are applied in order; the
@@ -118,6 +122,15 @@ func WithMatrixCache(dir string) Option {
 	return optionFunc(func(c *config) { c.matrixCache = dir })
 }
 
+// WithStore persists the simulated dataset into the embedded
+// month-partitioned session store at dir (see internal/store): sealed,
+// compressed, indexed partitions that Open, hnanalyze -store, and a
+// live honeypotd -store all share. Appends accumulate, so point each
+// simulation at a fresh directory unless accumulation is intended.
+func WithStore(dir string) Option {
+	return optionFunc(func(c *config) { c.storeDir = dir })
+}
+
 // SimOptions selects the scale and seed of a dataset generation run.
 //
 // Deprecated: use the functional options (WithScale, WithSeed, ...)
@@ -152,7 +165,27 @@ func Simulate(opts ...Option) (*Pipeline, error) {
 		return nil, err
 	}
 	p.World.MatrixCache = c.matrixCache
+	if c.storeDir != "" {
+		if err := persistStore(c.storeDir, p.World.Store.All()); err != nil {
+			return nil, err
+		}
+	}
 	return p, nil
+}
+
+// persistStore seals records into the session store at dir.
+func persistStore(dir string, recs []*session.Record) error {
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return err
+	}
+	for _, r := range recs {
+		if err := st.Append(r); err != nil {
+			st.Close()
+			return err
+		}
+	}
+	return st.Close()
 }
 
 // Load builds a pipeline over records previously written as JSONL (for
@@ -167,6 +200,34 @@ func Load(r io.Reader, opts ...Option) (*Pipeline, error) {
 		o.apply(&c)
 	}
 	recs, err := session.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	p := core.FromRecords(recs, nil)
+	p.World.Workers = c.workers
+	p.World.Tracer = c.tracer
+	p.World.MatrixCache = c.matrixCache
+	return p, nil
+}
+
+// Open builds a pipeline over a session store directory previously
+// written by Simulate(WithStore), cmd/hnsim -store, or a live
+// cmd/honeypotd -store. Sealed segments are decompressed in parallel
+// and records are restored in exact append order, so figure output is
+// byte-identical to the equivalent Load over JSONL. Only WithWorkers,
+// WithObserver, and WithMatrixCache apply; as with Load, figures that
+// join on simulation-only feeds render empty (see Pipeline.MissingJoins).
+func Open(dir string, opts ...Option) (*Pipeline, error) {
+	var c config
+	for _, o := range opts {
+		o.apply(&c)
+	}
+	st, err := store.Open(dir, store.Options{ReadOnly: true})
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	recs, err := st.Load(c.workers)
 	if err != nil {
 		return nil, err
 	}

@@ -15,17 +15,19 @@ import (
 	"honeynet/internal/session"
 )
 
-// Store holds session records with a monthly index. Add is safe for
-// concurrent use; queries must not race with Add.
+// Store holds session records with a monthly index. All methods are
+// safe for concurrent use: queries take a snapshot of the record list,
+// so they observe a consistent prefix even while Add keeps appending.
 type Store struct {
-	mu   sync.Mutex
+	mu   sync.RWMutex
 	recs []*session.Record
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store { return &Store{} }
 
-// Add appends a record.
+// Add appends a record. The store retains r; callers must not mutate
+// it afterwards.
 func (s *Store) Add(r *session.Record) {
 	s.mu.Lock()
 	s.recs = append(s.recs, r)
@@ -50,17 +52,19 @@ func (s *Store) Register(reg *obs.Registry) {
 
 // Len returns the record count.
 func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.recs)
 }
 
-// All returns the records in insertion order. The slice is shared; do
-// not mutate.
+// All returns a snapshot of the records in insertion order: the
+// returned slice is capacity-clamped, so concurrent Adds can never
+// surface through it and every query over it sees a stable prefix of
+// the store. Do not mutate the records.
 func (s *Store) All() []*session.Record {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.recs
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.recs[:len(s.recs):len(s.recs)]
 }
 
 // Months returns the sorted distinct months present.

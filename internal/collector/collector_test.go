@@ -148,3 +148,61 @@ func TestConcurrentAdd(t *testing.T) {
 		t.Errorf("Len = %d, want 2000", s.Len())
 	}
 }
+
+func TestConcurrentAddAndQuery(t *testing.T) {
+	// Satellite of the store PR: All, Months, Filter, and StatsN must be
+	// safe to interleave with Add. Run under -race; the old contract
+	// ("queries must not race with Add") made this a footgun for live
+	// honeypot nodes querying their collector mid-run.
+	s := NewStore()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	kinds := []session.Kind{session.Scanning, session.Scouting, session.Intrusion, session.CommandExec}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s.Add(rec(uint64(g*10000+i), time.Month(1+i%12), kinds[i%len(kinds)]))
+			}
+		}(g)
+	}
+	for q := 0; q < 4; q++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Each query sees a consistent snapshot: a prefix of the
+				// appends, internally stable while iterated.
+				snap := s.All()
+				for _, r := range snap {
+					_ = r.Kind()
+				}
+				if st := s.StatsN(2); st.Total < len(snap) {
+					t.Errorf("StatsN saw %d records after All saw %d", st.Total, len(snap))
+					return
+				}
+				_ = s.Months()
+				_ = s.Filter(func(r *session.Record) bool { return r.Kind() == session.CommandExec })
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for s.Len() < 2000 {
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	<-done
+	close(stop)
+	wg.Wait()
+	if s.Len() != 2000 {
+		t.Fatalf("Len = %d, want 2000", s.Len())
+	}
+}

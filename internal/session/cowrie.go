@@ -2,9 +2,11 @@ package session
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 	"time"
 )
 
@@ -127,6 +129,86 @@ func (r *Record) CowrieEvents() []CowrieEvent {
 	ev.Message = "Connection lost"
 	out = append(out, ev)
 	return out
+}
+
+// ReadCowrieJSONL parses a Cowrie event log (the cowrie.json format,
+// plain or gzip-compressed) back into session records, grouping events
+// by session id in first-seen order. The reconstruction is lossy where
+// the event format is: command emulation status, exec attempts, state
+// changes, and timeouts are not present in Cowrie events, so those
+// fields stay zero. Records import with Protocol defaulting to "ssh"
+// when the events carry none.
+func ReadCowrieJSONL(r io.Reader) ([]*Record, error) {
+	rr, err := MaybeGzipReader(r)
+	if err != nil {
+		return nil, err
+	}
+	br := bufio.NewReaderSize(rr, 1<<20)
+	index := map[string]*Record{}
+	var out []*Record
+	lineNo := 0
+	for {
+		line, rerr := br.ReadBytes('\n')
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) > 0 {
+			lineNo++
+			var ev CowrieEvent
+			if uerr := json.Unmarshal(trimmed, &ev); uerr != nil {
+				return nil, fmt.Errorf("session: cowrie event %d: %w", lineNo, uerr)
+			}
+			rec, ok := index[ev.Session]
+			if !ok {
+				rec = &Record{Protocol: ProtoSSH}
+				if id, perr := strconv.ParseUint(ev.Session, 16, 64); perr == nil {
+					rec.ID = id
+				}
+				index[ev.Session] = rec
+				out = append(out, rec)
+			}
+			applyCowrieEvent(rec, &ev)
+		}
+		if rerr != nil {
+			if rerr == io.EOF {
+				return out, nil
+			}
+			return nil, rerr
+		}
+	}
+}
+
+// applyCowrieEvent folds one event into its session record.
+func applyCowrieEvent(rec *Record, ev *CowrieEvent) {
+	ts, _ := time.Parse("2006-01-02T15:04:05.000000Z", ev.Timestamp)
+	if ev.Protocol != "" {
+		rec.Protocol = ev.Protocol
+	}
+	switch ev.EventID {
+	case CowrieConnect:
+		rec.Start = ts
+		rec.End = ts
+		rec.ClientIP = ev.SrcIP
+		rec.ClientPort = ev.SrcPort
+		rec.HoneypotIP = ev.DstIP
+		rec.HoneypotID = ev.Sensor
+	case CowrieClientVer:
+		rec.ClientVersion = ev.Version
+	case CowrieLoginSuccess, CowrieLoginFailed:
+		rec.Logins = append(rec.Logins, LoginAttempt{
+			Username: ev.Username,
+			Password: ev.Password,
+			Success:  ev.EventID == CowrieLoginSuccess,
+		})
+	case CowrieCommandInput:
+		rec.Commands = append(rec.Commands, Command{Raw: ev.Input})
+	case CowrieFileDownload:
+		rec.Downloads = append(rec.Downloads, Download{URI: ev.URL, Hash: ev.SHASum})
+	case CowrieClosed:
+		if !ts.IsZero() {
+			rec.End = ts
+		} else if ev.Duration > 0 && !rec.Start.IsZero() {
+			rec.End = rec.Start.Add(time.Duration(ev.Duration * float64(time.Second)))
+		}
+	}
 }
 
 // WriteCowrieJSONL streams the records' Cowrie event logs to w, one JSON

@@ -3,6 +3,7 @@ package session
 import (
 	"bufio"
 	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -116,5 +117,109 @@ func TestCowrieTimestampFormat(t *testing.T) {
 	evs := cowrieFixture().CowrieEvents()
 	if _, err := time.Parse("2006-01-02T15:04:05.000000Z", evs[0].Timestamp); err != nil {
 		t.Errorf("timestamp %q not in cowrie format: %v", evs[0].Timestamp, err)
+	}
+}
+
+func TestReadCowrieJSONLRoundTrip(t *testing.T) {
+	src := cowrieFixture()
+	var buf bytes.Buffer
+	if err := WriteCowrieJSONL(&buf, []*Record{src}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadCowrieJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("imported %d records, want 1", len(recs))
+	}
+	got := recs[0]
+	if got.ID != src.ID {
+		t.Errorf("ID = %d, want %d", got.ID, src.ID)
+	}
+	if !got.Start.Equal(src.Start) || !got.End.Equal(src.End) {
+		t.Errorf("span = [%v, %v], want [%v, %v]", got.Start, got.End, src.Start, src.End)
+	}
+	if got.ClientIP != src.ClientIP || got.ClientPort != src.ClientPort ||
+		got.HoneypotID != src.HoneypotID || got.HoneypotIP != src.HoneypotIP {
+		t.Errorf("endpoints differ: %+v", got)
+	}
+	if got.ClientVersion != src.ClientVersion {
+		t.Errorf("client version = %q", got.ClientVersion)
+	}
+	if len(got.Logins) != len(src.Logins) {
+		t.Fatalf("logins = %d, want %d", len(got.Logins), len(src.Logins))
+	}
+	for i := range src.Logins {
+		if got.Logins[i] != src.Logins[i] {
+			t.Errorf("login %d = %+v, want %+v", i, got.Logins[i], src.Logins[i])
+		}
+	}
+	if len(got.Commands) != len(src.Commands) {
+		t.Fatalf("commands = %d, want %d", len(got.Commands), len(src.Commands))
+	}
+	for i := range src.Commands {
+		if got.Commands[i].Raw != src.Commands[i].Raw {
+			t.Errorf("command %d = %q, want %q", i, got.Commands[i].Raw, src.Commands[i].Raw)
+		}
+	}
+	if len(got.Downloads) != 1 || got.Downloads[0].URI != src.Downloads[0].URI ||
+		got.Downloads[0].Hash != src.Downloads[0].Hash {
+		t.Errorf("downloads = %+v", got.Downloads)
+	}
+	if got.Kind() != src.Kind() {
+		t.Errorf("kind = %v, want %v", got.Kind(), src.Kind())
+	}
+}
+
+func TestReadCowrieJSONLGzipAndInterleaved(t *testing.T) {
+	// Two sessions whose event streams interleave (as a real multi-node
+	// log would), gzip-compressed: the reader must group by session id in
+	// first-seen order and see through the compression.
+	a, b := cowrieFixture(), cowrieFixture()
+	b.ID = 0xdef
+	b.ClientIP = "10.4.5.6"
+	var evs []CowrieEvent
+	ae, be := a.CowrieEvents(), b.CowrieEvents()
+	for i := 0; i < len(ae) || i < len(be); i++ {
+		if i < len(ae) {
+			evs = append(evs, ae[i])
+		}
+		if i < len(be) {
+			evs = append(evs, be[i])
+		}
+	}
+	var plain bytes.Buffer
+	enc := json.NewEncoder(&plain)
+	for _, ev := range evs {
+		if err := enc.Encode(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	if _, err := zw.Write(plain.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := ReadCowrieJSONL(&gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("imported %d records, want 2", len(recs))
+	}
+	if recs[0].ID != a.ID || recs[1].ID != b.ID {
+		t.Errorf("session order = %d, %d; want first-seen order %d, %d",
+			recs[0].ID, recs[1].ID, a.ID, b.ID)
+	}
+	if recs[1].ClientIP != b.ClientIP {
+		t.Errorf("session b client = %q", recs[1].ClientIP)
+	}
+	if len(recs[0].Commands) != len(a.Commands) {
+		t.Errorf("interleaving corrupted session a: %d commands", len(recs[0].Commands))
 	}
 }

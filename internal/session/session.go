@@ -7,6 +7,7 @@ package session
 import (
 	"bufio"
 	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -194,12 +195,32 @@ var obsTrailerPrefix = []byte(`{"_obs"`)
 // trailer rather than a session record.
 func IsObsTrailer(line []byte) bool { return bytes.HasPrefix(line, obsTrailerPrefix) }
 
-// ReadAll parses a JSONL stream of records, skipping blank lines and
-// the metrics-snapshot trailer lines a draining honeypotd appends
-// (see IsObsTrailer).
-func ReadAll(r io.Reader) ([]*Record, error) {
-	var out []*Record
+// MaybeGzipReader returns r transparently decompressed when the stream
+// begins with the gzip magic bytes, so .jsonl and .jsonl.gz datasets
+// load through the same code path. Detection is by content, not file
+// extension.
+func MaybeGzipReader(r io.Reader) (io.Reader, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
+	magic, err := br.Peek(2)
+	if err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		return gzip.NewReader(br)
+	}
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	return br, nil
+}
+
+// ReadAll parses a JSONL stream of records (plain or gzip-compressed),
+// skipping blank lines and the metrics-snapshot trailer lines a
+// draining honeypotd appends (see IsObsTrailer).
+func ReadAll(r io.Reader) ([]*Record, error) {
+	rr, err := MaybeGzipReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Record
+	br := bufio.NewReaderSize(rr, 1<<20)
 	for {
 		line, err := br.ReadBytes('\n')
 		trimmed := bytes.TrimSpace(line)

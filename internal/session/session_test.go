@@ -2,6 +2,8 @@ package session
 
 import (
 	"bytes"
+	"compress/gzip"
+	"io"
 	"testing"
 	"testing/quick"
 	"time"
@@ -136,5 +138,85 @@ func TestKindClassificationProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestMaybeGzipReader(t *testing.T) {
+	payload := []byte(`{"id":1,"start":"2022-01-02T03:04:05Z","end":"2022-01-02T03:05:05Z","hp":"hp-1","client_ip":"10.0.0.1","proto":"ssh"}` + "\n")
+
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	if _, err := zw.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		in   []byte
+	}{
+		{"plain", payload},
+		{"gzip", gz.Bytes()},
+	} {
+		r, err := MaybeGzipReader(bytes.NewReader(tc.in))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		got, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Errorf("%s: read %q, want %q", tc.name, got, payload)
+		}
+	}
+
+	// Degenerate inputs must not error: empty and single-byte streams
+	// are shorter than the magic.
+	for _, in := range [][]byte{nil, {0x1f}} {
+		r, err := MaybeGzipReader(bytes.NewReader(in))
+		if err != nil {
+			t.Fatalf("short input: %v", err)
+		}
+		got, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatalf("short input read: %v", err)
+		}
+		if !bytes.Equal(got, in) {
+			t.Errorf("short input: read %q, want %q", got, in)
+		}
+	}
+}
+
+func TestReadAllTransparentGzip(t *testing.T) {
+	recs := []*Record{
+		{ID: 7, Start: time.Date(2022, 3, 1, 0, 0, 0, 0, time.UTC), ClientIP: "10.0.0.7", Protocol: ProtoSSH},
+	}
+	var plain bytes.Buffer
+	w := NewWriter(&plain)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	if _, err := zw.Write(plain.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != 7 {
+		t.Fatalf("gzip ReadAll = %+v", got)
 	}
 }

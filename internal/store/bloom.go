@@ -1,0 +1,76 @@
+package store
+
+// A hand-rolled Bloom filter over client IPs, one per sealed segment:
+// campaign queries (ScanIP) skip every segment whose filter excludes the
+// address, which turns a "find the mdrfckr IPs" pass over years of data
+// into a read of only the months the campaign touched. Stdlib only —
+// FNV-1a double hashing, Kirsch-Mitzenmacher style.
+
+// bloomBitsPerKey sizes the filter at ~10 bits per element (≈1% false
+// positives with bloomHashes probes).
+const (
+	bloomBitsPerKey = 10
+	bloomHashes     = 7
+)
+
+// Bloom is a fixed-size Bloom filter. It marshals as JSON inside the
+// manifest (Bits is base64-encoded by encoding/json).
+type Bloom struct {
+	M    uint64 `json:"m"` // filter size in bits
+	K    int    `json:"k"` // hash probes per key
+	Bits []byte `json:"bits"`
+}
+
+// newBloom returns a filter sized for n expected keys.
+func newBloom(n int) *Bloom {
+	bits := uint64(n) * bloomBitsPerKey
+	if bits < 64 {
+		bits = 64
+	}
+	bits = (bits + 63) &^ 63
+	return &Bloom{M: bits, K: bloomHashes, Bits: make([]byte, bits/8)}
+}
+
+// fnvHashes returns the two independent 64-bit hashes double hashing
+// derives every probe from: h1 is FNV-1a over s, h2 continues the same
+// state over a salt byte (forced odd so probe strides cover the filter).
+func fnvHashes(s string) (h1, h2 uint64) {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	h1 = h
+	h ^= 0xff
+	h *= prime64
+	return h1, h | 1
+}
+
+// Add inserts key into the filter.
+func (b *Bloom) Add(key string) {
+	h1, h2 := fnvHashes(key)
+	for i := 0; i < b.K; i++ {
+		bit := (h1 + uint64(i)*h2) % b.M
+		b.Bits[bit/8] |= 1 << (bit % 8)
+	}
+}
+
+// MayContain reports whether key may have been added. False means
+// definitely absent; true may be a false positive.
+func (b *Bloom) MayContain(key string) bool {
+	if b == nil || b.M == 0 {
+		return true // no filter: cannot prune
+	}
+	h1, h2 := fnvHashes(key)
+	for i := 0; i < b.K; i++ {
+		bit := (h1 + uint64(i)*h2) % b.M
+		if b.Bits[bit/8]&(1<<(bit%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}

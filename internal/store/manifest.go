@@ -1,0 +1,134 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// The manifest is the store's commit record: a segment exists once —
+// and only once — the manifest referencing it has been atomically
+// renamed into place and fsynced. Everything else on disk (a partially
+// written segment from a crashed seal, a WAL the seal already folded
+// in) is recovered or discarded against it on Open.
+
+const (
+	manifestName    = "MANIFEST.json"
+	manifestVersion = 1
+	walName         = "wal.jsonl"
+	monthLayout     = "2006-01"
+)
+
+// blockMeta locates one compressed block inside a segment file.
+type blockMeta struct {
+	Off   int64  `json:"off"`   // byte offset in the segment file
+	CLen  int    `json:"clen"`  // compressed length
+	ULen  int    `json:"ulen"`  // uncompressed payload length
+	Count int    `json:"count"` // records in the block
+	CRC   uint32 `json:"crc"`   // IEEE CRC-32 over the compressed bytes
+}
+
+// segmentMeta describes one sealed, immutable segment: a single month's
+// worth of records from one seal, with the per-segment aggregates the
+// query engine prunes and rolls up on.
+type segmentMeta struct {
+	File    string    `json:"file"`
+	Month   string    `json:"month"` // "2006-01"
+	MinTime time.Time `json:"min_time"`
+	MaxTime time.Time `json:"max_time"`
+	MinSeq  uint64    `json:"min_seq"` // global append order bounds
+	MaxSeq  uint64    `json:"max_seq"`
+	Records int       `json:"records"`
+	// Kinds counts records per session.Kind (index = kind value).
+	Kinds     [4]int      `json:"kinds"`
+	SSH       int         `json:"ssh"`
+	Telnet    int         `json:"telnet"`
+	RawBytes  int64       `json:"raw_bytes"`
+	CompBytes int64       `json:"comp_bytes"`
+	Bloom     *Bloom      `json:"bloom"` // over client IPs
+	Blocks    []blockMeta `json:"blocks"`
+}
+
+// month parses the segment's partition month.
+func (sm *segmentMeta) month() time.Time {
+	t, _ := time.Parse(monthLayout, sm.Month)
+	return t
+}
+
+// manifest is the fsynced root of the store. It is treated as
+// copy-on-write in memory: a seal builds a new value and swaps it in,
+// so cursors holding the old one keep a consistent snapshot.
+type manifest struct {
+	Version int `json:"version"`
+	// NextSeg numbers the next segment file, monotonically, so a
+	// crashed seal's orphan file is simply overwritten by the retry.
+	NextSeg int `json:"next_seg"`
+	// NextSeq is the global append sequence of the first WAL record:
+	// every record ever sealed has a unique, dense seq in [0, NextSeq).
+	NextSeq  uint64         `json:"next_seq"`
+	Segments []*segmentMeta `json:"segments"`
+}
+
+// loadManifest reads dir's manifest; a missing file yields a fresh one.
+func loadManifest(dir string) (*manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return &manifest{Version: manifestVersion}, nil
+		}
+		return nil, err
+	}
+	m := &manifest{}
+	if err := json.Unmarshal(data, m); err != nil {
+		return nil, fmt.Errorf("store: corrupt manifest: %w", err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("store: manifest version %d not supported", m.Version)
+	}
+	return m, nil
+}
+
+// save writes the manifest atomically: temp file, fsync, rename over
+// the live name, fsync the directory. A crash at any point leaves
+// either the old or the new manifest, never a torn one.
+func (m *manifest) save(dir string) error {
+	data, err := json.MarshalIndent(m, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed file is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,377 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"honeynet/internal/collector"
+	"honeynet/internal/parallel"
+	"honeynet/internal/session"
+)
+
+// TimeRange selects records whose Start falls in [From, To). A zero
+// bound is open.
+type TimeRange struct {
+	From, To time.Time
+}
+
+// Month returns the range covering exactly one partition month.
+func Month(m time.Time) TimeRange {
+	from := time.Date(m.Year(), m.Month(), 1, 0, 0, 0, 0, time.UTC)
+	return TimeRange{From: from, To: from.AddDate(0, 1, 0)}
+}
+
+// contains reports whether t falls in the range.
+func (tr TimeRange) contains(t time.Time) bool {
+	if !tr.From.IsZero() && t.Before(tr.From) {
+		return false
+	}
+	if !tr.To.IsZero() && !t.Before(tr.To) {
+		return false
+	}
+	return true
+}
+
+// Filter selects records during a scan. A nil Filter selects all.
+type Filter func(*session.Record) bool
+
+// part is one unit of cursor iteration: either a sealed segment or a
+// month's slice of the unsealed tail.
+type part struct {
+	seg  *segmentMeta
+	tail []*session.Record
+}
+
+// Cursor streams records from a snapshot of the store without
+// materializing the dataset: months ascend, and within a month records
+// come in append order (sealed segments first, then the unsealed
+// tail). Peak memory is bounded by one compressed block plus its
+// uncompressed payload. A Cursor is not safe for concurrent use.
+type Cursor struct {
+	s      *Store
+	parts  []part
+	pi     int
+	br     *blockReader
+	ti     int
+	tr     TimeRange
+	filter Filter
+	ip     string // non-empty for ScanIP: exact client-IP match
+	cur    *session.Record
+	err    error
+}
+
+// Scan returns a cursor over records in tr satisfying filter.
+func (s *Store) Scan(tr TimeRange, filter Filter) *Cursor {
+	return s.scan(tr, filter, "")
+}
+
+// ScanIP returns a cursor over records from one client IP, using the
+// per-segment Bloom filters to skip months the address never touched.
+func (s *Store) ScanIP(ip string, tr TimeRange) *Cursor {
+	return s.scan(tr, nil, ip)
+}
+
+func (s *Store) scan(tr TimeRange, filter Filter, ip string) *Cursor {
+	man, tail := s.snapshot()
+
+	// Bucket tail records by month, preserving append order within.
+	tailByMonth := map[time.Time][]*session.Record{}
+	segsByMonth := map[time.Time][]*segmentMeta{}
+	var months []time.Time
+	seen := map[time.Time]bool{}
+	for _, seg := range man.Segments {
+		m := seg.month()
+		if !seen[m] {
+			seen[m] = true
+			months = append(months, m)
+		}
+		segsByMonth[m] = append(segsByMonth[m], seg)
+	}
+	for _, r := range tail {
+		m := r.Month()
+		if !seen[m] {
+			seen[m] = true
+			months = append(months, m)
+		}
+		tailByMonth[m] = append(tailByMonth[m], r)
+	}
+	sort.Slice(months, func(i, j int) bool { return months[i].Before(months[j]) })
+
+	c := &Cursor{s: s, tr: tr, filter: filter, ip: ip}
+	for _, m := range months {
+		if !monthOverlaps(m, tr) {
+			continue
+		}
+		for _, seg := range segsByMonth[m] {
+			if !seg.overlaps(tr.From, tr.To) {
+				continue
+			}
+			if ip != "" {
+				s.bloomChecks.Add(1)
+				if !seg.Bloom.MayContain(ip) {
+					s.bloomSkips.Add(1)
+					continue
+				}
+			}
+			c.parts = append(c.parts, part{seg: seg})
+		}
+		if t := tailByMonth[m]; len(t) > 0 {
+			c.parts = append(c.parts, part{tail: t})
+		}
+	}
+	return c
+}
+
+// monthOverlaps reports whether the partition month [m, m+1mo)
+// intersects the range.
+func monthOverlaps(m time.Time, tr TimeRange) bool {
+	if !tr.To.IsZero() && !m.Before(tr.To) {
+		return false
+	}
+	if !tr.From.IsZero() && !tr.From.Before(m.AddDate(0, 1, 0)) {
+		return false
+	}
+	return true
+}
+
+// Next advances to the next matching record. It returns false at the
+// end of the scan or on error (see Err).
+func (c *Cursor) Next() bool {
+	if c.err != nil {
+		return false
+	}
+	for {
+		r, err := c.nextRaw()
+		if err != nil {
+			if err != io.EOF {
+				c.err = err
+			}
+			c.cur = nil
+			return false
+		}
+		if !c.tr.contains(r.Start) {
+			continue
+		}
+		if c.ip != "" && r.ClientIP != c.ip {
+			continue
+		}
+		if c.filter != nil && !c.filter(r) {
+			continue
+		}
+		c.cur = r
+		return true
+	}
+}
+
+// nextRaw yields the next record across parts, or io.EOF.
+func (c *Cursor) nextRaw() (*session.Record, error) {
+	for c.pi < len(c.parts) {
+		p := &c.parts[c.pi]
+		if p.seg != nil {
+			if c.br == nil {
+				br, err := c.s.openSegment(p.seg)
+				if err != nil {
+					return nil, err
+				}
+				c.br = br
+			}
+			_, line, err := c.br.next()
+			if err == io.EOF {
+				c.br.close()
+				c.br = nil
+				c.pi++
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			return decodeRecord(line)
+		}
+		if c.ti < len(p.tail) {
+			r := p.tail[c.ti]
+			c.ti++
+			return r, nil
+		}
+		c.ti = 0
+		c.pi++
+	}
+	return nil, io.EOF
+}
+
+// Record returns the record Next advanced to.
+func (c *Cursor) Record() *session.Record { return c.cur }
+
+// Err returns the first error the scan hit, if any.
+func (c *Cursor) Err() error { return c.err }
+
+// Close releases the cursor's open segment, if any. Safe to call at
+// any point; exhausted cursors are already closed.
+func (c *Cursor) Close() error {
+	if c.br != nil {
+		err := c.br.close()
+		c.br = nil
+		return err
+	}
+	return nil
+}
+
+// Months returns the sorted distinct partition months present.
+func (s *Store) Months() []time.Time {
+	man, tail := s.snapshot()
+	seen := map[time.Time]bool{}
+	for _, seg := range man.Segments {
+		seen[seg.month()] = true
+	}
+	for _, r := range tail {
+		seen[r.Month()] = true
+	}
+	out := make([]time.Time, 0, len(seen))
+	for m := range seen {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	return out
+}
+
+// Rollup is the precomputed monthly aggregate behind the longitudinal
+// figures: session counts by kind and protocol for one partition.
+type Rollup struct {
+	Month   time.Time
+	Records int
+	// Kinds counts records per session.Kind (index = kind value).
+	Kinds  [4]int
+	SSH    int
+	Telnet int
+	// Sealed is how many of the records are in sealed segments (the
+	// rest are unsealed tail records, tallied by a bounded scan).
+	Sealed int
+}
+
+// Rollup aggregates one month from sealed segment metadata — no block
+// is read — plus a pass over the in-memory unsealed tail.
+func (s *Store) Rollup(month time.Time) Rollup {
+	m := time.Date(month.Year(), month.Month(), 1, 0, 0, 0, 0, time.UTC)
+	man, tail := s.snapshot()
+	out := Rollup{Month: m}
+	for _, seg := range man.Segments {
+		if !seg.month().Equal(m) {
+			continue
+		}
+		out.Records += seg.Records
+		out.Sealed += seg.Records
+		out.SSH += seg.SSH
+		out.Telnet += seg.Telnet
+		for k, v := range seg.Kinds {
+			out.Kinds[k] += v
+		}
+	}
+	for _, r := range tail {
+		if !r.Month().Equal(m) {
+			continue
+		}
+		out.Records++
+		out.Kinds[r.Kind()]++
+		switch r.Protocol {
+		case session.ProtoSSH:
+			out.SSH++
+		case session.ProtoTelnet:
+			out.Telnet++
+		}
+	}
+	return out
+}
+
+// Stats computes dataset statistics by streaming the store month at a
+// time — identical to collector.Store.Stats over the same records, but
+// with scan memory bounded by the block size (the unique-IP set is the
+// only dataset-sized state).
+func (s *Store) Stats() (collector.Stats, error) {
+	st := collector.Stats{ByKind: map[session.Kind]int{}}
+	ips := map[string]bool{}
+	cur := s.Scan(TimeRange{}, nil)
+	defer cur.Close()
+	for cur.Next() {
+		r := cur.Record()
+		st.Total++
+		switch r.Protocol {
+		case session.ProtoSSH:
+			st.SSH++
+		case session.ProtoTelnet:
+			st.Telnet++
+		}
+		k := r.Kind()
+		st.ByKind[k]++
+		if k == session.CommandExec {
+			st.CommandExec++
+			if r.StateChanged {
+				st.StateChanged++
+			}
+		}
+		ips[r.ClientIP] = true
+	}
+	if err := cur.Err(); err != nil {
+		return st, err
+	}
+	st.UniqueIPs = len(ips)
+	return st, nil
+}
+
+// Load materializes every record in exact global append order, reading
+// sealed segments in parallel on the shared worker pool. The result is
+// byte-for-byte the sequence of Appends that produced the store, so
+// the figure pipeline over it matches the in-memory path identically
+// for any worker count.
+func (s *Store) Load(workers int) ([]*session.Record, error) {
+	man, tail := s.snapshot()
+	total := int(man.NextSeq) + len(tail)
+	out := make([]*session.Record, total)
+	errs := make([]error, len(man.Segments))
+	parallel.ForEach(len(man.Segments), parallel.Workers(workers), 1, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			errs[i] = s.loadSegment(man.Segments[i], out)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i, r := range tail {
+		out[int(man.NextSeq)+i] = r
+	}
+	for i, r := range out {
+		if r == nil {
+			return nil, fmt.Errorf("store: missing record at seq %d (corrupt manifest?)", i)
+		}
+	}
+	return out, nil
+}
+
+// loadSegment decodes one segment, placing each record at its global
+// append sequence in out.
+func (s *Store) loadSegment(seg *segmentMeta, out []*session.Record) error {
+	br, err := s.openSegment(seg)
+	if err != nil {
+		return err
+	}
+	defer br.close()
+	for {
+		seq, line, err := br.next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if seq >= uint64(len(out)) {
+			return fmt.Errorf("store: %s: seq %d out of range", seg.File, seq)
+		}
+		r, err := decodeRecord(line)
+		if err != nil {
+			return err
+		}
+		out[seq] = r
+	}
+}

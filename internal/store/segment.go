@@ -1,0 +1,248 @@
+package store
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"honeynet/internal/session"
+)
+
+// Segment file layout: an 8-byte magic followed by back-to-back
+// flate-compressed blocks. Each block's uncompressed payload is a run
+// of entries — uvarint(seq), uvarint(len), record JSON — and the block
+// index (offsets, lengths, counts, CRCs) lives in the manifest, so a
+// reader never parses a segment blind. Segments are immutable once the
+// manifest references them.
+
+var segMagic = [8]byte{'H', 'N', 'S', 'T', 'O', 'R', 'E', '1'}
+
+// segFileName names segment n.
+func segFileName(n int) string { return fmt.Sprintf("seg-%06d.hns", n) }
+
+// writeSegment seals one month's records (with their global append
+// sequences) into a new segment file and returns its metadata. The file
+// is fsynced before return; the caller commits it via the manifest.
+func writeSegment(dir, file string, recs []*session.Record, seqs []uint64, blockBytes int) (*segmentMeta, error) {
+	f, err := os.OpenFile(filepath.Join(dir, file), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if _, err := f.Write(segMagic[:]); err != nil {
+		return nil, err
+	}
+
+	meta := &segmentMeta{
+		File:   file,
+		Month:  recs[0].Month().Format(monthLayout),
+		MinSeq: seqs[0],
+		MaxSeq: seqs[len(seqs)-1],
+		Bloom:  newBloom(len(recs)),
+	}
+	var (
+		payload bytes.Buffer
+		comp    bytes.Buffer
+		fw, _   = flate.NewWriter(&comp, flate.DefaultCompression)
+		off     = int64(len(segMagic))
+		count   int
+		varint  [binary.MaxVarintLen64]byte
+	)
+	flush := func() error {
+		if payload.Len() == 0 {
+			return nil
+		}
+		comp.Reset()
+		fw.Reset(&comp)
+		if _, err := fw.Write(payload.Bytes()); err != nil {
+			return err
+		}
+		if err := fw.Close(); err != nil {
+			return err
+		}
+		if _, err := f.Write(comp.Bytes()); err != nil {
+			return err
+		}
+		meta.Blocks = append(meta.Blocks, blockMeta{
+			Off:   off,
+			CLen:  comp.Len(),
+			ULen:  payload.Len(),
+			Count: count,
+			CRC:   crc32.ChecksumIEEE(comp.Bytes()),
+		})
+		off += int64(comp.Len())
+		meta.RawBytes += int64(payload.Len())
+		meta.CompBytes += int64(comp.Len())
+		payload.Reset()
+		count = 0
+		return nil
+	}
+
+	for i, r := range recs {
+		line, err := json.Marshal(r)
+		if err != nil {
+			return nil, fmt.Errorf("store: marshal record seq %d: %w", seqs[i], err)
+		}
+		n := binary.PutUvarint(varint[:], seqs[i])
+		payload.Write(varint[:n])
+		n = binary.PutUvarint(varint[:], uint64(len(line)))
+		payload.Write(varint[:n])
+		payload.Write(line)
+		count++
+
+		meta.Records++
+		meta.Kinds[r.Kind()]++
+		switch r.Protocol {
+		case session.ProtoSSH:
+			meta.SSH++
+		case session.ProtoTelnet:
+			meta.Telnet++
+		}
+		meta.Bloom.Add(r.ClientIP)
+		if meta.MinTime.IsZero() || r.Start.Before(meta.MinTime) {
+			meta.MinTime = r.Start
+		}
+		if r.Start.After(meta.MaxTime) {
+			meta.MaxTime = r.Start
+		}
+
+		if payload.Len() >= blockBytes {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		return nil, err
+	}
+	return meta, nil
+}
+
+// blockReader streams one segment's records block by block: one
+// compressed block and one uncompressed payload are resident at a time,
+// so peak memory is bounded by the block size, not the segment (let
+// alone the dataset). Buffers are reused across blocks.
+type blockReader struct {
+	s    *Store // counters; may be nil in tests
+	f    *os.File
+	meta *segmentMeta
+	bi   int // next block index
+
+	comp    []byte // scratch: compressed block
+	payload []byte // scratch: current uncompressed payload
+	poff    int    // parse offset into payload
+	left    int    // records left in current payload
+	fr      io.ReadCloser
+}
+
+// openSegment opens seg for reading under the store's directory.
+func (s *Store) openSegment(meta *segmentMeta) (*blockReader, error) {
+	f, err := os.Open(filepath.Join(s.dir, meta.File))
+	if err != nil {
+		return nil, err
+	}
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil || magic != segMagic {
+		f.Close()
+		return nil, fmt.Errorf("store: %s: bad segment magic", meta.File)
+	}
+	return &blockReader{s: s, f: f, meta: meta}, nil
+}
+
+// next returns the next (seq, record JSON) entry, loading blocks as
+// needed. It returns io.EOF after the last record. The returned line
+// aliases the reader's scratch buffer: it is valid until the next call.
+func (br *blockReader) next() (seq uint64, line []byte, err error) {
+	for br.left == 0 {
+		if br.bi >= len(br.meta.Blocks) {
+			return 0, nil, io.EOF
+		}
+		if err := br.loadBlock(br.meta.Blocks[br.bi]); err != nil {
+			return 0, nil, err
+		}
+		br.bi++
+	}
+	seq, n := binary.Uvarint(br.payload[br.poff:])
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("store: %s: corrupt entry header", br.meta.File)
+	}
+	br.poff += n
+	ln, n := binary.Uvarint(br.payload[br.poff:])
+	if n <= 0 || br.poff+n+int(ln) > len(br.payload) {
+		return 0, nil, fmt.Errorf("store: %s: corrupt entry length", br.meta.File)
+	}
+	br.poff += n
+	line = br.payload[br.poff : br.poff+int(ln)]
+	br.poff += int(ln)
+	br.left--
+	return seq, line, nil
+}
+
+// loadBlock reads, verifies, and decompresses one block into the
+// reusable payload buffer.
+func (br *blockReader) loadBlock(b blockMeta) error {
+	if cap(br.comp) < b.CLen {
+		br.comp = make([]byte, b.CLen)
+	}
+	comp := br.comp[:b.CLen]
+	if _, err := br.f.ReadAt(comp, b.Off); err != nil {
+		return fmt.Errorf("store: %s: read block: %w", br.meta.File, err)
+	}
+	if crc := crc32.ChecksumIEEE(comp); crc != b.CRC {
+		return fmt.Errorf("store: %s: block at %d: CRC mismatch", br.meta.File, b.Off)
+	}
+	if br.fr == nil {
+		br.fr = flate.NewReader(bytes.NewReader(comp))
+	} else {
+		if err := br.fr.(flate.Resetter).Reset(bytes.NewReader(comp), nil); err != nil {
+			return err
+		}
+	}
+	if cap(br.payload) < b.ULen {
+		br.payload = make([]byte, b.ULen)
+	}
+	br.payload = br.payload[:b.ULen]
+	if _, err := io.ReadFull(br.fr, br.payload); err != nil {
+		return fmt.Errorf("store: %s: decompress block: %w", br.meta.File, err)
+	}
+	br.poff = 0
+	br.left = b.Count
+	if br.s != nil {
+		br.s.blocksRead.Add(1)
+	}
+	return nil
+}
+
+// close releases the segment file.
+func (br *blockReader) close() error { return br.f.Close() }
+
+// decodeRecord parses one stored record line.
+func decodeRecord(line []byte) (*session.Record, error) {
+	r := &session.Record{}
+	if err := json.Unmarshal(line, r); err != nil {
+		return nil, fmt.Errorf("store: decoding record: %w", err)
+	}
+	return r, nil
+}
+
+// overlaps reports whether the segment's time bounds intersect [from,
+// to); zero bounds are open.
+func (sm *segmentMeta) overlaps(from, to time.Time) bool {
+	if !to.IsZero() && !sm.MinTime.Before(to) {
+		return false
+	}
+	if !from.IsZero() && sm.MaxTime.Before(from) {
+		return false
+	}
+	return true
+}

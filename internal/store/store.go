@@ -1,0 +1,543 @@
+// Package store is the honeynet's embedded, time-partitioned session
+// database: the subsystem that lets the same binaries run at the
+// paper's production scale (635M sessions over 33 months), bounded by
+// disk instead of memory.
+//
+// Writers append records to a crash-safe WAL (plain JSONL with the
+// sessionlog torn-tail recovery contract) and periodically seal it into
+// immutable per-month segment files — flate-compressed blocks with a
+// block index, per-segment time bounds, kind/protocol counts, and a
+// Bloom filter over client IPs — committed through an atomically
+// renamed, fsynced manifest. On top sits a streaming query engine:
+// Scan yields records month by month without materializing the
+// dataset, Rollup answers the monthly aggregates behind the paper's
+// longitudinal figures from sealed metadata alone, ScanIP prunes
+// segments by Bloom filter for campaign lookups, and Load reconstructs
+// the exact global append order in parallel for the byte-identical
+// figure pipeline.
+//
+// Crash safety, by case:
+//
+//   - torn WAL append: the tail is truncated at the last valid line on
+//     Open (sessionlog.RecoverTail); at most the unsynced tail is lost.
+//   - crash mid-seal, before the manifest commit: the manifest never
+//     referenced the partial segment; the WAL still holds every record
+//     and the orphan file is overwritten by the retried seal.
+//   - crash after the manifest commit, before the WAL reset: the WAL's
+//     base sequence no longer matches the manifest, so the now-stale
+//     WAL is discarded instead of replaying duplicates.
+//
+// A sealed segment is never lost or mutated.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"honeynet/internal/obs"
+	"honeynet/internal/session"
+	"honeynet/internal/sessionlog"
+)
+
+// Options parameterizes a store.
+type Options struct {
+	// SealBytes auto-seals the WAL into segments once it holds this
+	// many bytes. Zero means 16 MiB; negative disables auto-sealing
+	// (Seal/Close still seal).
+	SealBytes int64
+	// BlockBytes is the target uncompressed block size inside sealed
+	// segments — the unit of scan memory. Zero means 256 KiB.
+	BlockBytes int
+	// SyncEvery is the WAL fsync cadence. Zero means one second;
+	// negative disables the periodic sync (Flush/Seal/Close still sync).
+	SyncEvery time.Duration
+	// ReadOnly opens the store for querying only: no WAL truncation or
+	// recovery writes, Append fails. A torn WAL tail is skipped in
+	// memory instead of repaired on disk.
+	ReadOnly bool
+}
+
+func (o *Options) sealBytes() int64 {
+	if o.SealBytes == 0 {
+		return 16 << 20
+	}
+	return o.SealBytes
+}
+
+func (o *Options) blockBytes() int {
+	if o.BlockBytes > 0 {
+		return o.BlockBytes
+	}
+	return 256 << 10
+}
+
+func (o *Options) syncEvery() time.Duration {
+	if o.SyncEvery == 0 {
+		return time.Second
+	}
+	return o.SyncEvery
+}
+
+// Store is an append-only, month-partitioned session store rooted at a
+// directory. All methods are safe for concurrent use; queries see a
+// consistent snapshot and never block appends for long.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu      sync.RWMutex
+	man     *manifest         // copy-on-write: replaced wholesale by seals
+	tail    []*session.Record // unsealed records; seq = man.NextSeq + index
+	walF    *os.File          // nil when ReadOnly
+	walW    *bufio.Writer
+	walSize int64
+	dirty   bool
+	closed  bool
+
+	stop, done chan struct{} // periodic WAL sync loop
+
+	sealsTotal     atomic.Int64
+	blocksRead     atomic.Int64
+	bloomChecks    atomic.Int64
+	bloomSkips     atomic.Int64
+	recoveredBytes atomic.Int64
+	staleWALDrops  atomic.Int64
+	appended       atomic.Int64
+}
+
+// walHeader is the first line of the WAL: it binds the file to the
+// manifest generation it extends. A WAL whose base disagrees with the
+// manifest's NextSeq was already sealed and is discarded on Open.
+type walHeader struct {
+	Wal struct {
+		Base uint64 `json:"base"`
+	} `json:"_wal"`
+}
+
+// Open opens (creating if needed) the store at dir, recovering from
+// any crash per the package contract.
+func Open(dir string, opts Options) (*Store, error) {
+	if !opts.ReadOnly {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	man, err := loadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, opts: opts, man: man}
+	walPath := filepath.Join(dir, walName)
+
+	if opts.ReadOnly {
+		// Tolerant read: parse what is valid, truncate nothing.
+		tail, stale, _, err := readWAL(walPath, man.NextSeq, true)
+		if err != nil {
+			return nil, err
+		}
+		if stale {
+			s.staleWALDrops.Add(1)
+			tail = nil
+		}
+		s.tail = tail
+		return s, nil
+	}
+
+	dropped, err := sessionlog.RecoverTail(walPath)
+	if err != nil {
+		return nil, fmt.Errorf("store: recover wal: %w", err)
+	}
+	s.recoveredBytes.Store(dropped)
+	tail, stale, size, err := readWAL(walPath, man.NextSeq, false)
+	if err != nil {
+		return nil, err
+	}
+	if stale {
+		// The previous process crashed between the manifest commit and
+		// the WAL reset: every WAL record is already in a sealed
+		// segment. Replaying it would duplicate data — drop it.
+		s.staleWALDrops.Add(1)
+		if err := os.Remove(walPath); err != nil && !os.IsNotExist(err) {
+			return nil, err
+		}
+		tail, size = nil, 0
+	}
+	s.tail = tail
+	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s.walF = f
+	s.walW = bufio.NewWriterSize(f, 256<<10)
+	s.walSize = size
+	if size == 0 {
+		if err := s.writeWALHeaderLocked(man.NextSeq); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if opts.syncEvery() > 0 {
+		s.stop = make(chan struct{})
+		s.done = make(chan struct{})
+		go s.syncLoop(opts.syncEvery())
+	}
+	return s, nil
+}
+
+// readWAL parses the WAL at path: header, then one record per line. It
+// returns the records, whether the file is stale relative to base, and
+// the byte size consumed. In tolerant mode a torn tail ends the parse
+// silently instead of erroring (read-only opens of a live store).
+func readWAL(path string, base uint64, tolerant bool) (recs []*session.Record, stale bool, size int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, 0, nil
+		}
+		return nil, false, 0, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	first := true
+	for {
+		line, rerr := br.ReadBytes('\n')
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) > 0 {
+			if first {
+				first = false
+				var h walHeader
+				if uerr := json.Unmarshal(trimmed, &h); uerr != nil || !bytes.HasPrefix(trimmed, []byte(`{"_wal"`)) {
+					return nil, true, 0, nil // headerless: not ours, or pre-seal leftover
+				}
+				if h.Wal.Base != base {
+					return nil, true, 0, nil
+				}
+			} else {
+				r := &session.Record{}
+				if uerr := json.Unmarshal(trimmed, r); uerr != nil {
+					if tolerant {
+						return recs, false, size, nil
+					}
+					return nil, false, 0, fmt.Errorf("store: corrupt wal record %d: %w", len(recs), uerr)
+				}
+				recs = append(recs, r)
+			}
+		}
+		size += int64(len(line))
+		if rerr != nil {
+			if rerr == io.EOF {
+				return recs, false, size, nil
+			}
+			return nil, false, 0, rerr
+		}
+	}
+}
+
+// writeWALHeaderLocked writes and fsyncs the WAL binding line. Caller
+// holds mu (or is still constructing the store).
+func (s *Store) writeWALHeaderLocked(base uint64) error {
+	var h walHeader
+	h.Wal.Base = base
+	line, err := json.Marshal(h)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	if _, err := s.walW.Write(line); err != nil {
+		return err
+	}
+	if err := s.walW.Flush(); err != nil {
+		return err
+	}
+	if err := s.walF.Sync(); err != nil {
+		return err
+	}
+	s.walSize += int64(len(line))
+	return nil
+}
+
+// Append adds one record. The store retains r; callers must not mutate
+// it afterwards. The record is durable after the next Flush, periodic
+// sync, or seal.
+func (s *Store) Append(r *session.Record) error {
+	line, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("store: marshal: %w", err)
+	}
+	line = append(line, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.closed:
+		return errors.New("store: closed")
+	case s.opts.ReadOnly:
+		return errors.New("store: read-only")
+	}
+	if _, err := s.walW.Write(line); err != nil {
+		return fmt.Errorf("store: wal write: %w", err)
+	}
+	s.walSize += int64(len(line))
+	s.dirty = true
+	s.tail = append(s.tail, r)
+	s.appended.Add(1)
+	if sb := s.opts.sealBytes(); sb > 0 && s.walSize >= sb {
+		if err := s.sealLocked(); err != nil {
+			return fmt.Errorf("store: auto-seal: %w", err)
+		}
+	}
+	return nil
+}
+
+// Sink adapts the store to honeypot.Config.Sink.
+func (s *Store) Sink(r *session.Record) error { return s.Append(r) }
+
+// Seal folds the WAL into immutable per-month segments and commits
+// them through the manifest. A no-op on an empty WAL.
+func (s *Store) Seal() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.opts.ReadOnly {
+		return errors.New("store: closed or read-only")
+	}
+	return s.sealLocked()
+}
+
+// sealLocked does the work of Seal. Caller holds mu.
+func (s *Store) sealLocked() error {
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	if len(s.tail) == 0 {
+		return nil
+	}
+	// Partition the tail by month, preserving append order within each.
+	byMonth := map[time.Time][]int{}
+	var months []time.Time
+	for i, r := range s.tail {
+		m := r.Month()
+		if _, ok := byMonth[m]; !ok {
+			months = append(months, m)
+		}
+		byMonth[m] = append(byMonth[m], i)
+	}
+	sort.Slice(months, func(i, j int) bool { return months[i].Before(months[j]) })
+
+	newMan := &manifest{
+		Version:  manifestVersion,
+		NextSeg:  s.man.NextSeg,
+		NextSeq:  s.man.NextSeq + uint64(len(s.tail)),
+		Segments: append([]*segmentMeta(nil), s.man.Segments...),
+	}
+	var files []string
+	for _, m := range months {
+		idxs := byMonth[m]
+		recs := make([]*session.Record, len(idxs))
+		seqs := make([]uint64, len(idxs))
+		for j, i := range idxs {
+			recs[j] = s.tail[i]
+			seqs[j] = s.man.NextSeq + uint64(i)
+		}
+		file := segFileName(newMan.NextSeg)
+		meta, err := writeSegment(s.dir, file, recs, seqs, s.opts.blockBytes())
+		if err != nil {
+			removeAll(s.dir, files, file)
+			return err
+		}
+		newMan.NextSeg++
+		newMan.Segments = append(newMan.Segments, meta)
+		files = append(files, file)
+	}
+	if err := syncDir(s.dir); err != nil {
+		removeAll(s.dir, files, "")
+		return err
+	}
+	if err := newMan.save(s.dir); err != nil {
+		removeAll(s.dir, files, "")
+		return err
+	}
+
+	// The manifest now owns the records: reset the WAL under the new
+	// base. A crash before this point replays the WAL; after the
+	// manifest commit, a leftover WAL is detected as stale and dropped.
+	if err := s.walF.Close(); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(filepath.Join(s.dir, walName), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	s.walF = f
+	s.walW.Reset(f)
+	s.walSize = 0
+	s.dirty = false
+	s.man = newMan
+	s.tail = nil // cursors holding the old tail keep their snapshot
+	s.sealsTotal.Add(1)
+	return s.writeWALHeaderLocked(newMan.NextSeq)
+}
+
+// removeAll deletes the named segment files plus one extra (a partial
+// write), best-effort, after a failed seal.
+func removeAll(dir string, files []string, extra string) {
+	if extra != "" {
+		files = append(files, extra)
+	}
+	for _, f := range files {
+		os.Remove(filepath.Join(dir, f))
+	}
+}
+
+// Flush pushes buffered WAL data to stable storage.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.opts.ReadOnly {
+		return nil
+	}
+	return s.flushLocked()
+}
+
+func (s *Store) flushLocked() error {
+	if err := s.walW.Flush(); err != nil {
+		return err
+	}
+	if err := s.walF.Sync(); err != nil {
+		return err
+	}
+	s.dirty = false
+	return nil
+}
+
+// Close seals any unsealed tail and releases the store. Further
+// appends fail; open cursors keep working over their snapshots.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	var err error
+	if !s.opts.ReadOnly {
+		err = s.sealLocked()
+		if cerr := s.walF.Close(); err == nil {
+			err = cerr
+		}
+	}
+	s.closed = true
+	stop := s.stop
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-s.done
+	}
+	return err
+}
+
+// syncLoop periodically fsyncs dirty WAL data, mirroring sessionlog:
+// an idle-period crash loses at most SyncEvery worth of sessions.
+func (s *Store) syncLoop(every time.Duration) {
+	defer close(s.done)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			if !s.closed && s.dirty {
+				_ = s.flushLocked()
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// snapshot returns a consistent (manifest, tail) view for queries. The
+// manifest is copy-on-write and the tail slice is capacity-clamped, so
+// later appends and seals cannot disturb the holder.
+func (s *Store) snapshot() (*manifest, []*session.Record) {
+	s.mu.RLock()
+	man, tail := s.man, s.tail[:len(s.tail):len(s.tail)]
+	s.mu.RUnlock()
+	return man, tail
+}
+
+// Len returns the total record count (sealed + unsealed).
+func (s *Store) Len() int {
+	man, tail := s.snapshot()
+	n := len(tail)
+	for _, seg := range man.Segments {
+		n += seg.Records
+	}
+	return n
+}
+
+// Segments returns the number of sealed segment files.
+func (s *Store) Segments() int {
+	man, _ := s.snapshot()
+	return len(man.Segments)
+}
+
+// CompressedBytes returns the total compressed size of sealed blocks.
+func (s *Store) CompressedBytes() int64 {
+	man, _ := s.snapshot()
+	var n int64
+	for _, seg := range man.Segments {
+		n += seg.CompBytes
+	}
+	return n
+}
+
+// RecoveredBytes returns the torn-tail bytes truncated from the WAL
+// when the store was opened.
+func (s *Store) RecoveredBytes() int64 { return s.recoveredBytes.Load() }
+
+// Register exposes the store's counters and gauges on reg:
+//
+//	honeynet_store_records
+//	honeynet_store_segments
+//	honeynet_store_compressed_bytes
+//	honeynet_store_seals_total
+//	honeynet_store_appended_total
+//	honeynet_store_blocks_read_total
+//	honeynet_store_bloom_checks_total
+//	honeynet_store_bloom_skips_total
+//	honeynet_store_recovered_bytes
+//	honeynet_store_stale_wal_drops_total
+func (s *Store) Register(reg *obs.Registry) {
+	reg.GaugeFunc("honeynet_store_records",
+		"Session records held by the store (sealed + unsealed).",
+		func() float64 { return float64(s.Len()) })
+	reg.GaugeFunc("honeynet_store_segments",
+		"Sealed immutable segment files in the store.",
+		func() float64 { return float64(s.Segments()) })
+	reg.GaugeFunc("honeynet_store_compressed_bytes",
+		"Compressed bytes across all sealed segment blocks.",
+		func() float64 { return float64(s.CompressedBytes()) })
+	reg.CounterFunc("honeynet_store_seals_total",
+		"WAL-to-segment seal operations completed.", s.sealsTotal.Load)
+	reg.CounterFunc("honeynet_store_appended_total",
+		"Records appended to the store.", s.appended.Load)
+	reg.CounterFunc("honeynet_store_blocks_read_total",
+		"Compressed blocks read and verified by queries.", s.blocksRead.Load)
+	reg.CounterFunc("honeynet_store_bloom_checks_total",
+		"Segment Bloom-filter membership checks by IP-scoped scans.", s.bloomChecks.Load)
+	reg.CounterFunc("honeynet_store_bloom_skips_total",
+		"Segments skipped entirely because the Bloom filter excluded the IP.", s.bloomSkips.Load)
+	reg.GaugeFunc("honeynet_store_recovered_bytes",
+		"Torn-tail WAL bytes truncated away when the store was opened.",
+		func() float64 { return float64(s.RecoveredBytes()) })
+	reg.CounterFunc("honeynet_store_stale_wal_drops_total",
+		"Stale WALs (already sealed before a crash) discarded on open.", s.staleWALDrops.Load)
+}

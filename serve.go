@@ -14,6 +14,7 @@ import (
 	"honeynet/internal/obs"
 	"honeynet/internal/sessionlog"
 	"honeynet/internal/simulate"
+	"honeynet/internal/store"
 )
 
 // ServeConfig describes one live, network-facing honeypot node with its
@@ -55,10 +56,16 @@ type ServeConfig struct {
 	// empty, records stream to LogOutput (and LogMaxSize is ignored).
 	LogPath string
 	// LogOutput receives JSONL records when LogPath is empty.
-	// Required in that case.
+	// Required when StorePath is also empty.
 	LogOutput io.Writer
 	// LogMaxSize rotates the session log past this size (0 = never).
 	LogMaxSize int64
+	// StorePath, when non-empty, opens the embedded month-partitioned
+	// session store at that directory and appends every record to it
+	// (alongside the session log, or alone when no log is configured).
+	// Drain seals the store so the partitions are immediately
+	// queryable by hnanalyze -store and honeynet.Open.
+	StorePath string
 
 	// DrainTimeout bounds how long Drain waits for in-flight sessions
 	// before force-closing them (default 30s).
@@ -100,7 +107,8 @@ func (c *ServeConfig) defaults() {
 type Server struct {
 	cfg     ServeConfig
 	node    *honeypot.Node
-	writer  *sessionlog.Writer
+	writer  *sessionlog.Writer // nil when only a store is configured
+	store   *store.Store       // nil unless StorePath is set
 	limiter *guard.Limiter
 	budget  *guard.Budget
 	reg     *obs.Registry
@@ -122,16 +130,25 @@ func Serve(cfg ServeConfig) (*Server, error) {
 	}
 
 	s := &Server{cfg: cfg, reg: cfg.Registry}
-	if cfg.LogPath != "" {
+	switch {
+	case cfg.LogPath != "":
 		s.writer, err = sessionlog.Open(cfg.LogPath, sessionlog.Options{MaxSize: cfg.LogMaxSize})
 		if err != nil {
 			return nil, fmt.Errorf("honeynet: session log: %w", err)
 		}
-	} else {
-		if cfg.LogOutput == nil {
-			return nil, errors.New("honeynet: ServeConfig needs LogPath or LogOutput")
-		}
+	case cfg.LogOutput != nil:
 		s.writer = sessionlog.NewStream(cfg.LogOutput)
+	case cfg.StorePath == "":
+		return nil, errors.New("honeynet: ServeConfig needs LogPath, LogOutput, or StorePath")
+	}
+	if cfg.StorePath != "" {
+		s.store, err = store.Open(cfg.StorePath, store.Options{})
+		if err != nil {
+			if s.writer != nil {
+				s.writer.Close()
+			}
+			return nil, fmt.Errorf("honeynet: store: %w", err)
+		}
 	}
 
 	s.limiter = guard.NewLimiter(guard.Config{
@@ -152,8 +169,15 @@ func Serve(cfg ServeConfig) (*Server, error) {
 		Guard:          s.limiter,
 		DownloadBudget: s.budget,
 		Sink: func(r *Record) error {
-			if err := s.writer.Write(r); err != nil {
-				return err
+			if s.writer != nil {
+				if err := s.writer.Write(r); err != nil {
+					return err
+				}
+			}
+			if s.store != nil {
+				if err := s.store.Append(r); err != nil {
+					return err
+				}
 			}
 			if cfg.OnRecord != nil {
 				cfg.OnRecord(r)
@@ -162,7 +186,12 @@ func Serve(cfg ServeConfig) (*Server, error) {
 		},
 	})
 	if err != nil {
-		s.writer.Close()
+		if s.writer != nil {
+			s.writer.Close()
+		}
+		if s.store != nil {
+			s.store.Close()
+		}
 		return nil, err
 	}
 	s.node = node
@@ -170,7 +199,12 @@ func Serve(cfg ServeConfig) (*Server, error) {
 	node.Register(s.reg)
 	s.limiter.Register(s.reg)
 	s.budget.Register(s.reg)
-	s.writer.Register(s.reg)
+	if s.writer != nil {
+		s.writer.Register(s.reg)
+	}
+	if s.store != nil {
+		s.store.Register(s.reg)
+	}
 	analysis.Register(s.reg)
 
 	s.sshAddr, err = node.ListenSSH(cfg.SSHAddr)
@@ -228,23 +262,32 @@ func (s *Server) Registry() *Registry { return s.reg }
 // Metrics returns the node's operational counters.
 func (s *Server) Metrics() honeypot.Metrics { return s.node.Metrics() }
 
-// Log returns the session-log writer (counters, rotation state).
+// Log returns the session-log writer (counters, rotation state), or
+// nil when the node writes only to a store.
 func (s *Server) Log() *sessionlog.Writer { return s.writer }
 
 // Drain gracefully shuts the server down: stop accepting, wait up to
 // DrainTimeout for in-flight sessions (then force-close them), append a
 // final metrics snapshot to the session log, flush and close the log,
-// and stop the admin endpoint. It returns how many connections had to
-// be force-closed. /healthz turns unhealthy for the duration.
+// seal and close the session store, and stop the admin endpoint. It
+// returns how many connections had to be force-closed. /healthz turns
+// unhealthy for the duration.
 func (s *Server) Drain(reason string) (forced int, err error) {
 	forced = s.node.Drain(s.cfg.DrainTimeout)
-	snapErr := s.writer.WriteSnapshot(sessionlog.Snapshot{
-		Time:    time.Now().UTC(),
-		Reason:  reason,
-		Metrics: s.reg.Snapshot(),
-	})
-	err = errors.Join(snapErr, s.writer.Close(), s.closeAdmin())
-	return forced, err
+	var errs []error
+	if s.writer != nil {
+		errs = append(errs, s.writer.WriteSnapshot(sessionlog.Snapshot{
+			Time:    time.Now().UTC(),
+			Reason:  reason,
+			Metrics: s.reg.Snapshot(),
+		}))
+		errs = append(errs, s.writer.Close())
+	}
+	if s.store != nil {
+		errs = append(errs, s.store.Close())
+	}
+	errs = append(errs, s.closeAdmin())
+	return forced, errors.Join(errs...)
 }
 
 // Close cuts all listeners immediately without draining in-flight
@@ -258,6 +301,9 @@ func (s *Server) close() error {
 	}
 	if s.writer != nil {
 		errs = append(errs, s.writer.Close())
+	}
+	if s.store != nil {
+		errs = append(errs, s.store.Close())
 	}
 	errs = append(errs, s.closeAdmin())
 	return errors.Join(errs...)
