@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"honeynet/internal/analysis"
+	"honeynet/internal/asdb"
 	"honeynet/internal/botnet"
 	"honeynet/internal/classify"
 	"honeynet/internal/cluster"
@@ -719,5 +720,34 @@ func BenchmarkRekey(b *testing.B) {
 		for cli.Rekeys() < i+1 {
 			time.Sleep(100 * time.Microsecond)
 		}
+	}
+}
+
+// BenchmarkFigAllFromStore is the cold-store end-to-end figure run:
+// open a sealed month-partitioned store from disk, decode every
+// segment, and render the full figure set — what `hnanalyze -fig all
+// -sample 5000 -store DIR` costs after the store's write path has done
+// its job. The store is built once; every iteration pays the full
+// open+decode+analyze path.
+func BenchmarkFigAllFromStore(b *testing.B) {
+	w := benchPipeline(b)
+	dir := b.TempDir()
+	if err := persistStore(dir, "", w.Store.All()); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Same convention as hnanalyze -store: rebuild the AS registry
+		// from the simulation seed so attribution figures run.
+		p.World.Registry = asdb.NewRegistry(43, 2000)
+		ccfg := ClusterConfig{K: 90, SampleSize: 5000, Seed: 1}
+		if err := p.RunAll(io.Discard, ccfg); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(p.World.Store.Len()), "sessions/op")
 	}
 }

@@ -9,6 +9,11 @@
 // -fig selects a single output: stats, 1, 2, 3a, 3b, 4a, 4b, 5, 6, 7, 8,
 // 9, 10, 11, 12, 13, 14, 16, 17, table1, storage, mdrfckr, appc, kselect,
 // all.
+//
+// -store reads v1 (DEFLATE) and v2 (LZ) segments transparently — the
+// codec each segment was sealed with is recorded in the store's
+// manifest — and output is byte-identical to -in over the same records,
+// whatever codec or -workers value is used.
 package main
 
 import (

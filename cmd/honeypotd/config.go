@@ -9,6 +9,7 @@ import (
 	"honeynet/internal/guard"
 	"honeynet/internal/honeypot"
 	"honeynet/internal/sessionlog"
+	"honeynet/internal/store"
 )
 
 // Defaults, in one place: flag registration and the README quote them
@@ -37,6 +38,9 @@ type Config struct {
 	Timeout    time.Duration
 	Out        string
 	Store      string
+	StoreCodec string
+	StoreBatch int
+	StoreDelay time.Duration
 	Persistent bool
 
 	MaxConns      int
@@ -60,6 +64,9 @@ func (c *Config) RegisterFlags(fs *flag.FlagSet) {
 	fs.DurationVar(&c.Timeout, "timeout", honeypot.DefaultTimeout, "hard session timeout")
 	fs.StringVar(&c.Out, "out", "", "session JSONL output file (default stdout)")
 	fs.StringVar(&c.Store, "store", "", "also sink sessions into a month-partitioned session store at this directory (queryable via hnanalyze -store)")
+	fs.StringVar(&c.StoreCodec, "store-codec", "", `block codec for newly sealed store segments: "lz" (default) or "flate" (v1-compatible)`)
+	fs.IntVar(&c.StoreBatch, "store-max-batch", 0, "records per group-commit WAL write in the store (0 = default)")
+	fs.DurationVar(&c.StoreDelay, "store-max-delay", 0, "longest a record may wait in the store's group-commit batch (0 = default)")
 	fs.BoolVar(&c.Persistent, "persistent", false, "retain each client's filesystem across connections (defeats attacker consistency checks)")
 	fs.IntVar(&c.MaxConns, "max-conns", defaultMaxConns, "global concurrent connection cap; oldest connection is shed at the cap (0 = unlimited)")
 	fs.IntVar(&c.MaxConnsPerIP, "max-conns-per-ip", defaultMaxConnsPerIP, "per-IP concurrent connection cap; newcomers beyond it are shed (0 = unlimited)")
@@ -82,6 +89,10 @@ func (c *Config) Validate() error {
 	if c.SSHAddr == "" {
 		return fmt.Errorf("-ssh must not be empty")
 	}
+	opts := store.Options{Codec: c.StoreCodec, MaxBatch: c.StoreBatch, MaxDelay: c.StoreDelay}
+	if err := opts.Validate(); err != nil {
+		return fmt.Errorf("-store-codec/-store-max-batch/-store-max-delay: %w", err)
+	}
 	return nil
 }
 
@@ -101,6 +112,9 @@ func (c *Config) ServeConfig() honeynet.ServeConfig {
 		Rate:           c.Rate,
 		DownloadBudget: c.DLBudget,
 		StorePath:      c.Store,
+		StoreCodec:     c.StoreCodec,
+		StoreMaxBatch:  c.StoreBatch,
+		StoreMaxDelay:  c.StoreDelay,
 		LogPath:        c.Out,
 		LogMaxSize:     c.logMaxBytes,
 		DrainTimeout:   c.DrainTimeout,

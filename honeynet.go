@@ -74,6 +74,7 @@ type config struct {
 	tracer      *obs.Tracer
 	matrixCache string
 	storeDir    string
+	storeCodec  string
 }
 
 // Option tunes Simulate and Load. Options are applied in order; the
@@ -131,6 +132,16 @@ func WithStore(dir string) Option {
 	return optionFunc(func(c *config) { c.storeDir = dir })
 }
 
+// WithCodec selects the block codec for segments sealed by WithStore:
+// store.CodecLZ (the default: the fast in-tree LZ codec, v2 segments)
+// or store.CodecFlate (DEFLATE, v1 segments byte-compatible with older
+// stores). Reading is unaffected — every store opens with whatever
+// codec its manifest records. Query output is byte-identical across
+// codecs.
+func WithCodec(name string) Option {
+	return optionFunc(func(c *config) { c.storeCodec = name })
+}
+
 // SimOptions selects the scale and seed of a dataset generation run.
 //
 // Deprecated: use the functional options (WithScale, WithSeed, ...)
@@ -166,7 +177,7 @@ func Simulate(opts ...Option) (*Pipeline, error) {
 	}
 	p.World.MatrixCache = c.matrixCache
 	if c.storeDir != "" {
-		if err := persistStore(c.storeDir, p.World.Store.All()); err != nil {
+		if err := persistStore(c.storeDir, c.storeCodec, p.World.Store.All()); err != nil {
 			return nil, err
 		}
 	}
@@ -174,8 +185,8 @@ func Simulate(opts ...Option) (*Pipeline, error) {
 }
 
 // persistStore seals records into the session store at dir.
-func persistStore(dir string, recs []*session.Record) error {
-	st, err := store.Open(dir, store.Options{})
+func persistStore(dir, codec string, recs []*session.Record) error {
+	st, err := store.Open(dir, store.Options{Codec: codec})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,752 @@
+package session
+
+import (
+	"encoding/json"
+	"math"
+	"math/bits"
+	"strconv"
+	"time"
+	"unicode"
+	"unicode/utf16"
+	"unicode/utf8"
+)
+
+// This file is the store's record codec: a hand-rolled encoder and
+// decoder for Record that produce byte-for-byte the same output and
+// value-for-value the same result as encoding/json, at a fraction of
+// the cost. encoding/json stays the reference implementation: the
+// encoder falls back to json.Marshal for inputs outside the canonical
+// fast path (times RFC 3339 cannot represent), and the decoder falls
+// back to json.Unmarshal on any input that is not exactly the shape the
+// encoder produces — so behaviour, including errors, never diverges.
+// FuzzRecordJSON pins the equivalence in both directions.
+
+const hexDigits = "0123456789abcdef"
+
+// jsonSafe marks ASCII bytes encoding/json (with HTML escaping, the
+// json.Marshal default) passes through unescaped.
+var jsonSafe [utf8.RuneSelf]bool
+
+func init() {
+	for c := 0x20; c < utf8.RuneSelf; c++ {
+		jsonSafe[c] = true
+	}
+	for _, c := range []byte{'"', '\\', '<', '>', '&'} {
+		jsonSafe[c] = false
+	}
+}
+
+// AppendJSON appends r encoded exactly as json.Marshal(r) would encode
+// it and returns the extended buffer. The output is byte-identical to
+// encoding/json in every case: inputs the fast path cannot represent
+// canonically are delegated to json.Marshal wholesale.
+func AppendJSON(dst []byte, r *Record) ([]byte, error) {
+	if r == nil {
+		return append(dst, "null"...), nil
+	}
+	n0 := len(dst)
+	var ok bool
+	dst = append(dst, `{"id":`...)
+	dst = strconv.AppendUint(dst, r.ID, 10)
+	dst = append(dst, `,"start":`...)
+	if dst, ok = appendTimeJSON(dst, r.Start); !ok {
+		return appendJSONFallback(dst[:n0], r)
+	}
+	dst = append(dst, `,"end":`...)
+	if dst, ok = appendTimeJSON(dst, r.End); !ok {
+		return appendJSONFallback(dst[:n0], r)
+	}
+	dst = append(dst, `,"hp":`...)
+	dst = appendJSONString(dst, r.HoneypotID)
+	if r.HoneypotIP != "" {
+		dst = append(dst, `,"hp_ip":`...)
+		dst = appendJSONString(dst, r.HoneypotIP)
+	}
+	dst = append(dst, `,"client_ip":`...)
+	dst = appendJSONString(dst, r.ClientIP)
+	if r.ClientPort != 0 {
+		dst = append(dst, `,"client_port":`...)
+		dst = strconv.AppendInt(dst, int64(r.ClientPort), 10)
+	}
+	dst = append(dst, `,"proto":`...)
+	dst = appendJSONString(dst, r.Protocol)
+	if r.ClientVersion != "" {
+		dst = append(dst, `,"client_ver":`...)
+		dst = appendJSONString(dst, r.ClientVersion)
+	}
+	if len(r.Logins) > 0 {
+		dst = append(dst, `,"logins":[`...)
+		for i := range r.Logins {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			l := &r.Logins[i]
+			dst = append(dst, `{"user":`...)
+			dst = appendJSONString(dst, l.Username)
+			dst = append(dst, `,"pass":`...)
+			dst = appendJSONString(dst, l.Password)
+			dst = append(dst, `,"ok":`...)
+			dst = appendJSONBool(dst, l.Success)
+			dst = append(dst, '}')
+		}
+		dst = append(dst, ']')
+	}
+	if len(r.Commands) > 0 {
+		dst = append(dst, `,"cmds":[`...)
+		for i := range r.Commands {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			c := &r.Commands[i]
+			dst = append(dst, `{"raw":`...)
+			dst = appendJSONString(dst, c.Raw)
+			dst = append(dst, `,"known":`...)
+			dst = appendJSONBool(dst, c.Known)
+			dst = append(dst, '}')
+		}
+		dst = append(dst, ']')
+	}
+	if len(r.Downloads) > 0 {
+		dst = append(dst, `,"dls":[`...)
+		for i := range r.Downloads {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			d := &r.Downloads[i]
+			dst = append(dst, `{"uri":`...)
+			dst = appendJSONString(dst, d.URI)
+			if d.SourceIP != "" {
+				dst = append(dst, `,"src_ip":`...)
+				dst = appendJSONString(dst, d.SourceIP)
+			}
+			if d.Hash != "" {
+				dst = append(dst, `,"hash":`...)
+				dst = appendJSONString(dst, d.Hash)
+			}
+			if d.Size != 0 {
+				dst = append(dst, `,"size":`...)
+				dst = strconv.AppendInt(dst, d.Size, 10)
+			}
+			dst = append(dst, '}')
+		}
+		dst = append(dst, ']')
+	}
+	if len(r.ExecAttempts) > 0 {
+		dst = append(dst, `,"execs":[`...)
+		for i := range r.ExecAttempts {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			e := &r.ExecAttempts[i]
+			dst = append(dst, `{"path":`...)
+			dst = appendJSONString(dst, e.Path)
+			dst = append(dst, `,"exists":`...)
+			dst = appendJSONBool(dst, e.FileExists)
+			if e.Hash != "" {
+				dst = append(dst, `,"hash":`...)
+				dst = appendJSONString(dst, e.Hash)
+			}
+			dst = append(dst, '}')
+		}
+		dst = append(dst, ']')
+	}
+	if r.StateChanged {
+		dst = append(dst, `,"state_changed":true`...)
+	}
+	if len(r.DroppedHashes) > 0 {
+		dst = append(dst, `,"hashes":[`...)
+		for i, h := range r.DroppedHashes {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = appendJSONString(dst, h)
+		}
+		dst = append(dst, ']')
+	}
+	if r.TimedOut {
+		dst = append(dst, `,"timeout":true`...)
+	}
+	return append(dst, '}'), nil
+}
+
+// appendJSONFallback discards the partial fast-path output and encodes
+// the whole record through encoding/json, so both the bytes and any
+// error are exactly the stdlib's.
+func appendJSONFallback(dst []byte, r *Record) ([]byte, error) {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, b...), nil
+}
+
+func appendJSONBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, "true"...)
+	}
+	return append(dst, "false"...)
+}
+
+// appendTimeJSON appends t as a quoted RFC 3339 timestamp. It reports
+// ok=false for the same inputs time.Time.MarshalJSON rejects (year
+// outside [0,9999], zone hour outside [0,23]); the caller then falls
+// back to encoding/json so the error matches the stdlib's.
+func appendTimeJSON(dst []byte, t time.Time) ([]byte, bool) {
+	dst = append(dst, '"')
+	n0 := len(dst)
+	dst = t.AppendFormat(dst, time.RFC3339Nano)
+	if len(dst)-n0 < len("2006-01-02T15:04:05Z") || dst[n0+4] != '-' {
+		return dst, false // year not exactly 4 digits
+	}
+	if dst[len(dst)-1] != 'Z' {
+		c := dst[len(dst)-6]
+		if ('0' <= c && c <= '9') || 10*(dst[len(dst)-5]-'0')+(dst[len(dst)-4]-'0') >= 24 {
+			return dst, false // zone hour outside [0,23]
+		}
+	}
+	return append(dst, '"'), true
+}
+
+// le64str loads 8 little-endian bytes of s at i (the compiler folds
+// this into a single load).
+func le64str(s string, i int) uint64 {
+	_ = s[i+7]
+	return uint64(s[i]) | uint64(s[i+1])<<8 | uint64(s[i+2])<<16 | uint64(s[i+3])<<24 |
+		uint64(s[i+4])<<32 | uint64(s[i+5])<<40 | uint64(s[i+6])<<48 | uint64(s[i+7])<<56
+}
+
+// jsonUnsafeMask flags, per byte lane (high bit), bytes a JSON string
+// cannot carry verbatim under encoding/json's HTML-escaping rules:
+// anything below 0x20 or above 0x7F, and " \ < > &.
+func jsonUnsafeMask(x uint64) uint64 {
+	const (
+		ones = 0x0101010101010101
+		his  = 0x8080808080808080
+	)
+	eq := func(c byte) uint64 {
+		z := x ^ (ones * uint64(c))
+		return (z - ones) &^ z & his
+	}
+	unsafe := x & his                    // ≥ 0x80
+	unsafe |= (x - ones*0x20) &^ x & his // < 0x20 (only meaningful when the high bit is clear)
+	return unsafe | eq('"') | eq('\\') | eq('<') | eq('>') | eq('&')
+}
+
+// appendJSONString appends s JSON-quoted exactly as encoding/json does
+// with HTML escaping on: ", \, control characters, <, >, &, U+2028/29
+// escaped, invalid UTF-8 replaced with �.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		// Skip runs of plain ASCII eight bytes at a time; the byte and
+		// rune handling below only ever sees flagged positions (or the
+		// sub-8-byte tail).
+		for i+8 <= len(s) {
+			u := jsonUnsafeMask(le64str(s, i))
+			if u != 0 {
+				i += bits.TrailingZeros64(u) >> 3
+				break
+			}
+			i += 8
+		}
+		if i >= len(s) {
+			break
+		}
+		if b := s[i]; b < utf8.RuneSelf {
+			if jsonSafe[b] {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				dst = append(dst, '\\', b)
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, `\ufffd`...)
+			i += size
+			start = i
+			continue
+		}
+		if c == ' ' || c == ' ' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
+// JSONDecoder decodes record lines, keeping an unescape scratch buffer
+// across calls. The zero value is ready to use; a decoder is not safe
+// for concurrent use.
+type JSONDecoder struct {
+	scratch []byte
+}
+
+// DecodeJSON decodes one record line into r, overwriting it — the
+// result is identical to json.Unmarshal(data, r) on a zeroed r.
+func DecodeJSON(data []byte, r *Record) error {
+	var d JSONDecoder
+	return d.Decode(data, r)
+}
+
+// Decode decodes one record line into r, overwriting it. The fast path
+// accepts exactly the canonical encoding AppendJSON/json.Marshal
+// produce; any other input — reordered or unknown keys, whitespace,
+// null, unusual number forms — is delegated to json.Unmarshal, so the
+// result (including errors) always matches the stdlib on a zero Record.
+func (d *JSONDecoder) Decode(data []byte, r *Record) error {
+	*r = Record{}
+	if d.decodeFast(data, r) {
+		return nil
+	}
+	*r = Record{}
+	return json.Unmarshal(data, r)
+}
+
+// errBailFast signals "not canonical — use encoding/json" inside the
+// fast path. It is the only panic decodeFast recovers.
+type errBailFast struct{}
+
+type jsonDec struct {
+	d       []byte
+	i       int
+	scratch *[]byte
+}
+
+func (d *JSONDecoder) decodeFast(data []byte, r *Record) (ok bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			if _, bail := p.(errBailFast); bail {
+				ok = false
+				return
+			}
+			panic(p)
+		}
+	}()
+	p := &jsonDec{d: data, scratch: &d.scratch}
+
+	p.lit(`{"id":`)
+	r.ID = p.uint()
+	p.lit(`,"start":`)
+	p.time(&r.Start)
+	p.lit(`,"end":`)
+	p.time(&r.End)
+	p.lit(`,"hp":`)
+	r.HoneypotID = p.str()
+	if p.tryLit(`,"hp_ip":`) {
+		r.HoneypotIP = p.str()
+	}
+	p.lit(`,"client_ip":`)
+	r.ClientIP = p.str()
+	if p.tryLit(`,"client_port":`) {
+		r.ClientPort = int(p.int())
+	}
+	p.lit(`,"proto":`)
+	r.Protocol = p.str()
+	if p.tryLit(`,"client_ver":`) {
+		r.ClientVersion = p.str()
+	}
+	if p.tryLit(`,"logins":[`) {
+		ls := []LoginAttempt{}
+		if p.peek() == ']' {
+			p.i++
+		} else {
+			for {
+				var l LoginAttempt
+				p.lit(`{"user":`)
+				l.Username = p.str()
+				p.lit(`,"pass":`)
+				l.Password = p.str()
+				p.lit(`,"ok":`)
+				l.Success = p.bool()
+				p.byte('}')
+				ls = append(ls, l)
+				if p.arrayMore() {
+					continue
+				}
+				break
+			}
+		}
+		r.Logins = ls
+	}
+	if p.tryLit(`,"cmds":[`) {
+		cs := []Command{}
+		if p.peek() == ']' {
+			p.i++
+		} else {
+			for {
+				var c Command
+				p.lit(`{"raw":`)
+				c.Raw = p.str()
+				p.lit(`,"known":`)
+				c.Known = p.bool()
+				p.byte('}')
+				cs = append(cs, c)
+				if p.arrayMore() {
+					continue
+				}
+				break
+			}
+		}
+		r.Commands = cs
+	}
+	if p.tryLit(`,"dls":[`) {
+		ds := []Download{}
+		if p.peek() == ']' {
+			p.i++
+		} else {
+			for {
+				var dl Download
+				p.lit(`{"uri":`)
+				dl.URI = p.str()
+				if p.tryLit(`,"src_ip":`) {
+					dl.SourceIP = p.str()
+				}
+				if p.tryLit(`,"hash":`) {
+					dl.Hash = p.str()
+				}
+				if p.tryLit(`,"size":`) {
+					dl.Size = p.int()
+				}
+				p.byte('}')
+				ds = append(ds, dl)
+				if p.arrayMore() {
+					continue
+				}
+				break
+			}
+		}
+		r.Downloads = ds
+	}
+	if p.tryLit(`,"execs":[`) {
+		es := []ExecAttempt{}
+		if p.peek() == ']' {
+			p.i++
+		} else {
+			for {
+				var e ExecAttempt
+				p.lit(`{"path":`)
+				e.Path = p.str()
+				p.lit(`,"exists":`)
+				e.FileExists = p.bool()
+				if p.tryLit(`,"hash":`) {
+					e.Hash = p.str()
+				}
+				p.byte('}')
+				es = append(es, e)
+				if p.arrayMore() {
+					continue
+				}
+				break
+			}
+		}
+		r.ExecAttempts = es
+	}
+	if p.tryLit(`,"state_changed":`) {
+		r.StateChanged = p.bool()
+	}
+	if p.tryLit(`,"hashes":[`) {
+		hs := []string{}
+		if p.peek() == ']' {
+			p.i++
+		} else {
+			for {
+				hs = append(hs, p.str())
+				if p.arrayMore() {
+					continue
+				}
+				break
+			}
+		}
+		r.DroppedHashes = hs
+	}
+	if p.tryLit(`,"timeout":`) {
+		r.TimedOut = p.bool()
+	}
+	p.byte('}')
+	if p.i != len(p.d) {
+		p.bail()
+	}
+	return true
+}
+
+func (p *jsonDec) bail() {
+	panic(errBailFast{})
+}
+
+// byte consumes exactly c.
+func (p *jsonDec) byte(c byte) {
+	if p.i >= len(p.d) || p.d[p.i] != c {
+		p.bail()
+	}
+	p.i++
+}
+
+func (p *jsonDec) peek() byte {
+	if p.i >= len(p.d) {
+		p.bail()
+	}
+	return p.d[p.i]
+}
+
+// lit consumes the literal l or bails.
+func (p *jsonDec) lit(l string) {
+	if !p.tryLit(l) {
+		p.bail()
+	}
+}
+
+// tryLit consumes the literal l if it is next.
+func (p *jsonDec) tryLit(l string) bool {
+	if len(p.d)-p.i >= len(l) && string(p.d[p.i:p.i+len(l)]) == l {
+		p.i += len(l)
+		return true
+	}
+	return false
+}
+
+// arrayMore consumes "," (more elements) or "]" (done).
+func (p *jsonDec) arrayMore() bool {
+	switch p.peek() {
+	case ',':
+		p.i++
+		return true
+	case ']':
+		p.i++
+		return false
+	}
+	p.bail()
+	return false
+}
+
+// uint parses a non-negative JSON integer with no float forms.
+func (p *jsonDec) uint() uint64 {
+	s, i := p.d, p.i
+	if i >= len(s) || s[i] < '0' || s[i] > '9' {
+		p.bail()
+	}
+	start := i
+	var v uint64
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		c := uint64(s[i] - '0')
+		if v > (math.MaxUint64-c)/10 {
+			p.bail()
+		}
+		v = v*10 + c
+		i++
+	}
+	if s[start] == '0' && i-start > 1 {
+		p.bail() // leading zero: not valid JSON
+	}
+	if i < len(s) {
+		switch s[i] {
+		case '.', 'e', 'E':
+			p.bail() // float form: defer to the stdlib's error
+		}
+	}
+	p.i = i
+	return v
+}
+
+// int parses a signed JSON integer.
+func (p *jsonDec) int() int64 {
+	neg := false
+	if p.peek() == '-' {
+		neg = true
+		p.i++
+	}
+	v := p.uint()
+	if neg {
+		if v > 1<<63 {
+			p.bail()
+		}
+		return -int64(v)
+	}
+	if v > math.MaxInt64 {
+		p.bail()
+	}
+	return int64(v)
+}
+
+func (p *jsonDec) bool() bool {
+	if p.tryLit("true") {
+		return true
+	}
+	if p.tryLit("false") {
+		return false
+	}
+	p.bail()
+	return false
+}
+
+// time parses a quoted timestamp by handing the raw token to
+// time.Time.UnmarshalJSON — exactly what encoding/json does for a
+// Marshaler field — so parsing semantics are the stdlib's.
+func (p *jsonDec) time(t *time.Time) {
+	s, i := p.d, p.i
+	if i >= len(s) || s[i] != '"' {
+		p.bail()
+	}
+	j := i + 1
+	for j < len(s) && s[j] != '"' {
+		if s[j] == '\\' {
+			p.bail()
+		}
+		j++
+	}
+	if j >= len(s) {
+		p.bail()
+	}
+	if err := t.UnmarshalJSON(s[i : j+1]); err != nil {
+		p.bail()
+	}
+	p.i = j + 1
+}
+
+// str parses a JSON string. Strings without escapes, control bytes, or
+// non-ASCII take the scan-and-slice fast path; everything else goes
+// through strSlow, which replicates encoding/json's unquoting.
+func (p *jsonDec) str() string {
+	p.byte('"')
+	start := p.i
+	for i := start; i < len(p.d); i++ {
+		c := p.d[i]
+		if c == '"' {
+			p.i = i + 1
+			return string(p.d[start:i])
+		}
+		if c == '\\' || c < 0x20 || c >= utf8.RuneSelf {
+			return p.strSlow(start, i)
+		}
+	}
+	p.bail()
+	return ""
+}
+
+// strSlow finishes parsing a string that contains escapes or non-ASCII
+// bytes, starting at i with s[start:i] already verified clean. It
+// mirrors encoding/json's unquote: \uXXXX with UTF-16 surrogate pairs,
+// invalid UTF-8 replaced with U+FFFD, raw control bytes rejected
+// (bail → stdlib error).
+func (p *jsonDec) strSlow(start, i int) string {
+	buf := append((*p.scratch)[:0], p.d[start:i]...)
+	s := p.d
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == '"':
+			p.i = i + 1
+			*p.scratch = buf
+			return string(buf)
+		case c == '\\':
+			i++
+			if i >= len(s) {
+				p.bail()
+			}
+			switch s[i] {
+			case '"', '\\', '/':
+				buf = append(buf, s[i])
+				i++
+			case 'b':
+				buf = append(buf, '\b')
+				i++
+			case 'f':
+				buf = append(buf, '\f')
+				i++
+			case 'n':
+				buf = append(buf, '\n')
+				i++
+			case 'r':
+				buf = append(buf, '\r')
+				i++
+			case 't':
+				buf = append(buf, '\t')
+				i++
+			case 'u':
+				r1, ok := hex4(s, i+1)
+				if !ok {
+					p.bail()
+				}
+				i += 5
+				if utf16.IsSurrogate(r1) {
+					if i+6 <= len(s) && s[i] == '\\' && s[i+1] == 'u' {
+						if r2, ok2 := hex4(s, i+2); ok2 {
+							if dec := utf16.DecodeRune(r1, r2); dec != unicode.ReplacementChar {
+								i += 6
+								buf = utf8.AppendRune(buf, dec)
+								break
+							}
+						}
+					}
+					r1 = unicode.ReplacementChar
+				}
+				buf = utf8.AppendRune(buf, r1)
+			default:
+				p.bail()
+			}
+		case c < 0x20:
+			p.bail()
+		case c < utf8.RuneSelf:
+			buf = append(buf, c)
+			i++
+		default:
+			rr, size := utf8.DecodeRune(s[i:])
+			if rr == utf8.RuneError && size == 1 {
+				buf = utf8.AppendRune(buf, utf8.RuneError)
+				i++
+			} else {
+				buf = append(buf, s[i:i+size]...)
+				i += size
+			}
+		}
+	}
+	p.bail()
+	return ""
+}
+
+// hex4 parses four hex digits at s[i:].
+func hex4(s []byte, i int) (rune, bool) {
+	if i+4 > len(s) {
+		return 0, false
+	}
+	var r rune
+	for _, c := range s[i : i+4] {
+		switch {
+		case '0' <= c && c <= '9':
+			c -= '0'
+		case 'a' <= c && c <= 'f':
+			c = c - 'a' + 10
+		case 'A' <= c && c <= 'F':
+			c = c - 'A' + 10
+		default:
+			return 0, false
+		}
+		r = r*16 + rune(c)
+	}
+	return r, true
+}

@@ -150,14 +150,26 @@ func (w *Writer) Register(reg *obs.Registry) {
 		func() float64 { return float64(w.Recovered()) })
 }
 
-// Write appends one record.
+// lineScratch pools encode buffers so Write's marshal step allocates
+// nothing in steady state.
+var lineScratch = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &b }}
+
+// Write appends one record. Records are marshaled with the shared
+// canonical encoder (session.AppendJSON), so the log's bytes are
+// identical to what encoding/json would produce — and to what
+// internal/store writes for the same record.
 func (w *Writer) Write(r *session.Record) error {
-	line, err := json.Marshal(r)
+	bp := lineScratch.Get().(*[]byte)
+	line, err := session.AppendJSON((*bp)[:0], r)
 	if err != nil {
+		lineScratch.Put(bp)
 		w.errs.Add(1)
 		return fmt.Errorf("sessionlog: marshal: %w", err)
 	}
-	if err := w.appendLine(line); err != nil {
+	err = w.appendLine(line)
+	*bp = line[:0]
+	lineScratch.Put(bp)
+	if err != nil {
 		return err
 	}
 	w.written.Add(1)

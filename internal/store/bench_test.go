@@ -133,6 +133,39 @@ func BenchmarkStoreScanMonth(b *testing.B) {
 	b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "recs/s")
 }
 
+// BenchmarkStoreSeal measures the seal path in isolation: framing a
+// WAL tail into blocks, compressing them across SealWorkers, and
+// committing the manifest. One iteration seals a fresh 32k-record tail
+// (roughly one 16 MiB auto-seal unit), so the per-seal fsyncs are
+// amortized the way production sealing amortizes them.
+func BenchmarkStoreSeal(b *testing.B) {
+	const n = 32768
+	dir := b.TempDir()
+	s, err := Open(dir, Options{SealBytes: -1, SyncEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	recs := make([]*session.Record, n)
+	for i := range recs {
+		recs[i] = benchRecord(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for _, r := range recs {
+			if err := s.Append(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		if err := s.Seal(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "recs/s")
+}
+
 // TestScanMemoryBounded is the non-benchmark form of the acceptance
 // criterion: peak heap growth during a streaming scan must be a small
 // fraction of the materialized dataset size.

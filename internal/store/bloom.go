@@ -15,20 +15,29 @@ const (
 
 // Bloom is a fixed-size Bloom filter. It marshals as JSON inside the
 // manifest (Bits is base64-encoded by encoding/json).
+//
+// V records the probe scheme. Version 0 (the original) derives probes
+// straight from the FNV hashes modulo an arbitrary M. Version 1 sizes M
+// as a power of two and finalizes the hashes with a mixing step first:
+// reducing raw FNV-1a modulo 2^k keeps only its low bits, which evolve
+// independently of the high ones and collide structurally. Old filters
+// keep reading with the scheme they were written under.
 type Bloom struct {
 	M    uint64 `json:"m"` // filter size in bits
 	K    int    `json:"k"` // hash probes per key
+	V    int    `json:"v,omitempty"`
 	Bits []byte `json:"bits"`
 }
 
-// newBloom returns a filter sized for n expected keys.
+// newBloom returns a filter sized for n expected keys, rounded up to a
+// power of two bits so probes reduce with a mask instead of a division.
 func newBloom(n int) *Bloom {
 	bits := uint64(n) * bloomBitsPerKey
-	if bits < 64 {
-		bits = 64
+	pow := uint64(64)
+	for pow < bits {
+		pow <<= 1
 	}
-	bits = (bits + 63) &^ 63
-	return &Bloom{M: bits, K: bloomHashes, Bits: make([]byte, bits/8)}
+	return &Bloom{M: pow, K: bloomHashes, V: 1, Bits: make([]byte, pow/8)}
 }
 
 // fnvHashes returns the two independent 64-bit hashes double hashing
@@ -50,9 +59,46 @@ func fnvHashes(s string) (h1, h2 uint64) {
 	return h1, h | 1
 }
 
+// mix64 is a 64-bit finalizer (the murmur3/splitmix constant pair):
+// every input bit avalanches across the word, so the low bits a
+// power-of-two reduction keeps see the whole hash.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// bases maps the raw FNV pair to this filter's probe bases, per its
+// version.
+func (b *Bloom) bases(h1, h2 uint64) (uint64, uint64) {
+	if b.V >= 1 {
+		return mix64(h1), mix64(h2) | 1
+	}
+	return h1, h2
+}
+
+// idx reduces a probe to a bit index.
+func (b *Bloom) idx(probe uint64) uint64 {
+	if b.M&(b.M-1) == 0 {
+		return probe & (b.M - 1)
+	}
+	return probe % b.M
+}
+
 // Add inserts key into the filter.
 func (b *Bloom) Add(key string) {
-	h1, h2 := fnvHashes(key)
+	h1, h2 := b.bases(fnvHashes(key))
+	if b.M&(b.M-1) == 0 {
+		mask := b.M - 1
+		for i := 0; i < b.K; i++ {
+			bit := (h1 + uint64(i)*h2) & mask
+			b.Bits[bit/8] |= 1 << (bit % 8)
+		}
+		return
+	}
 	for i := 0; i < b.K; i++ {
 		bit := (h1 + uint64(i)*h2) % b.M
 		b.Bits[bit/8] |= 1 << (bit % 8)
@@ -66,6 +112,27 @@ func (b *Bloom) MayContain(key string) bool {
 		return true // no filter: cannot prune
 	}
 	h1, h2 := fnvHashes(key)
+	return b.mayContainHashes(h1, h2)
+}
+
+// mayContainHashes is MayContain with the key already FNV-hashed —
+// scans probing many filters for one IP hash it once and reuse the
+// pair.
+func (b *Bloom) mayContainHashes(h1, h2 uint64) bool {
+	if b == nil || b.M == 0 {
+		return true
+	}
+	h1, h2 = b.bases(h1, h2)
+	if b.M&(b.M-1) == 0 {
+		mask := b.M - 1
+		for i := 0; i < b.K; i++ {
+			bit := (h1 + uint64(i)*h2) & mask
+			if b.Bits[bit/8]&(1<<(bit%8)) == 0 {
+				return false
+			}
+		}
+		return true
+	}
 	for i := 0; i < b.K; i++ {
 		bit := (h1 + uint64(i)*h2) % b.M
 		if b.Bits[bit/8]&(1<<(bit%8)) == 0 {
@@ -73,4 +140,43 @@ func (b *Bloom) MayContain(key string) bool {
 		}
 	}
 	return true
+}
+
+// firstProbe tests only probe 0 — the cheapest rejection. Batch pruning
+// sweeps this over a run of filters first, then pays the full K probes
+// only for the survivors.
+func (b *Bloom) firstProbe(h1, h2 uint64) bool {
+	if b == nil || b.M == 0 {
+		return true
+	}
+	p1, _ := b.bases(h1, h2)
+	bit := b.idx(p1)
+	return b.Bits[bit/8]&(1<<(bit%8)) != 0
+}
+
+// bloomBatch is how many segment filters one pruning round sweeps with
+// the cheap first probe before finishing the survivors.
+const bloomBatch = 8
+
+// bloomPrune probes a run of segment filters for one already-hashed IP
+// and returns, per segment, whether it may contain the address. It
+// works bloomBatch filters at a time: a first-probe sweep (one bit test
+// per filter, no per-probe dependency chain) rejects most segments the
+// IP never touched; only survivors get the full probe sequence.
+func bloomPrune(segs []*segmentMeta, h1, h2 uint64, keep []bool) []bool {
+	keep = keep[:0]
+	for i := 0; i < len(segs); i += bloomBatch {
+		end := i + bloomBatch
+		if end > len(segs) {
+			end = len(segs)
+		}
+		var first [bloomBatch]bool
+		for j := i; j < end; j++ {
+			first[j-i] = segs[j].Bloom.firstProbe(h1, h2)
+		}
+		for j := i; j < end; j++ {
+			keep = append(keep, first[j-i] && segs[j].Bloom.mayContainHashes(h1, h2))
+		}
+	}
+	return keep
 }

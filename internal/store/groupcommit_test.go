@@ -1,0 +1,275 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestOptionsValidate(t *testing.T) {
+	ok := []Options{
+		{},
+		{SealBytes: -1, SyncEvery: -1}, // documented disable sentinels
+		{Codec: CodecLZ},
+		{Codec: CodecFlate},
+		{BlockBytes: 4096, MaxBatch: 64, MaxDelay: time.Millisecond, SealWorkers: 2},
+	}
+	for i, o := range ok {
+		if err := o.Validate(); err != nil {
+			t.Errorf("options %d: unexpected error: %v", i, err)
+		}
+	}
+	bad := []Options{
+		{BlockBytes: -1},
+		{MaxBatch: -1},
+		{MaxDelay: -time.Millisecond},
+		{SealWorkers: -1},
+		{Codec: "zstd"},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("options %d (%+v): expected validation error", i, o)
+		}
+		if _, err := Open(t.TempDir(), o); err == nil {
+			t.Errorf("options %d (%+v): Open accepted invalid options", i, o)
+		}
+	}
+}
+
+// TestBackgroundSealOverlapsAppends drives enough data through a small
+// SealBytes that several auto-seals trigger while appends keep coming.
+// The seals must run in the background (sealBackground counts them),
+// and the final history must be the exact append order with nothing
+// lost or duplicated across the WAL rotations.
+func TestBackgroundSealOverlapsAppends(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{SealBytes: 32 << 10, SyncEvery: -1, MaxDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	want := fill(t, s, n, 2)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.sealBackground.Load() == 0 {
+		t.Fatal("no background seal ran despite SealBytes being exceeded many times over")
+	}
+
+	s2, err := Open(dir, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, err := s2.Load(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("loaded %d records, want %d", len(got), n)
+	}
+	for i := range want {
+		if w, g := marshal(t, want[i]), marshal(t, got[i]); !bytes.Equal(w, g) {
+			t.Fatalf("record %d not identical after background seals:\n want %s\n  got %s", i, w, g)
+		}
+	}
+}
+
+// TestCrashDuringBackgroundSealFinished reconstructs the on-disk state
+// of a crash after WAL rotation but before the background seal
+// committed: a rotated-aside wal-sealing.jsonl whose base matches the
+// manifest, plus an active WAL with appends that arrived during the
+// seal. Open must finish the seal from the frozen file and then replay
+// the active WAL on top, preserving exact append order.
+func TestCrashDuringBackgroundSealFinished(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{SealBytes: -1, SyncEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sealed = 60
+	want := fill(t, s, sealed, 2)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s.walF.Close() // crash without Close
+
+	// Rotate by hand: the WAL (base 0, matching the manifest) becomes
+	// the frozen file, and a fresh WAL binds at base=sealed with the
+	// records appended while the doomed seal was running.
+	if err := os.Rename(filepath.Join(dir, walName), filepath.Join(dir, walSealingName)); err != nil {
+		t.Fatal(err)
+	}
+	var wal bytes.Buffer
+	fmt.Fprintf(&wal, "{\"_wal\":{\"base\":%d}}\n", sealed)
+	const during = 10
+	for i := 0; i < during; i++ {
+		r := mkRecord(i%2, sealed+i)
+		want = append(want, r)
+		wal.Write(marshal(t, r))
+		wal.WriteByte('\n')
+	}
+	if err := os.WriteFile(filepath.Join(dir, walName), wal.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	defer s2.Close()
+	if s2.Segments() == 0 {
+		t.Fatal("interrupted background seal was not finished on Open")
+	}
+	if got := s2.Len(); got != sealed+during {
+		t.Fatalf("store holds %d records, want %d", got, sealed+during)
+	}
+	got, err := s2.Load(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if w, g := marshal(t, want[i]), marshal(t, got[i]); !bytes.Equal(w, g) {
+			t.Fatalf("record %d not identical after seal recovery:\n want %s\n  got %s", i, w, g)
+		}
+	}
+}
+
+// TestStaleFrozenWALDiscarded covers the other branch: the background
+// seal committed its manifest, but the crash hit before the frozen WAL
+// was removed. Its base is behind the manifest, so Open must discard it
+// rather than replay records that already live in segments.
+func TestStaleFrozenWALDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{SealBytes: -1, SyncEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 60
+	fill(t, s, n, 2)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	preSeal, err := os.ReadFile(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Seal(); err != nil { // manifest now at NextSeq=n
+		t.Fatal(err)
+	}
+	s.walF.Close() // crash without Close
+
+	// The pre-seal WAL (base 0) reappears as the frozen file: exactly
+	// what a crash between manifest commit and frozen-WAL removal
+	// leaves behind.
+	if err := os.WriteFile(filepath.Join(dir, walSealingName), preSeal, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if drops := s2.staleWALDrops.Load(); drops != 1 {
+		t.Fatalf("stale WAL drops = %d, want 1", drops)
+	}
+	if got := s2.Len(); got != n {
+		t.Fatalf("store holds %d records after stale frozen WAL, want %d (no duplicates)", got, n)
+	}
+	if exists(filepath.Join(dir, walSealingName)) {
+		t.Fatal("stale frozen WAL still on disk after Open")
+	}
+}
+
+// TestCodecsByteIdentical is the cross-codec property: the same records
+// sealed through the v1 (flate) and v2 (lz) codecs must scan back
+// byte-identically, and each store must carry its own format markers
+// (segment magic, manifest codec field).
+func TestCodecsByteIdentical(t *testing.T) {
+	const n = 400
+	type out struct {
+		dir   string
+		lines [][]byte
+	}
+	outs := map[string]*out{}
+	for _, codec := range []string{CodecFlate, CodecLZ} {
+		dir := t.TempDir()
+		s, err := Open(dir, Options{Codec: codec, BlockBytes: 2048, SealBytes: -1, SyncEvery: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fill(t, s, n, 3)
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := Open(dir, Options{ReadOnly: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, err := s2.Load(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := &out{dir: dir}
+		for _, r := range recs {
+			o.lines = append(o.lines, marshal(t, r))
+		}
+		s2.Close()
+		outs[codec] = o
+	}
+
+	fl, lz := outs[CodecFlate], outs[CodecLZ]
+	if len(fl.lines) != n || len(lz.lines) != n {
+		t.Fatalf("loaded %d flate / %d lz records, want %d each", len(fl.lines), len(lz.lines), n)
+	}
+	for i := range fl.lines {
+		if !bytes.Equal(fl.lines[i], lz.lines[i]) {
+			t.Fatalf("record %d differs across codecs:\n flate %s\n    lz %s", i, fl.lines[i], lz.lines[i])
+		}
+	}
+
+	// Format markers: flate segments are v1 files referenced by a
+	// manifest without a codec field — byte-compatible with stores
+	// written before the codec existed. LZ segments are v2.
+	checkMagic := func(dir string, magic [8]byte) {
+		t.Helper()
+		segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.hns"))
+		if len(segs) == 0 {
+			t.Fatal("no segment files")
+		}
+		for _, seg := range segs {
+			head := make([]byte, 8)
+			f, err := os.Open(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Read(head); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+			if !bytes.Equal(head, magic[:]) {
+				t.Fatalf("%s: magic %q, want %q", seg, head, magic[:])
+			}
+		}
+	}
+	checkMagic(fl.dir, segMagicV1)
+	checkMagic(lz.dir, segMagicV2)
+	flMan, err := os.ReadFile(filepath.Join(fl.dir, manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(flMan, []byte(`"codec"`)) {
+		t.Fatal("flate manifest carries a codec field; v1 manifests must stay byte-identical")
+	}
+	lzMan, err := os.ReadFile(filepath.Join(lz.dir, manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(lzMan, []byte(`"codec":"lz"`)) {
+		t.Fatal("lz manifest missing codec field")
+	}
+}

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -18,6 +19,7 @@ const (
 	manifestName    = "MANIFEST.json"
 	manifestVersion = 1
 	walName         = "wal.jsonl"
+	walSealingName  = "wal-sealing.jsonl" // WAL rotated aside for a background seal
 	monthLayout     = "2006-01"
 )
 
@@ -42,13 +44,23 @@ type segmentMeta struct {
 	MaxSeq  uint64    `json:"max_seq"`
 	Records int       `json:"records"`
 	// Kinds counts records per session.Kind (index = kind value).
-	Kinds     [4]int      `json:"kinds"`
-	SSH       int         `json:"ssh"`
-	Telnet    int         `json:"telnet"`
-	RawBytes  int64       `json:"raw_bytes"`
-	CompBytes int64       `json:"comp_bytes"`
-	Bloom     *Bloom      `json:"bloom"` // over client IPs
-	Blocks    []blockMeta `json:"blocks"`
+	Kinds     [4]int `json:"kinds"`
+	SSH       int    `json:"ssh"`
+	Telnet    int    `json:"telnet"`
+	RawBytes  int64  `json:"raw_bytes"`
+	CompBytes int64  `json:"comp_bytes"`
+	// Codec names the block codec: "" or "flate" is DEFLATE (v1,
+	// HNSTORE1 magic), "lz" the in-tree LZ codec (v2, HNSTORE2).
+	// Omitted for v1 so pre-codec manifests round-trip byte-identically.
+	Codec  string      `json:"codec,omitempty"`
+	Bloom  *Bloom      `json:"bloom"` // over client IPs
+	Blocks []blockMeta `json:"blocks"`
+
+	// enc caches this segment's marshaled JSON. Segments are immutable
+	// once committed, so each is encoded once: without the cache every
+	// seal re-encodes every older segment (Bloom base64 included) and
+	// manifest writes degrade quadratically as the store grows.
+	enc json.RawMessage `json:"-"`
 }
 
 // month parses the segment's partition month.
@@ -94,10 +106,29 @@ func loadManifest(dir string) (*manifest, error) {
 // the live name, fsync the directory. A crash at any point leaves
 // either the old or the new manifest, never a torn one.
 func (m *manifest) save(dir string) error {
-	data, err := json.MarshalIndent(m, "", " ")
-	if err != nil {
-		return err
+	// Encode through per-segment caches and assemble the document by
+	// hand: only segments new to this manifest pay a marshal, and the
+	// cached bytes are spliced in without being re-scanned (feeding
+	// them to json.Marshal as RawMessage would re-validate every byte
+	// of every old segment on every seal).
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, `{"version":%d,"next_seg":%d,"next_seq":%d,"segments":[`,
+		m.Version, m.NextSeg, m.NextSeq)
+	for i, sm := range m.Segments {
+		if sm.enc == nil {
+			enc, err := json.Marshal(sm)
+			if err != nil {
+				return err
+			}
+			sm.enc = enc
+		}
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.Write(sm.enc)
 	}
+	buf.WriteString("]}")
+	data := buf.Bytes()
 	tmp := filepath.Join(dir, manifestName+".tmp")
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {

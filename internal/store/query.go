@@ -60,6 +60,25 @@ type Cursor struct {
 	ip     string // non-empty for ScanIP: exact client-IP match
 	cur    *session.Record
 	err    error
+	dec    session.JSONDecoder
+	arena  recArena
+}
+
+// recArena bump-allocates records in chunks, so decoding a block of
+// sessions costs one allocation per chunk instead of one per record.
+type recArena struct {
+	chunk []session.Record
+}
+
+const recArenaChunk = 128
+
+func (a *recArena) alloc() *session.Record {
+	if len(a.chunk) == 0 {
+		a.chunk = make([]session.Record, recArenaChunk)
+	}
+	r := &a.chunk[0]
+	a.chunk = a.chunk[1:]
+	return r
 }
 
 // Scan returns a cursor over records in tr satisfying filter.
@@ -99,23 +118,40 @@ func (s *Store) scan(tr TimeRange, filter Filter, ip string) *Cursor {
 	}
 	sort.Slice(months, func(i, j int) bool { return months[i].Before(months[j]) })
 
+	// For IP scans, hash the address once and batch-probe each month's
+	// filters: a cheap first-probe sweep rejects most segments before
+	// the full probe sequence runs.
+	var h1, h2 uint64
+	if ip != "" {
+		h1, h2 = fnvHashes(ip)
+	}
+	var cand []*segmentMeta
+	var keep []bool
 	c := &Cursor{s: s, tr: tr, filter: filter, ip: ip}
 	for _, m := range months {
 		if !monthOverlaps(m, tr) {
 			continue
 		}
+		cand = cand[:0]
 		for _, seg := range segsByMonth[m] {
-			if !seg.overlaps(tr.From, tr.To) {
-				continue
+			if seg.overlaps(tr.From, tr.To) {
+				cand = append(cand, seg)
 			}
-			if ip != "" {
-				s.bloomChecks.Add(1)
-				if !seg.Bloom.MayContain(ip) {
+		}
+		if ip != "" && len(cand) > 0 {
+			keep = bloomPrune(cand, h1, h2, keep)
+			s.bloomChecks.Add(int64(len(cand)))
+			for i, seg := range cand {
+				if keep[i] {
+					c.parts = append(c.parts, part{seg: seg})
+				} else {
 					s.bloomSkips.Add(1)
-					continue
 				}
 			}
-			c.parts = append(c.parts, part{seg: seg})
+		} else {
+			for _, seg := range cand {
+				c.parts = append(c.parts, part{seg: seg})
+			}
 		}
 		if t := tailByMonth[m]; len(t) > 0 {
 			c.parts = append(c.parts, part{tail: t})
@@ -187,7 +223,11 @@ func (c *Cursor) nextRaw() (*session.Record, error) {
 			if err != nil {
 				return nil, err
 			}
-			return decodeRecord(line)
+			r := c.arena.alloc()
+			if err := c.dec.Decode(line, r); err != nil {
+				return nil, fmt.Errorf("store: decoding record: %w", err)
+			}
+			return r, nil
 		}
 		if c.ti < len(p.tail) {
 			r := p.tail[c.ti]
@@ -357,6 +397,10 @@ func (s *Store) loadSegment(seg *segmentMeta, out []*session.Record) error {
 		return err
 	}
 	defer br.close()
+	var (
+		dec   session.JSONDecoder
+		arena recArena
+	)
 	for {
 		seq, line, err := br.next()
 		if err == io.EOF {
@@ -368,9 +412,9 @@ func (s *Store) loadSegment(seg *segmentMeta, out []*session.Record) error {
 		if seq >= uint64(len(out)) {
 			return fmt.Errorf("store: %s: seq %d out of range", seg.File, seq)
 		}
-		r, err := decodeRecord(line)
-		if err != nil {
-			return err
+		r := arena.alloc()
+		if err := dec.Decode(line, r); err != nil {
+			return fmt.Errorf("store: decoding record: %w", err)
 		}
 		out[seq] = r
 	}

@@ -1,100 +1,91 @@
 package store
 
 import (
-	"bytes"
-	"compress/flate"
 	"encoding/binary"
-	"encoding/json"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
+	"honeynet/internal/parallel"
 	"honeynet/internal/session"
 )
 
 // Segment file layout: an 8-byte magic followed by back-to-back
-// flate-compressed blocks. Each block's uncompressed payload is a run
-// of entries — uvarint(seq), uvarint(len), record JSON — and the block
+// compressed blocks. Each block's uncompressed payload is a run of
+// entries — uvarint(seq), uvarint(len), record JSON — and the block
 // index (offsets, lengths, counts, CRCs) lives in the manifest, so a
-// reader never parses a segment blind. Segments are immutable once the
-// manifest references them.
+// reader never parses a segment blind. The magic's version digit names
+// the block codec: '1' is DEFLATE (the original format), '2' is the
+// in-tree LZ codec; the manifest's per-segment codec field must agree.
+// Segments are immutable once the manifest references them.
 
-var segMagic = [8]byte{'H', 'N', 'S', 'T', 'O', 'R', 'E', '1'}
+var (
+	segMagicV1 = [8]byte{'H', 'N', 'S', 'T', 'O', 'R', 'E', '1'}
+	segMagicV2 = [8]byte{'H', 'N', 'S', 'T', 'O', 'R', 'E', '2'}
+)
 
 // segFileName names segment n.
 func segFileName(n int) string { return fmt.Sprintf("seg-%06d.hns", n) }
 
-// writeSegment seals one month's records (with their global append
-// sequences) into a new segment file and returns its metadata. The file
-// is fsynced before return; the caller commits it via the manifest.
-func writeSegment(dir, file string, recs []*session.Record, seqs []uint64, blockBytes int) (*segmentMeta, error) {
-	f, err := os.OpenFile(filepath.Join(dir, file), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	if _, err := f.Write(segMagic[:]); err != nil {
-		return nil, err
-	}
+// blockSpan marks one block's slice of the framed payload.
+type blockSpan struct {
+	start, end int // byte range in the frame buffer
+	count      int // records in the block
+}
 
+// writeSegment seals one month's records — those of recs selected by
+// idxs, with global append sequence baseSeq+index — into a new segment
+// file and returns its metadata. Records are framed once into a
+// contiguous buffer — the WAL lines are reused verbatim, no re-marshal
+// — then the blocks are compressed in parallel across SealWorkers. The
+// file is fsynced before return; the caller commits it via the
+// manifest.
+func (s *Store) writeSegment(file string, recs []*session.Record, lines [][]byte, idxs []int32, baseSeq uint64) (*segmentMeta, error) {
+	codecName := s.opts.codec()
+	manifestCodec := codecName
+	if manifestCodec == CodecFlate {
+		manifestCodec = "" // v1 manifests predate the field; keep them byte-identical
+	}
 	meta := &segmentMeta{
 		File:   file,
-		Month:  recs[0].Month().Format(monthLayout),
-		MinSeq: seqs[0],
-		MaxSeq: seqs[len(seqs)-1],
-		Bloom:  newBloom(len(recs)),
-	}
-	var (
-		payload bytes.Buffer
-		comp    bytes.Buffer
-		fw, _   = flate.NewWriter(&comp, flate.DefaultCompression)
-		off     = int64(len(segMagic))
-		count   int
-		varint  [binary.MaxVarintLen64]byte
-	)
-	flush := func() error {
-		if payload.Len() == 0 {
-			return nil
-		}
-		comp.Reset()
-		fw.Reset(&comp)
-		if _, err := fw.Write(payload.Bytes()); err != nil {
-			return err
-		}
-		if err := fw.Close(); err != nil {
-			return err
-		}
-		if _, err := f.Write(comp.Bytes()); err != nil {
-			return err
-		}
-		meta.Blocks = append(meta.Blocks, blockMeta{
-			Off:   off,
-			CLen:  comp.Len(),
-			ULen:  payload.Len(),
-			Count: count,
-			CRC:   crc32.ChecksumIEEE(comp.Bytes()),
-		})
-		off += int64(comp.Len())
-		meta.RawBytes += int64(payload.Len())
-		meta.CompBytes += int64(comp.Len())
-		payload.Reset()
-		count = 0
-		return nil
+		Month:  recs[idxs[0]].Month().Format(monthLayout),
+		MinSeq: baseSeq + uint64(idxs[0]),
+		MaxSeq: baseSeq + uint64(idxs[len(idxs)-1]),
+		Codec:  manifestCodec,
+		Bloom:  newBloom(len(idxs)),
 	}
 
-	for i, r := range recs {
-		line, err := json.Marshal(r)
-		if err != nil {
-			return nil, fmt.Errorf("store: marshal record seq %d: %w", seqs[i], err)
-		}
-		n := binary.PutUvarint(varint[:], seqs[i])
-		payload.Write(varint[:n])
+	// Frame every record into one contiguous payload, recording block
+	// boundaries, and fold the per-segment aggregates in the same pass.
+	// The frame buffer is seal scratch: reused across segments and
+	// seals (seals are serialized, see Store.sealFrames).
+	blockBytes := s.opts.blockBytes()
+	var total int
+	for _, i := range idxs {
+		total += len(lines[i]) + 2*binary.MaxVarintLen64
+	}
+	if cap(s.sealFrames) < total {
+		s.sealFrames = make([]byte, 0, total)
+	}
+	frames := s.sealFrames[:0]
+	defer func() { s.sealFrames = frames[:0] }()
+	var (
+		spans  []blockSpan
+		start  int
+		count  int
+		varint [binary.MaxVarintLen64]byte
+	)
+	for _, i := range idxs {
+		r, line := recs[i], lines[i]
+		n := binary.PutUvarint(varint[:], baseSeq+uint64(i))
+		frames = append(frames, varint[:n]...)
 		n = binary.PutUvarint(varint[:], uint64(len(line)))
-		payload.Write(varint[:n])
-		payload.Write(line)
+		frames = append(frames, varint[:n]...)
+		frames = append(frames, line...)
 		count++
 
 		meta.Records++
@@ -113,50 +104,124 @@ func writeSegment(dir, file string, recs []*session.Record, seqs []uint64, block
 			meta.MaxTime = r.Start
 		}
 
-		if payload.Len() >= blockBytes {
-			if err := flush(); err != nil {
-				return nil, err
-			}
+		if len(frames)-start >= blockBytes {
+			spans = append(spans, blockSpan{start, len(frames), count})
+			start, count = len(frames), 0
 		}
 	}
-	if err := flush(); err != nil {
+	if count > 0 {
+		spans = append(spans, blockSpan{start, len(frames), count})
+	}
+
+	// Compress the blocks in parallel: one codec instance per worker
+	// and one output buffer per block index, all cached across seals so
+	// steady-state sealing allocates nothing block-sized.
+	workers := s.sealWorkers(len(spans))
+	for len(s.sealCodecs) < workers {
+		c, err := newBlockCodec(codecName)
+		if err != nil {
+			return nil, err
+		}
+		s.sealCodecs = append(s.sealCodecs, c)
+	}
+	for len(s.sealComps) < len(spans) {
+		s.sealComps = append(s.sealComps, nil)
+	}
+	comps := s.sealComps[:len(spans)]
+	crcs := make([]uint32, len(spans))
+	errs := make([]error, len(spans))
+	parallel.ForEach(len(spans), workers, 1, func(worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sp := spans[i]
+			comp, err := s.sealCodecs[worker].compress(comps[i][:0], frames[sp.start:sp.end])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			comps[i] = comp
+			crcs[i] = crc32.ChecksumIEEE(comp)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("store: compress block: %w", err)
+		}
+	}
+
+	f, err := os.OpenFile(filepath.Join(s.dir, file), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
 		return nil, err
 	}
+	defer f.Close()
+	magic := segmentMagic(codecName)
+	if _, err := f.Write(magic[:]); err != nil {
+		return nil, err
+	}
+	off := int64(len(magic))
+	for i, sp := range spans {
+		if _, err := f.Write(comps[i]); err != nil {
+			return nil, err
+		}
+		meta.Blocks = append(meta.Blocks, blockMeta{
+			Off:   off,
+			CLen:  len(comps[i]),
+			ULen:  sp.end - sp.start,
+			Count: sp.count,
+			CRC:   crcs[i],
+		})
+		off += int64(len(comps[i]))
+		meta.RawBytes += int64(sp.end - sp.start)
+		meta.CompBytes += int64(len(comps[i]))
+	}
+	s.sealBlocks.Add(int64(len(spans)))
 	if err := f.Sync(); err != nil {
 		return nil, err
 	}
 	return meta, nil
 }
 
+// blockBufPool recycles block scratch buffers (compressed and payload)
+// across readers, so a scan over many segments allocates a bounded
+// working set instead of two buffers per segment.
+var blockBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
 // blockReader streams one segment's records block by block: one
 // compressed block and one uncompressed payload are resident at a time,
 // so peak memory is bounded by the block size, not the segment (let
-// alone the dataset). Buffers are reused across blocks.
+// alone the dataset). Buffers are pooled and returned on close.
 type blockReader struct {
 	s    *Store // counters; may be nil in tests
 	f    *os.File
 	meta *segmentMeta
 	bi   int // next block index
 
-	comp    []byte // scratch: compressed block
-	payload []byte // scratch: current uncompressed payload
-	poff    int    // parse offset into payload
-	left    int    // records left in current payload
-	fr      io.ReadCloser
+	codec   blockCodec
+	comp    *[]byte // pooled scratch: compressed block
+	payload *[]byte // pooled scratch: current uncompressed payload
+	buf     []byte  // current payload bytes (aliases *payload)
+	poff    int     // parse offset into buf
+	left    int     // records left in current payload
 }
 
-// openSegment opens seg for reading under the store's directory.
+// openSegment opens seg for reading under the store's directory. The
+// block codec comes from the segment's manifest entry; the file magic
+// must agree with it.
 func (s *Store) openSegment(meta *segmentMeta) (*blockReader, error) {
 	f, err := os.Open(filepath.Join(s.dir, meta.File))
 	if err != nil {
 		return nil, err
 	}
 	var magic [8]byte
-	if _, err := io.ReadFull(f, magic[:]); err != nil || magic != segMagic {
+	if _, err := io.ReadFull(f, magic[:]); err != nil || magic != segmentMagic(meta.Codec) {
 		f.Close()
 		return nil, fmt.Errorf("store: %s: bad segment magic", meta.File)
 	}
-	return &blockReader{s: s, f: f, meta: meta}, nil
+	codec, err := newBlockCodec(meta.Codec)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &blockReader{s: s, f: f, meta: meta, codec: codec}, nil
 }
 
 // next returns the next (seq, record JSON) entry, loading blocks as
@@ -172,47 +237,46 @@ func (br *blockReader) next() (seq uint64, line []byte, err error) {
 		}
 		br.bi++
 	}
-	seq, n := binary.Uvarint(br.payload[br.poff:])
+	seq, n := binary.Uvarint(br.buf[br.poff:])
 	if n <= 0 {
 		return 0, nil, fmt.Errorf("store: %s: corrupt entry header", br.meta.File)
 	}
 	br.poff += n
-	ln, n := binary.Uvarint(br.payload[br.poff:])
-	if n <= 0 || br.poff+n+int(ln) > len(br.payload) {
+	ln, n := binary.Uvarint(br.buf[br.poff:])
+	if n <= 0 || br.poff+n+int(ln) > len(br.buf) {
 		return 0, nil, fmt.Errorf("store: %s: corrupt entry length", br.meta.File)
 	}
 	br.poff += n
-	line = br.payload[br.poff : br.poff+int(ln)]
+	line = br.buf[br.poff : br.poff+int(ln)]
 	br.poff += int(ln)
 	br.left--
 	return seq, line, nil
 }
 
-// loadBlock reads, verifies, and decompresses one block into the
-// reusable payload buffer.
-func (br *blockReader) loadBlock(b blockMeta) error {
-	if cap(br.comp) < b.CLen {
-		br.comp = make([]byte, b.CLen)
+// grow returns *bp resized to n bytes, reallocating if needed.
+func grow(bp *[]byte, n int) []byte {
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
 	}
-	comp := br.comp[:b.CLen]
+	return (*bp)[:n]
+}
+
+// loadBlock reads, verifies, and decompresses one block into the
+// pooled payload buffer.
+func (br *blockReader) loadBlock(b blockMeta) error {
+	if br.comp == nil {
+		br.comp = blockBufPool.Get().(*[]byte)
+		br.payload = blockBufPool.Get().(*[]byte)
+	}
+	comp := grow(br.comp, b.CLen)
 	if _, err := br.f.ReadAt(comp, b.Off); err != nil {
 		return fmt.Errorf("store: %s: read block: %w", br.meta.File, err)
 	}
 	if crc := crc32.ChecksumIEEE(comp); crc != b.CRC {
 		return fmt.Errorf("store: %s: block at %d: CRC mismatch", br.meta.File, b.Off)
 	}
-	if br.fr == nil {
-		br.fr = flate.NewReader(bytes.NewReader(comp))
-	} else {
-		if err := br.fr.(flate.Resetter).Reset(bytes.NewReader(comp), nil); err != nil {
-			return err
-		}
-	}
-	if cap(br.payload) < b.ULen {
-		br.payload = make([]byte, b.ULen)
-	}
-	br.payload = br.payload[:b.ULen]
-	if _, err := io.ReadFull(br.fr, br.payload); err != nil {
+	br.buf = grow(br.payload, b.ULen)
+	if err := br.codec.decompress(br.buf, comp); err != nil {
 		return fmt.Errorf("store: %s: decompress block: %w", br.meta.File, err)
 	}
 	br.poff = 0
@@ -223,13 +287,20 @@ func (br *blockReader) loadBlock(b blockMeta) error {
 	return nil
 }
 
-// close releases the segment file.
-func (br *blockReader) close() error { return br.f.Close() }
+// close releases the segment file and returns scratch to the pool.
+func (br *blockReader) close() error {
+	if br.comp != nil {
+		blockBufPool.Put(br.comp)
+		blockBufPool.Put(br.payload)
+		br.comp, br.payload, br.buf = nil, nil, nil
+	}
+	return br.f.Close()
+}
 
 // decodeRecord parses one stored record line.
 func decodeRecord(line []byte) (*session.Record, error) {
 	r := &session.Record{}
-	if err := json.Unmarshal(line, r); err != nil {
+	if err := session.DecodeJSON(line, r); err != nil {
 		return nil, fmt.Errorf("store: decoding record: %w", err)
 	}
 	return r, nil

@@ -66,6 +66,15 @@ type ServeConfig struct {
 	// Drain seals the store so the partitions are immediately
 	// queryable by hnanalyze -store and honeynet.Open.
 	StorePath string
+	// StoreCodec selects the block codec for segments the store seals:
+	// store.CodecLZ (default) or store.CodecFlate (v1-compatible).
+	StoreCodec string
+	// StoreMaxBatch caps how many records one group-commit WAL write
+	// may carry (0 = store default).
+	StoreMaxBatch int
+	// StoreMaxDelay bounds how long an append may wait in the
+	// group-commit batch (0 = store default).
+	StoreMaxDelay time.Duration
 
 	// DrainTimeout bounds how long Drain waits for in-flight sessions
 	// before force-closing them (default 30s).
@@ -142,7 +151,11 @@ func Serve(cfg ServeConfig) (*Server, error) {
 		return nil, errors.New("honeynet: ServeConfig needs LogPath, LogOutput, or StorePath")
 	}
 	if cfg.StorePath != "" {
-		s.store, err = store.Open(cfg.StorePath, store.Options{})
+		s.store, err = store.Open(cfg.StorePath, store.Options{
+			Codec:    cfg.StoreCodec,
+			MaxBatch: cfg.StoreMaxBatch,
+			MaxDelay: cfg.StoreMaxDelay,
+		})
 		if err != nil {
 			if s.writer != nil {
 				s.writer.Close()
