@@ -141,16 +141,30 @@ func loadDataset(path string, seed int64) (*core.Pipeline, error) {
 // loadStore materializes a month-partitioned session store (written by
 // hnsim -store or a live honeypotd -store) in exact global append
 // order, decompressing sealed segments in parallel. The figure output
-// is byte-identical to analyzing the equivalent JSONL via -in.
+// is byte-identical to analyzing the equivalent JSONL via -in. A fleet
+// directory written by hncollect (node-<id>/ shards) loads
+// transparently, scatter-gathered and merged into the fleet's canonical
+// (time, node, seq) order.
 func loadStore(dir string, seed int64, workers int) (*core.Pipeline, error) {
-	st, err := store.Open(dir, store.Options{ReadOnly: true})
-	if err != nil {
-		return nil, err
-	}
-	defer st.Close()
-	recs, err := st.Load(workers)
-	if err != nil {
-		return nil, err
+	var recs []*session.Record
+	if store.IsFleetDir(dir) {
+		fl, err := store.OpenFleet(dir, store.Options{ReadOnly: true})
+		if err != nil {
+			return nil, err
+		}
+		defer fl.Close()
+		if recs, err = fl.Load(workers); err != nil {
+			return nil, err
+		}
+	} else {
+		st, err := store.Open(dir, store.Options{ReadOnly: true})
+		if err != nil {
+			return nil, err
+		}
+		defer st.Close()
+		if recs, err = st.Load(workers); err != nil {
+			return nil, err
+		}
 	}
 	w := &analysis.World{Registry: asdb.NewRegistry(seed+1, 2000)}
 	return core.FromRecords(recs, w), nil

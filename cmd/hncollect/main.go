@@ -1,0 +1,89 @@
+// Command hncollect is the fleet collector: it accepts session streams
+// from honeypotd edge nodes (-forward) and writes one store shard per
+// node under a fleet directory that hnanalyze -store queries unchanged.
+//
+// Usage:
+//
+//	hncollect -dir fleet/ [-listen :7070] [-admin :9091]
+//	          [-store-codec lz] [-store-max-batch N] [-store-max-delay D]
+//	          [-sync-ack=true]
+//
+// Delivery is at-least-once from the edges and exactly-once in the
+// shards: each edge resumes from the cursor the collector advertises at
+// connect, and redelivered records are dropped by sequence. With
+// -sync-ack (the default) an acknowledgment implies the record is
+// fsynced here, so a collector crash never loses acked data. SIGTERM
+// seals every shard so the fleet directory is immediately queryable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"honeynet/internal/fleet"
+	"honeynet/internal/obs"
+	"honeynet/internal/store"
+)
+
+func main() {
+	var (
+		dir     = flag.String("dir", "", "fleet directory to write per-node shards under (required)")
+		listen  = flag.String("listen", ":7070", "address to accept edge connections on")
+		admin   = flag.String("admin", "", "admin listen address serving /metrics and /healthz (empty to disable)")
+		codec   = flag.String("store-codec", "", `block codec for newly sealed shard segments: "lz" (default) or "flate"`)
+		batch   = flag.Int("store-max-batch", 0, "records per group-commit WAL write in each shard (0 = default)")
+		delay   = flag.Duration("store-max-delay", 0, "longest a record may wait in a shard's group-commit batch (0 = default)")
+		syncAck = flag.Bool("sync-ack", true, "fsync a shard's WAL before acknowledging, so acked records survive a collector crash")
+	)
+	flag.Parse()
+	if *dir == "" {
+		log.Fatal("hncollect: -dir is required")
+	}
+
+	opts := fleet.ServerOptions{
+		Store:   store.Options{Codec: *codec, MaxBatch: *batch, MaxDelay: *delay},
+		SyncAck: *syncAck,
+	}
+	srv, err := fleet.NewServer(*dir, opts)
+	if err != nil {
+		log.Fatalf("hncollect: %v", err)
+	}
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		log.Fatalf("hncollect: %v", err)
+	}
+	fmt.Printf("hncollect: collecting on %s into %s (%d shards resumed)\n", addr, *dir, srv.Nodes())
+
+	reg := obs.NewRegistry()
+	srv.Register(reg)
+	var adminSrv *http.Server
+	if *admin != "" {
+		mux := obs.AdminMux(reg, func() error { return nil })
+		ln, err := net.Listen("tcp", *admin)
+		if err != nil {
+			log.Fatalf("hncollect: admin: %v", err)
+		}
+		adminSrv = &http.Server{Handler: mux}
+		go func() { _ = adminSrv.Serve(ln) }()
+		fmt.Printf("hncollect: admin on http://%s/metrics\n", ln.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "hncollect: sealing shards...")
+	if adminSrv != nil {
+		adminSrv.Close()
+	}
+	nodes, records := srv.Nodes(), srv.Len()
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "hncollect: close: %v\n", err)
+	}
+	fmt.Fprintf(os.Stderr, "hncollect: %d records across %d node shards sealed in %s\n", records, nodes, *dir)
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"honeynet"
+	"honeynet/internal/fleet"
 	"honeynet/internal/guard"
 	"honeynet/internal/honeypot"
 	"honeynet/internal/sessionlog"
@@ -43,6 +44,12 @@ type Config struct {
 	StoreDelay time.Duration
 	Persistent bool
 
+	Forward      string
+	NodeID       string
+	ForwardBatch int
+	ForwardDelay time.Duration
+	AckWindow    int
+
 	MaxConns      int
 	MaxConnsPerIP int
 	Rate          string
@@ -68,6 +75,11 @@ func (c *Config) RegisterFlags(fs *flag.FlagSet) {
 	fs.IntVar(&c.StoreBatch, "store-max-batch", 0, "records per group-commit WAL write in the store (0 = default)")
 	fs.DurationVar(&c.StoreDelay, "store-max-delay", 0, "longest a record may wait in the store's group-commit batch (0 = default)")
 	fs.BoolVar(&c.Persistent, "persistent", false, "retain each client's filesystem across connections (defeats attacker consistency checks)")
+	fs.StringVar(&c.Forward, "forward", "", "stream stored sessions to the fleet collector (hncollect) at this address; requires -store")
+	fs.StringVar(&c.NodeID, "node-id", "", "node identity for fleet forwarding, [A-Za-z0-9._-] (default the -id value)")
+	fs.IntVar(&c.ForwardBatch, "forward-batch", 0, "records per forwarded batch frame (0 = 256)")
+	fs.DurationVar(&c.ForwardDelay, "forward-max-delay", 0, "longest a record may wait for a forward batch to fill (0 = 2ms)")
+	fs.IntVar(&c.AckWindow, "ack-window", 0, "unacknowledged in-flight record cap before forwarding waits for collector acks (0 = 4x batch)")
 	fs.IntVar(&c.MaxConns, "max-conns", defaultMaxConns, "global concurrent connection cap; oldest connection is shed at the cap (0 = unlimited)")
 	fs.IntVar(&c.MaxConnsPerIP, "max-conns-per-ip", defaultMaxConnsPerIP, "per-IP concurrent connection cap; newcomers beyond it are shed (0 = unlimited)")
 	fs.StringVar(&c.Rate, "rate", defaultRate, "per-IP connection admission rate, e.g. 5/s, 300/m (empty = unlimited)")
@@ -93,6 +105,22 @@ func (c *Config) Validate() error {
 	if err := opts.Validate(); err != nil {
 		return fmt.Errorf("-store-codec/-store-max-batch/-store-max-delay: %w", err)
 	}
+	fopts := fleet.Options{Batch: c.ForwardBatch, MaxDelay: c.ForwardDelay, AckWindow: c.AckWindow}
+	if err := fopts.Validate(); err != nil {
+		return fmt.Errorf("-forward-batch/-forward-max-delay/-ack-window: %w", err)
+	}
+	if c.Forward != "" {
+		if c.Store == "" {
+			return fmt.Errorf("-forward requires -store (the local store is the durable send queue)")
+		}
+		node := c.NodeID
+		if node == "" {
+			node = c.ID
+		}
+		if !store.ValidNodeID(node) {
+			return fmt.Errorf("-node-id: %q not a valid node id ([A-Za-z0-9._-], max 64)", node)
+		}
+	}
 	return nil
 }
 
@@ -100,23 +128,28 @@ func (c *Config) Validate() error {
 // have succeeded first.
 func (c *Config) ServeConfig() honeynet.ServeConfig {
 	return honeynet.ServeConfig{
-		SSHAddr:        c.SSHAddr,
-		TelnetAddr:     c.TelnetAddr,
-		AdminAddr:      c.AdminAddr,
-		ID:             c.ID,
-		Hostname:       c.Hostname,
-		Timeout:        c.Timeout,
-		Persistent:     c.Persistent,
-		MaxConns:       c.MaxConns,
-		MaxConnsPerIP:  c.MaxConnsPerIP,
-		Rate:           c.Rate,
-		DownloadBudget: c.DLBudget,
-		StorePath:      c.Store,
-		StoreCodec:     c.StoreCodec,
-		StoreMaxBatch:  c.StoreBatch,
-		StoreMaxDelay:  c.StoreDelay,
-		LogPath:        c.Out,
-		LogMaxSize:     c.logMaxBytes,
-		DrainTimeout:   c.DrainTimeout,
+		SSHAddr:         c.SSHAddr,
+		TelnetAddr:      c.TelnetAddr,
+		AdminAddr:       c.AdminAddr,
+		ID:              c.ID,
+		Hostname:        c.Hostname,
+		Timeout:         c.Timeout,
+		Persistent:      c.Persistent,
+		MaxConns:        c.MaxConns,
+		MaxConnsPerIP:   c.MaxConnsPerIP,
+		Rate:            c.Rate,
+		DownloadBudget:  c.DLBudget,
+		StorePath:       c.Store,
+		StoreCodec:      c.StoreCodec,
+		StoreMaxBatch:   c.StoreBatch,
+		StoreMaxDelay:   c.StoreDelay,
+		ForwardAddr:     c.Forward,
+		ForwardNodeID:   c.NodeID,
+		ForwardBatch:    c.ForwardBatch,
+		ForwardMaxDelay: c.ForwardDelay,
+		AckWindow:       c.AckWindow,
+		LogPath:         c.Out,
+		LogMaxSize:      c.logMaxBytes,
+		DrainTimeout:    c.DrainTimeout,
 	}
 }

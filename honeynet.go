@@ -228,17 +228,17 @@ func Load(r io.Reader, opts ...Option) (*Pipeline, error) {
 // byte-identical to the equivalent Load over JSONL. Only WithWorkers,
 // WithObserver, and WithMatrixCache apply; as with Load, figures that
 // join on simulation-only feeds render empty (see Pipeline.MissingJoins).
+//
+// A fleet directory written by cmd/hncollect (per-node shards under
+// node-<id>/) opens transparently: shards are scatter-gathered and the
+// records merged into the fleet's canonical (time, node, seq) order, so
+// the same analyses run unchanged over a whole fleet.
 func Open(dir string, opts ...Option) (*Pipeline, error) {
 	var c config
 	for _, o := range opts {
 		o.apply(&c)
 	}
-	st, err := store.Open(dir, store.Options{ReadOnly: true})
-	if err != nil {
-		return nil, err
-	}
-	defer st.Close()
-	recs, err := st.Load(c.workers)
+	recs, err := loadStoreDir(dir, c.workers)
 	if err != nil {
 		return nil, err
 	}
@@ -247,4 +247,22 @@ func Open(dir string, opts ...Option) (*Pipeline, error) {
 	p.World.Tracer = c.tracer
 	p.World.MatrixCache = c.matrixCache
 	return p, nil
+}
+
+// loadStoreDir materializes every record in a store or fleet directory.
+func loadStoreDir(dir string, workers int) ([]*session.Record, error) {
+	if store.IsFleetDir(dir) {
+		fl, err := store.OpenFleet(dir, store.Options{ReadOnly: true})
+		if err != nil {
+			return nil, err
+		}
+		defer fl.Close()
+		return fl.Load(workers)
+	}
+	st, err := store.Open(dir, store.Options{ReadOnly: true})
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	return st.Load(workers)
 }

@@ -13,6 +13,7 @@ import (
 
 	"honeynet/internal/abusedb"
 	"honeynet/internal/analysis"
+	"honeynet/internal/asdb"
 	"honeynet/internal/botnet"
 	"honeynet/internal/classify"
 	"honeynet/internal/collector"
@@ -76,6 +77,10 @@ func FromRecords(recs []*session.Record, w *analysis.World) *Pipeline {
 	if w.AbuseDB == nil {
 		w.AbuseDB = abusedb.New()
 		p.MissingJoins = append(p.MissingJoins, "abusedb")
+	}
+	if w.Registry == nil {
+		w.Registry = asdb.NewRegistry(1, 2000)
+		p.MissingJoins = append(p.MissingJoins, "asdb")
 	}
 	return p
 }

@@ -1,0 +1,371 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"honeynet/internal/obs"
+	"honeynet/internal/session"
+	"honeynet/internal/store"
+)
+
+// ServerOptions parameterizes a collector.
+type ServerOptions struct {
+	// Store configures every per-node shard the collector opens.
+	Store store.Options
+	// SyncAck makes the collector flush a shard's WAL before each ack,
+	// so an acknowledged record survives a collector kill -9. Off, a
+	// collector crash can lose acked records — the edge keeps them
+	// locally regardless (its store is never truncated), so nothing is
+	// lost from the fleet, but the collector's copy lags until the
+	// edges resend or operators re-sync. On by default in hncollect.
+	SyncAck bool
+}
+
+// Server is the collector: it accepts edge connections, writes one
+// store shard per node under its fleet directory, and deduplicates
+// at-least-once delivery by accepting each node's records strictly in
+// sequence order. The shard's own record count is the dedup ledger —
+// sequences are dense from zero — so a restarted collector recovers
+// its per-node cursors for free by opening the shards.
+type Server struct {
+	dir  string
+	opts ServerOptions
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	mu     sync.Mutex // guards shards, conns, closed
+	shards map[string]*store.Store
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	received  atomic.Int64
+	dups      atomic.Int64
+	gaps      atomic.Int64
+	batchesIn atomic.Int64
+	acksOut   atomic.Int64
+	sessions  atomic.Int64
+	rejected  atomic.Int64
+}
+
+// NewServer creates a collector over the fleet directory dir, stamping
+// the fleet marker and opening any shards left by a previous run.
+func NewServer(dir string, opts ServerOptions) (*Server, error) {
+	if err := opts.Store.Validate(); err != nil {
+		return nil, err
+	}
+	if err := store.WriteFleetMarker(dir); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		dir:    dir,
+		opts:   opts,
+		shards: map[string]*store.Store{},
+		conns:  map[net.Conn]struct{}{},
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		const p = store.NodeDirPrefix
+		if len(e.Name()) <= len(p) || e.Name()[:len(p)] != p {
+			continue
+		}
+		node := e.Name()[len(p):]
+		st, err := store.Open(store.ShardDir(dir, node), opts.Store)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("fleet: reopen shard %s: %w", node, err)
+		}
+		s.shards[node] = st
+	}
+	return s, nil
+}
+
+// Listen binds addr and starts accepting edge connections in the
+// background. The returned address is useful with ":0" listeners.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, fmt.Errorf("fleet: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// shard returns (opening if needed) the store for one node.
+func (s *Server) shard(node string) (*store.Store, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("fleet: server closed")
+	}
+	if st, ok := s.shards[node]; ok {
+		return st, nil
+	}
+	st, err := store.Open(store.ShardDir(s.dir, node), s.opts.Store)
+	if err != nil {
+		return nil, err
+	}
+	s.shards[node] = st
+	return st, nil
+}
+
+// handle runs one edge connection: hello, resume ack, then the batch
+// loop. One goroutine per connection; reads, appends, and acks are
+// sequential, so per-node sequence checks need no extra locking (one
+// node id should have at most one live connection; a second one is
+// safe but they will duplicate-suppress each other).
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 256<<10)
+	bw := bufio.NewWriterSize(conn, 16<<10)
+	var buf []byte
+
+	typ, payload, err := readFrame(br, &buf)
+	if err != nil {
+		return
+	}
+	var hello helloMsg
+	if typ != frameHello || json.Unmarshal(payload, &hello) != nil {
+		s.reject(bw, "expected hello frame")
+		return
+	}
+	if hello.V != ProtocolVersion {
+		s.reject(bw, fmt.Sprintf("protocol version %d unsupported (want %d)", hello.V, ProtocolVersion))
+		return
+	}
+	if !store.ValidNodeID(hello.Node) {
+		s.reject(bw, fmt.Sprintf("invalid node id %q", hello.Node))
+		return
+	}
+	st, err := s.shard(hello.Node)
+	if err != nil {
+		s.reject(bw, "shard open failed")
+		return
+	}
+	next := st.NextSeq()
+	if err := writeJSONFrame(bw, frameHelloAck, cursorMsg{Next: next}); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+	s.sessions.Add(1)
+	defer s.sessions.Add(-1)
+
+	dec := &session.JSONDecoder{}
+	for {
+		typ, payload, err := readFrame(br, &buf)
+		if err != nil {
+			return
+		}
+		if typ != frameBatch {
+			s.reject(bw, fmt.Sprintf("unexpected frame type %d", typ))
+			return
+		}
+		s.batchesIn.Add(1)
+		base, count, rest, err := parseBatch(payload)
+		if err != nil {
+			s.reject(bw, err.Error())
+			return
+		}
+		progressed := false
+		for i := 0; i < count; i++ {
+			var line []byte
+			if line, rest, err = nextBatchRecord(rest); err != nil {
+				s.reject(bw, err.Error())
+				return
+			}
+			seq := base + uint64(i)
+			switch {
+			case seq < next:
+				s.dups.Add(1) // already committed: at-least-once redelivery
+			case seq > next:
+				// A sequence from the future: drop the remainder and
+				// re-state our cursor; the no-progress ack tells the
+				// client to rewind (a TCP client never triggers this).
+				s.gaps.Add(1)
+				i = count
+			default:
+				r := &session.Record{}
+				if err := dec.Decode(line, r); err != nil {
+					s.reject(bw, fmt.Sprintf("corrupt record at seq %d: %v", seq, err))
+					return
+				}
+				if err := st.Append(r); err != nil {
+					s.reject(bw, "append failed")
+					return
+				}
+				next++
+				progressed = true
+				s.received.Add(1)
+			}
+		}
+		if progressed && s.opts.SyncAck {
+			if err := st.Flush(); err != nil {
+				s.reject(bw, "flush failed")
+				return
+			}
+		}
+		if err := writeJSONFrame(bw, frameAck, cursorMsg{Next: next}); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+		s.acksOut.Add(1)
+	}
+}
+
+// reject sends a best-effort error frame before closing.
+func (s *Server) reject(bw *bufio.Writer, msg string) {
+	s.rejected.Add(1)
+	if writeJSONFrame(bw, frameError, errMsg{Msg: msg}) == nil {
+		bw.Flush()
+	}
+}
+
+// Fleet returns a live scatter-gather view over the collector's
+// shards. The server keeps ownership of the stores: do not Close the
+// returned fleet, and take a fresh view after new nodes connect.
+func (s *Server) Fleet() *store.Fleet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	shards := make([]store.Shard, 0, len(s.shards))
+	for node, st := range s.shards {
+		shards = append(shards, store.Shard{Node: node, Store: st})
+	}
+	return store.NewFleet(shards)
+}
+
+// Nodes returns how many node shards the collector holds.
+func (s *Server) Nodes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.shards)
+}
+
+// Len returns the total record count across shards.
+func (s *Server) Len() int {
+	s.mu.Lock()
+	shards := make([]*store.Store, 0, len(s.shards))
+	for _, st := range s.shards {
+		shards = append(shards, st)
+	}
+	s.mu.Unlock()
+	n := 0
+	for _, st := range shards {
+		n += st.Len()
+	}
+	return n
+}
+
+// Close stops accepting, drops live connections, and closes every
+// shard (sealing their tails).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	var err error
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, st := range s.shards {
+		if cerr := st.Close(); err == nil {
+			err = cerr
+		}
+	}
+	s.shards = map[string]*store.Store{}
+	return err
+}
+
+// Register exposes the collector's counters and gauges on reg:
+//
+//	honeynet_fleet_received_total
+//	honeynet_fleet_duplicate_total
+//	honeynet_fleet_gap_total
+//	honeynet_fleet_batches_received_total
+//	honeynet_fleet_acks_sent_total
+//	honeynet_fleet_rejects_total
+//	honeynet_fleet_nodes
+//	honeynet_fleet_connections
+//	honeynet_fleet_collected_records
+func (s *Server) Register(reg *obs.Registry) {
+	reg.CounterFunc("honeynet_fleet_received_total",
+		"Records accepted and appended to node shards.", s.received.Load)
+	reg.CounterFunc("honeynet_fleet_duplicate_total",
+		"Redelivered records dropped by sequence dedup.", s.dups.Load)
+	reg.CounterFunc("honeynet_fleet_gap_total",
+		"Batches dropped for skipping ahead of a node's cursor.", s.gaps.Load)
+	reg.CounterFunc("honeynet_fleet_batches_received_total",
+		"Batch frames received.", s.batchesIn.Load)
+	reg.CounterFunc("honeynet_fleet_acks_sent_total",
+		"Ack frames sent.", s.acksOut.Load)
+	reg.CounterFunc("honeynet_fleet_rejects_total",
+		"Connections rejected with an error frame.", s.rejected.Load)
+	reg.GaugeFunc("honeynet_fleet_nodes",
+		"Node shards held by this collector.",
+		func() float64 { return float64(s.Nodes()) })
+	reg.GaugeFunc("honeynet_fleet_connections",
+		"Live edge connections.",
+		func() float64 { return float64(s.sessions.Load()) })
+	reg.GaugeFunc("honeynet_fleet_collected_records",
+		"Total records across node shards.",
+		func() float64 { return float64(s.Len()) })
+}

@@ -1,0 +1,396 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"honeynet/internal/collector"
+	"honeynet/internal/session"
+)
+
+// Fleet mode: a collector holds one shard — a complete, independent
+// Store — per edge node, under node-<id> subdirectories of one fleet
+// directory. This file is the scatter-gather query layer over those
+// shards: the same Scan/ScanIP/Rollup/Load surface as a single Store,
+// with results merged across shards by (time, node, seq), so the
+// analysis pipeline runs unchanged — and byte-identically — against a
+// fleet directory.
+
+const (
+	// FleetMarkerName marks a directory as a fleet of per-node shards.
+	FleetMarkerName = "FLEET.json"
+	// NodeDirPrefix prefixes each shard's subdirectory: node-<id>.
+	NodeDirPrefix = "node-"
+)
+
+// Shard pairs one node's id with its store.
+type Shard struct {
+	Node  string
+	Store *Store
+}
+
+// Fleet is a read view over per-node shards, ordered by node id.
+type Fleet struct {
+	shards []Shard
+}
+
+// IsFleetDir reports whether dir holds a fleet of per-node shards
+// rather than a single store: the FLEET.json marker is authoritative,
+// and a directory of node-<id> shards without store files of its own
+// also qualifies (a collector killed before writing the marker).
+func IsFleetDir(dir string) bool {
+	if _, err := os.Stat(filepath.Join(dir, FleetMarkerName)); err == nil {
+		return true
+	}
+	if exists(filepath.Join(dir, manifestName)) || exists(filepath.Join(dir, walName)) {
+		return false
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), NodeDirPrefix) {
+			sub := filepath.Join(dir, e.Name())
+			if exists(filepath.Join(sub, manifestName)) || exists(filepath.Join(sub, walName)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// WriteFleetMarker stamps dir as a fleet directory (idempotent).
+func WriteFleetMarker(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, FleetMarkerName)
+	if exists(path) {
+		return nil
+	}
+	if err := os.WriteFile(path, []byte("{\"version\":1}\n"), 0o644); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// ShardDir returns the shard directory for one node id under a fleet
+// directory.
+func ShardDir(dir, node string) string {
+	return filepath.Join(dir, NodeDirPrefix+node)
+}
+
+// ValidNodeID restricts node ids to names that are safe as directory
+// components on every platform: [A-Za-z0-9._-], non-empty, at most 64
+// bytes, not starting with a dot or dash.
+func ValidNodeID(id string) bool {
+	if id == "" || len(id) > 64 || id[0] == '.' || id[0] == '-' {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// OpenFleet opens every node-<id> shard under dir with opts. Shards
+// are ordered by node id, so every fleet-wide result is deterministic.
+func OpenFleet(dir string, opts Options) (*Fleet, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	f := &Fleet{}
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), NodeDirPrefix) {
+			continue
+		}
+		node := strings.TrimPrefix(e.Name(), NodeDirPrefix)
+		st, err := Open(filepath.Join(dir, e.Name()), opts)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: fleet shard %s: %w", node, err)
+		}
+		f.shards = append(f.shards, Shard{Node: node, Store: st})
+	}
+	if len(f.shards) == 0 {
+		return nil, fmt.Errorf("store: %s: no node-<id> shards", dir)
+	}
+	f.sortShards()
+	return f, nil
+}
+
+// NewFleet builds a fleet view over already-open shards (a live
+// collector's, typically). The caller keeps ownership of the stores;
+// Close on the returned fleet closes them, so callers sharing stores
+// should not call it.
+func NewFleet(shards []Shard) *Fleet {
+	f := &Fleet{shards: append([]Shard(nil), shards...)}
+	f.sortShards()
+	return f
+}
+
+func (f *Fleet) sortShards() {
+	sort.Slice(f.shards, func(i, j int) bool { return f.shards[i].Node < f.shards[j].Node })
+}
+
+// Shards returns the fleet's shards, ordered by node id.
+func (f *Fleet) Shards() []Shard { return f.shards }
+
+// Close closes every shard.
+func (f *Fleet) Close() error {
+	var err error
+	for _, sh := range f.shards {
+		if cerr := sh.Store.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Len returns the total record count across shards.
+func (f *Fleet) Len() int {
+	n := 0
+	for _, sh := range f.shards {
+		n += sh.Store.Len()
+	}
+	return n
+}
+
+// Segments returns the total sealed segment count across shards.
+func (f *Fleet) Segments() int {
+	n := 0
+	for _, sh := range f.shards {
+		n += sh.Store.Segments()
+	}
+	return n
+}
+
+// Months returns the sorted distinct partition months across shards.
+func (f *Fleet) Months() []time.Time {
+	seen := map[time.Time]bool{}
+	var out []time.Time
+	for _, sh := range f.shards {
+		for _, m := range sh.Store.Months() {
+			if !seen[m] {
+				seen[m] = true
+				out = append(out, m)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	return out
+}
+
+// Rollup sums one month's aggregates across shards — still zero block
+// reads: each shard answers from sealed metadata plus its tail.
+func (f *Fleet) Rollup(month time.Time) Rollup {
+	out := Rollup{Month: time.Date(month.Year(), month.Month(), 1, 0, 0, 0, 0, time.UTC)}
+	for _, sh := range f.shards {
+		r := sh.Store.Rollup(month)
+		out.Records += r.Records
+		out.Sealed += r.Sealed
+		out.SSH += r.SSH
+		out.Telnet += r.Telnet
+		for k, v := range r.Kinds {
+			out.Kinds[k] += v
+		}
+	}
+	return out
+}
+
+// FleetCursor merges per-shard cursors: months ascend fleet-wide, and
+// within a month the shard heads are merged by (Start, node, seq) —
+// the fleet's canonical record order. When each shard's within-month
+// stream is itself time-ordered, the merged stream is totally ordered
+// by (time, node, seq); shards whose append order ran ahead of session
+// start times interleave deterministically (heads compared on every
+// step) but only locally ordered. A FleetCursor is not safe for
+// concurrent use.
+type FleetCursor struct {
+	curs  []*Cursor // parallel to nodes
+	nodes []string
+	heads []*session.Record // nil = exhausted
+	cur   *session.Record
+	node  string
+	err   error
+}
+
+// Scan returns a merged cursor over records in tr satisfying filter.
+func (f *Fleet) Scan(tr TimeRange, filter Filter) *FleetCursor {
+	return f.scatter(func(s *Store) *Cursor { return s.Scan(tr, filter) })
+}
+
+// ScanIP returns a merged cursor over one client IP's records; every
+// shard prunes its own segments by Bloom filter.
+func (f *Fleet) ScanIP(ip string, tr TimeRange) *FleetCursor {
+	return f.scatter(func(s *Store) *Cursor { return s.ScanIP(ip, tr) })
+}
+
+func (f *Fleet) scatter(open func(*Store) *Cursor) *FleetCursor {
+	c := &FleetCursor{
+		curs:  make([]*Cursor, len(f.shards)),
+		nodes: make([]string, len(f.shards)),
+		heads: make([]*session.Record, len(f.shards)),
+	}
+	for i, sh := range f.shards {
+		c.curs[i] = open(sh.Store)
+		c.nodes[i] = sh.Node
+		c.advance(i)
+	}
+	return c
+}
+
+// advance refills shard i's head from its cursor.
+func (c *FleetCursor) advance(i int) {
+	if c.curs[i].Next() {
+		c.heads[i] = c.curs[i].Record()
+		return
+	}
+	c.heads[i] = nil
+	if err := c.curs[i].Err(); err != nil && c.err == nil {
+		c.err = fmt.Errorf("store: shard %s: %w", c.nodes[i], err)
+	}
+}
+
+// Next advances to the next record in merge order. It returns false at
+// the end of the scan or on error (see Err).
+func (c *FleetCursor) Next() bool {
+	if c.err != nil {
+		return false
+	}
+	best := -1
+	for i, h := range c.heads {
+		if h == nil {
+			continue
+		}
+		if best < 0 || headLess(h, c.nodes[i], c.heads[best], c.nodes[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		c.cur = nil
+		return false
+	}
+	c.cur, c.node = c.heads[best], c.nodes[best]
+	// A refill error surfaces on the following Next; the record already
+	// selected is still valid.
+	c.advance(best)
+	return true
+}
+
+// headLess orders two shard heads by (month, Start, node). The seq
+// tiebreak is implicit: within one shard, records already come in seq
+// order.
+func headLess(a *session.Record, an string, b *session.Record, bn string) bool {
+	am, bm := a.Month(), b.Month()
+	if !am.Equal(bm) {
+		return am.Before(bm)
+	}
+	if !a.Start.Equal(b.Start) {
+		return a.Start.Before(b.Start)
+	}
+	return an < bn
+}
+
+// Record returns the record Next advanced to.
+func (c *FleetCursor) Record() *session.Record { return c.cur }
+
+// Node returns the node id of the shard the current record came from.
+func (c *FleetCursor) Node() string { return c.node }
+
+// Err returns the first error the scan hit, if any.
+func (c *FleetCursor) Err() error { return c.err }
+
+// Close releases every shard cursor.
+func (c *FleetCursor) Close() error {
+	var err error
+	for _, cur := range c.curs {
+		if cerr := cur.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Stats computes fleet-wide dataset statistics by streaming every
+// shard, mirroring Store.Stats.
+func (f *Fleet) Stats() (collector.Stats, error) {
+	st := collector.Stats{ByKind: map[session.Kind]int{}}
+	ips := map[string]bool{}
+	cur := f.Scan(TimeRange{}, nil)
+	defer cur.Close()
+	for cur.Next() {
+		r := cur.Record()
+		st.Total++
+		switch r.Protocol {
+		case session.ProtoSSH:
+			st.SSH++
+		case session.ProtoTelnet:
+			st.Telnet++
+		}
+		k := r.Kind()
+		st.ByKind[k]++
+		if k == session.CommandExec {
+			st.CommandExec++
+			if r.StateChanged {
+				st.StateChanged++
+			}
+		}
+		ips[r.ClientIP] = true
+	}
+	if err := cur.Err(); err != nil {
+		return st, err
+	}
+	st.UniqueIPs = len(ips)
+	return st, nil
+}
+
+// Load materializes every record across shards in the fleet's
+// canonical total order — (Start, node, seq) — so the figure pipeline
+// over a fleet matches a single store whose records were appended in
+// that order, byte for byte. Shards decompress their segments in
+// parallel on the shared worker pool.
+func (f *Fleet) Load(workers int) ([]*session.Record, error) {
+	type ent struct {
+		r     *session.Record
+		shard int32
+		idx   int32
+	}
+	var ents []ent
+	for si, sh := range f.shards {
+		recs, err := sh.Store.Load(workers)
+		if err != nil {
+			return nil, fmt.Errorf("store: fleet shard %s: %w", sh.Node, err)
+		}
+		for i, r := range recs {
+			ents = append(ents, ent{r: r, shard: int32(si), idx: int32(i)})
+		}
+	}
+	sort.Slice(ents, func(i, j int) bool {
+		a, b := ents[i], ents[j]
+		if !a.r.Start.Equal(b.r.Start) {
+			return a.r.Start.Before(b.r.Start)
+		}
+		if a.shard != b.shard {
+			return f.shards[a.shard].Node < f.shards[b.shard].Node
+		}
+		return a.idx < b.idx
+	})
+	out := make([]*session.Record, len(ents))
+	for i, e := range ents {
+		out[i] = e.r
+	}
+	return out, nil
+}

@@ -189,6 +189,7 @@ type Store struct {
 	kick       chan struct{} // wakes the group-commit flusher
 	stop, done chan struct{} // periodic WAL sync loop
 	flushDone  chan struct{} // group-commit flusher exit
+	watch      chan struct{} // append signal for tailers (see Watch)
 
 	// Seal scratch, reused across seals: at most one seal runs at a
 	// time (the sealing flag serializes background seals; Seal/Close
@@ -239,6 +240,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	s := &Store{dir: dir, opts: opts, man: man}
 	s.sealCond = sync.NewCond(&s.mu)
+	s.watch = make(chan struct{}, 1)
 	walPath := filepath.Join(dir, walName)
 	frozenPath := filepath.Join(dir, walSealingName)
 
@@ -494,6 +496,10 @@ func (s *Store) Append(r *session.Record) error {
 	lineScratch.Put(bp)
 
 	s.appended.Add(1)
+	select {
+	case s.watch <- struct{}{}:
+	default:
+	}
 	if kick {
 		select {
 		case s.kick <- struct{}{}:

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"honeynet/internal/analysis"
+	"honeynet/internal/fleet"
 	"honeynet/internal/guard"
 	"honeynet/internal/honeypot"
 	"honeynet/internal/obs"
@@ -76,6 +77,24 @@ type ServeConfig struct {
 	// group-commit batch (0 = store default).
 	StoreMaxDelay time.Duration
 
+	// ForwardAddr, when non-empty, streams every stored record to the
+	// fleet collector at that address (requires StorePath: the local
+	// store is the durable send queue, and forwarding survives
+	// restarts by resuming from the collector's cursor).
+	ForwardAddr string
+	// ForwardNodeID identifies this node to the collector; the
+	// collector writes this node's shard under node-<id>. Defaults to
+	// ID. Restricted to [A-Za-z0-9._-].
+	ForwardNodeID string
+	// ForwardBatch caps records per batch frame (0 = 256).
+	ForwardBatch int
+	// ForwardMaxDelay bounds how long an appended record may wait for
+	// a batch to fill before being forwarded anyway (0 = 2ms).
+	ForwardMaxDelay time.Duration
+	// AckWindow caps unacknowledged in-flight records before the
+	// forwarder waits for collector acks (0 = 4x ForwardBatch).
+	AckWindow int
+
 	// DrainTimeout bounds how long Drain waits for in-flight sessions
 	// before force-closing them (default 30s).
 	DrainTimeout time.Duration
@@ -118,6 +137,7 @@ type Server struct {
 	node    *honeypot.Node
 	writer  *sessionlog.Writer // nil when only a store is configured
 	store   *store.Store       // nil unless StorePath is set
+	fwd     *fleet.Forwarder   // nil unless ForwardAddr is set
 	limiter *guard.Limiter
 	budget  *guard.Budget
 	reg     *obs.Registry
@@ -161,6 +181,30 @@ func Serve(cfg ServeConfig) (*Server, error) {
 				s.writer.Close()
 			}
 			return nil, fmt.Errorf("honeynet: store: %w", err)
+		}
+	}
+	if cfg.ForwardAddr != "" {
+		if s.store == nil {
+			if s.writer != nil {
+				s.writer.Close()
+			}
+			return nil, errors.New("honeynet: ForwardAddr requires StorePath (the store is the durable send queue)")
+		}
+		node := cfg.ForwardNodeID
+		if node == "" {
+			node = cfg.ID
+		}
+		s.fwd, err = fleet.NewForwarder(cfg.ForwardAddr, node, s.store, fleet.Options{
+			Batch:     cfg.ForwardBatch,
+			MaxDelay:  cfg.ForwardMaxDelay,
+			AckWindow: cfg.AckWindow,
+		})
+		if err != nil {
+			if s.writer != nil {
+				s.writer.Close()
+			}
+			s.store.Close()
+			return nil, fmt.Errorf("honeynet: forward: %w", err)
 		}
 	}
 
@@ -217,6 +261,9 @@ func Serve(cfg ServeConfig) (*Server, error) {
 	}
 	if s.store != nil {
 		s.store.Register(s.reg)
+	}
+	if s.fwd != nil {
+		s.fwd.Register(s.reg)
 	}
 	analysis.Register(s.reg)
 
@@ -279,6 +326,10 @@ func (s *Server) Metrics() honeypot.Metrics { return s.node.Metrics() }
 // nil when the node writes only to a store.
 func (s *Server) Log() *sessionlog.Writer { return s.writer }
 
+// Forwarder returns the fleet forwarder (lag, ack state), or nil when
+// ForwardAddr is unset.
+func (s *Server) Forwarder() *fleet.Forwarder { return s.fwd }
+
 // Drain gracefully shuts the server down: stop accepting, wait up to
 // DrainTimeout for in-flight sessions (then force-close them), append a
 // final metrics snapshot to the session log, flush and close the log,
@@ -288,6 +339,13 @@ func (s *Server) Log() *sessionlog.Writer { return s.writer }
 func (s *Server) Drain(reason string) (forced int, err error) {
 	forced = s.node.Drain(s.cfg.DrainTimeout)
 	var errs []error
+	if s.fwd != nil {
+		// Give the collector a chance to confirm everything local, then
+		// stop forwarding; unacked records stay queued in the store and
+		// a restarted node resumes from the collector's cursor.
+		s.fwd.WaitCaughtUp(s.cfg.DrainTimeout)
+		errs = append(errs, s.fwd.Close())
+	}
 	if s.writer != nil {
 		errs = append(errs, s.writer.WriteSnapshot(sessionlog.Snapshot{
 			Time:    time.Now().UTC(),
@@ -311,6 +369,9 @@ func (s *Server) close() error {
 	var errs []error
 	if s.node != nil {
 		errs = append(errs, s.node.Close())
+	}
+	if s.fwd != nil {
+		errs = append(errs, s.fwd.Close())
 	}
 	if s.writer != nil {
 		errs = append(errs, s.writer.Close())
