@@ -27,8 +27,10 @@ import (
 	"honeynet/internal/analysis"
 	"honeynet/internal/asdb"
 	"honeynet/internal/botnet"
+	"honeynet/internal/collector"
 	"honeynet/internal/core"
 	"honeynet/internal/obs"
+	"honeynet/internal/query"
 	"honeynet/internal/report"
 	"honeynet/internal/session"
 	"honeynet/internal/simulate"
@@ -49,8 +51,20 @@ func main() {
 		workers  = flag.Int("workers", runtime.NumCPU(), "worker goroutines for simulation and analysis (output is identical for any value; 1 = serial)")
 		timings  = flag.Bool("timings", false, "print a per-phase timing breakdown to stderr after the run (tables on stdout are unaffected)")
 		cache    = flag.String("cache", "", "directory for the on-disk DLD matrix cache (content-hash keyed; results are identical with or without it)")
+		where    = flag.String("where", "", "hnquery predicate pre-filtering the sessions every figure sees, e.g. \"proto = 'ssh' AND cmd ~ /mdrfckr/\" (see README: Querying the store)")
 	)
 	flag.Parse()
+
+	// -where compiles through the hnquery planner before any data is
+	// simulated or loaded, so a typo fails in milliseconds, with a
+	// position, not after a multi-second dataset build.
+	var pre store.Filter
+	if *where != "" {
+		var err error
+		if pre, err = query.CompileFilter(*where); err != nil {
+			log.Fatalf("hnanalyze: -where: %v", err)
+		}
+	}
 
 	// The tracer only observes the clock; tables on stdout stay
 	// byte-identical with or without -timings.
@@ -91,6 +105,17 @@ func main() {
 		log.Fatalf("hnanalyze: %v", err)
 	}
 	p.World.MatrixCache = *cache
+	if pre != nil {
+		total := p.World.Store.Len()
+		kept := collector.NewStore()
+		for _, r := range p.World.Store.All() {
+			if pre(r) {
+				kept.Add(r)
+			}
+		}
+		p.World.Store = kept
+		fmt.Fprintf(os.Stderr, "hnanalyze: -where kept %d of %d sessions\n", kept.Len(), total)
+	}
 	fmt.Fprintf(os.Stderr, "hnanalyze: dataset ready in %v (%d sessions)\n",
 		time.Since(start).Round(time.Millisecond), p.World.Store.Len())
 

@@ -1,0 +1,143 @@
+// Command hnquery runs hnquery-DSL statements against a session store
+// (or fleet) directory and prints the result: aligned text tables for
+// projections and aggregates, canonical JSONL for SELECT *, and —
+// with an EXPLAIN prefix — the chosen plan and its pruning statistics.
+//
+// Usage:
+//
+//	hnquery -store DIR [-csv] 'SELECT month, count(*) GROUP BY month'
+//	hnquery -store DIR            # statements read from stdin, one per line
+//
+// The statement grammar (see the README "Querying the store" section):
+//
+//	[EXPLAIN] SELECT <*|fields|aggregates> [WHERE expr]
+//	          [GROUP BY fields] [ORDER BY cols [DESC]] [LIMIT n]
+//
+// A fleet directory written by hncollect opens transparently: the
+// query scatter-gathers across the per-node shards and the plan
+// statistics sum shard-wide.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"honeynet/internal/query"
+	"honeynet/internal/report"
+	"honeynet/internal/session"
+	"honeynet/internal/store"
+)
+
+func main() {
+	var (
+		storeDir = flag.String("store", "", "session store or fleet directory (required)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	)
+	flag.Parse()
+	if *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "hnquery: -store DIR is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	src, err := openSource(*storeDir)
+	if err != nil {
+		log.Fatalf("hnquery: %v", err)
+	}
+	defer src.Close()
+
+	if args := flag.Args(); len(args) > 0 {
+		if err := runOne(src, strings.Join(args, " "), *csv); err != nil {
+			log.Fatalf("hnquery: %v", err)
+		}
+		return
+	}
+
+	// REPL-ish mode: one statement per stdin line, errors don't end the
+	// session.
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		stmt := strings.TrimSpace(sc.Text())
+		if stmt == "" || strings.HasPrefix(stmt, "--") {
+			continue
+		}
+		if err := runOne(src, stmt, *csv); err != nil {
+			fmt.Fprintf(os.Stderr, "hnquery: %v\n", err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("hnquery: reading stdin: %v", err)
+	}
+}
+
+// source is what hnquery needs from a store or fleet handle.
+type source interface {
+	query.Source
+	Close() error
+}
+
+// openSource opens dir read-only as a single store or, transparently,
+// as a fleet of per-node shards.
+func openSource(dir string) (source, error) {
+	if store.IsFleetDir(dir) {
+		return store.OpenFleet(dir, store.Options{ReadOnly: true})
+	}
+	return store.Open(dir, store.Options{ReadOnly: true})
+}
+
+// runOne executes one statement and prints its result.
+func runOne(src source, stmt string, csv bool) error {
+	res, err := query.Run(src, stmt)
+	if err != nil {
+		// Positioned errors get a caret line so the offending token is
+		// visible at a glance.
+		if se, ok := err.(*query.SyntaxError); ok && se.Pos <= len(stmt) {
+			fmt.Fprintf(os.Stderr, "  %s\n  %s^\n", stmt, strings.Repeat(" ", se.Pos))
+		}
+		return err
+	}
+	for _, line := range res.Explain {
+		fmt.Println(line)
+	}
+	if res.Explain != nil {
+		fmt.Println()
+	}
+
+	// SELECT * streams full records as canonical JSONL.
+	if res.Records != nil || len(res.Columns) == 0 {
+		w := bufio.NewWriter(os.Stdout)
+		defer w.Flush()
+		var buf []byte
+		for _, r := range res.Records {
+			buf, err = session.AppendJSON(buf[:0], r)
+			if err != nil {
+				return err
+			}
+			buf = append(buf, '\n')
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+		}
+		return w.Flush()
+	}
+
+	t := &report.Table{Headers: res.Columns}
+	for _, row := range res.Rows {
+		cells := make([]any, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		t.AddRow(cells...)
+	}
+	if csv {
+		fmt.Print(t.CSV())
+	} else {
+		fmt.Println(t)
+	}
+	return nil
+}

@@ -1,17 +1,19 @@
 // Store: run a honeypot node that sinks sessions straight into the
 // embedded month-partitioned session store, attack it over real SSH,
 // then reopen the sealed store two ways — through the honeynet facade
-// for the full analysis pipeline, and through the store's streaming
-// query engine for a monthly rollup that never materializes the data.
+// for the full analysis pipeline, and through the hnquery DSL for
+// declarative queries whose predicate pushdown is visible via EXPLAIN.
 package main
 
 import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"honeynet"
+	"honeynet/internal/query"
 	"honeynet/internal/session"
 	"honeynet/internal/sshclient"
 	"honeynet/internal/store"
@@ -82,31 +84,45 @@ func main() {
 	fmt.Printf("\nfacade Open: %d session(s); first: kind=%s commands=%d downloads=%d\n",
 		p.World.Store.Len(), rec.Kind(), len(rec.Commands), len(rec.Downloads))
 
-	// Route two: the streaming query engine. Rollup answers from sealed
-	// segment metadata without reading a single block, and Scan streams
-	// with memory bounded by one compressed block.
+	// Route two: the hnquery DSL. Where callers used to hand-roll an
+	// opaque Filter closure — defeating every index the store keeps —
+	// one statement now compiles to a structured store.Query with real
+	// pushdown. The old Rollup becomes a GROUP BY, and because month,
+	// kind, and proto live in sealed segment metadata, the aggregate
+	// answers with zero block reads. EXPLAIN proves it.
 	st, err := store.Open(dir, store.Options{ReadOnly: true})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer st.Close()
-	for _, m := range st.Months() {
-		ru := st.Rollup(m)
-		fmt.Printf("\nrollup %s: %d record(s) (%d sealed), ssh=%d telnet=%d\n",
-			m.Format("2006-01"), ru.Records, ru.Sealed, ru.SSH, ru.Telnet)
-		fmt.Printf("  by kind: scanning=%d scouting=%d intrusion=%d command-exec=%d\n",
-			ru.Kinds[0], ru.Kinds[1], ru.Kinds[2], ru.Kinds[3])
+	res, err := query.Run(st,
+		`EXPLAIN SELECT month, kind, count(*) GROUP BY month, kind ORDER BY month, kind`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nEXPLAIN SELECT month, kind, count(*) GROUP BY month, kind:")
+	for _, line := range res.Explain {
+		fmt.Println("  | " + line)
+	}
+	for _, row := range res.Rows {
+		fmt.Printf("  %s  %-17s  %s\n", row[0], row[1], row[2])
 	}
 
-	cur := st.Scan(store.TimeRange{}, nil)
-	defer cur.Close()
-	fmt.Println("\nstreamed sessions:")
-	for cur.Next() {
-		r := cur.Record()
-		fmt.Printf("  #%d %s %s -> %s (%s)\n", r.ID, r.Start.Format(time.RFC3339), r.ClientIP, r.HoneypotID, r.Kind())
-	}
-	if err := cur.Err(); err != nil {
+	// Predicates are typed expressions, not closures: the planner sees
+	// them, prunes segments by time bounds, routes `ip =` through the
+	// Bloom filters, and decodes only the fields the query touches.
+	res, err = query.Run(st,
+		`SELECT start, ip, user, cmds WHERE login_ok = true AND cmd ~ /wget/`)
+	if err != nil {
 		log.Fatal(err)
+	}
+	fmt.Println("\nsessions that logged in and ran wget:")
+	for _, row := range res.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		fmt.Println("  " + strings.Join(cells, "  "))
 	}
 
 	// Route three: raw ingest. Group commit makes the append path fast

@@ -37,6 +37,7 @@ import (
 	"honeynet/internal/analysis"
 	"honeynet/internal/core"
 	"honeynet/internal/obs"
+	"honeynet/internal/query"
 	"honeynet/internal/session"
 	"honeynet/internal/simulate"
 	"honeynet/internal/store"
@@ -247,6 +248,41 @@ func Open(dir string, opts ...Option) (*Pipeline, error) {
 	p.World.Tracer = c.tracer
 	p.World.MatrixCache = c.matrixCache
 	return p, nil
+}
+
+// QueryResult is a finished hnquery-DSL statement: tabular rows for
+// projections and aggregates, full records for SELECT *, the plan
+// statistics, and — for EXPLAIN statements — the rendered plan.
+type QueryResult = query.Result
+
+// Query runs one hnquery-DSL statement against a session store (or
+// fleet) directory without materializing the dataset:
+//
+//	res, err := honeynet.Query(dir,
+//	    `SELECT month, count(*) WHERE proto = 'ssh' GROUP BY month ORDER BY month`)
+//
+// The statement compiles to a structured store.Query with full
+// predicate pushdown: time predicates prune via sealed segment bounds,
+// `ip =` predicates route through the per-segment Bloom filters, and
+// kind/protocol-only aggregates answer from sealed metadata with zero
+// block reads. Prefix the statement with EXPLAIN to get the chosen
+// plan and its pruning statistics in QueryResult.Explain. A fleet
+// directory scatter-gathers across its per-node shards transparently.
+func Query(dir, stmt string) (*QueryResult, error) {
+	if store.IsFleetDir(dir) {
+		fl, err := store.OpenFleet(dir, store.Options{ReadOnly: true})
+		if err != nil {
+			return nil, err
+		}
+		defer fl.Close()
+		return query.Run(fl, stmt)
+	}
+	st, err := store.Open(dir, store.Options{ReadOnly: true})
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	return query.Run(st, stmt)
 }
 
 // loadStoreDir materializes every record in a store or fleet directory.

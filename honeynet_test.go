@@ -53,3 +53,42 @@ func TestLoadRejectsGarbage(t *testing.T) {
 		t.Error("garbage must fail")
 	}
 }
+
+// TestFacadeQuery runs hnquery-DSL statements through the public
+// Query entry point over a store written by Simulate(WithStore).
+func TestFacadeQuery(t *testing.T) {
+	dir := t.TempDir()
+	p, err := Simulate(WithScale(50000), WithSeed(3), WithStore(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{}
+	for _, r := range p.World.Store.All() {
+		want[r.Month().Format("2006-01")]++
+	}
+
+	res, err := Query(dir, `EXPLAIN SELECT month, count(*) GROUP BY month ORDER BY month`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(want) {
+		t.Fatalf("got %d groups, want %d", len(res.Rows), len(want))
+	}
+	for _, row := range res.Rows {
+		if row[1].Int != want[row[0].String()] {
+			t.Errorf("month %s: count %d, want %d", row[0].String(), row[1].Int, want[row[0].String()])
+		}
+	}
+	// A kind/protocol/month-only aggregate over a sealed store answers
+	// from metadata: the EXPLAIN plan must say so.
+	if res.Stats.Mode != "metadata" || res.Stats.BlocksRead != 0 {
+		t.Errorf("expected metadata-only plan, got %+v", res.Stats)
+	}
+	if len(res.Explain) == 0 {
+		t.Error("EXPLAIN returned no plan")
+	}
+
+	if _, err := Query(dir, `SELECT nosuch`); err == nil {
+		t.Error("bad statement must fail")
+	}
+}

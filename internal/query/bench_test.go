@@ -1,0 +1,119 @@
+package query
+
+import (
+	"testing"
+	"time"
+
+	"honeynet/internal/session"
+	"honeynet/internal/store"
+)
+
+// benchStore seals n records over m month partitions. mkRecord's
+// start offset grows with the global index, so at bench scale it is
+// recomputed to stay inside the record's partition month.
+func benchStore(b *testing.B, n, m int) *store.Store {
+	b.Helper()
+	s, err := store.Open(b.TempDir(), store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { s.Close() })
+	for i := 0; i < n; i++ {
+		r := mkRecord(i%m, i)
+		dur := r.End.Sub(r.Start)
+		r.Start = time.Date(2021, time.Month(5+i%m), 1, 0, 0, 0, 0, time.UTC).
+			Add(time.Duration(i/m) * 97 * time.Second)
+		r.End = r.Start.Add(dur)
+		if err := s.Append(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Seal(); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkQueryMetadataOnly measures the zero-block-read path: a
+// kind/protocol/month-only aggregate answered entirely from sealed
+// segment metadata, independent of the record count behind it.
+func BenchmarkQueryMetadataOnly(b *testing.B) {
+	const n = 50_000
+	s := benchStore(b, n, 12)
+	c, err := Compile(`SELECT month, count(*) WHERE proto = 'ssh' GROUP BY month ORDER BY month`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := c.Execute(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st := res.Stats; st.Mode != "metadata" || st.BlocksRead != 0 {
+			b.Fatalf("not metadata-only: %+v", st)
+		}
+		if len(res.Rows) != 12 {
+			b.Fatalf("got %d groups", len(res.Rows))
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// BenchmarkQueryPushdown compares the same month-bounded regex count
+// executed with pushdown (the month predicate prunes 11 of 12
+// partitions and the projection masks the decode) against the
+// pre-redesign shape: an opaque Filter closure the planner cannot see
+// through, scanning and fully decoding every record. recs/s is
+// normalized to the store's total record count — the query logically
+// ranges over all of it — so the two sub-benchmarks are comparable.
+func BenchmarkQueryPushdown(b *testing.B) {
+	const n = 50_000
+	s := benchStore(b, n, 12)
+
+	b.Run("pushdown", func(b *testing.B) {
+		c, err := Compile(`SELECT count(*) WHERE month = '2021-06' AND cmd ~ /wget/`)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := c.Execute(s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st := res.Stats; st.TimePruned == 0 {
+				b.Fatalf("no segments pruned: %+v", st)
+			}
+		}
+		b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "recs/s")
+	})
+
+	b.Run("fullscan", func(b *testing.B) {
+		q := &store.Query{
+			Aggs: []store.AggSpec{{Op: store.AggCount}},
+			Filter: func(r *session.Record) bool {
+				return r.Month().Format("2006-01") == "2021-06" &&
+					len(r.Commands) > 0 && containsWget(r.CommandText())
+			},
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := s.RunQuery(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res.Close()
+		}
+		b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "recs/s")
+	})
+}
+
+func containsWget(s string) bool {
+	for i := 0; i+4 <= len(s); i++ {
+		if s[i:i+4] == "wget" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,473 @@
+package query
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+
+	"honeynet/internal/session"
+	"honeynet/internal/store"
+)
+
+// fieldNames maps DSL names (and aliases) to store fields.
+var fieldNames = map[string]store.Field{
+	"start":         store.FieldStart,
+	"time":          store.FieldStart,
+	"end":           store.FieldEnd,
+	"duration":      store.FieldDuration,
+	"dur":           store.FieldDuration,
+	"month":         store.FieldMonth,
+	"day":           store.FieldDay,
+	"id":            store.FieldID,
+	"hp":            store.FieldHoneypot,
+	"honeypot":      store.FieldHoneypot,
+	"hp_ip":         store.FieldHoneypotIP,
+	"ip":            store.FieldIP,
+	"client_ip":     store.FieldIP,
+	"port":          store.FieldPort,
+	"client_port":   store.FieldPort,
+	"proto":         store.FieldProto,
+	"protocol":      store.FieldProto,
+	"client_ver":    store.FieldClientVer,
+	"version":       store.FieldClientVer,
+	"kind":          store.FieldKind,
+	"class":         store.FieldKind,
+	"user":          store.FieldUser,
+	"username":      store.FieldUser,
+	"pass":          store.FieldPassword,
+	"password":      store.FieldPassword,
+	"login_ok":      store.FieldLoginOK,
+	"logged_in":     store.FieldLoginOK,
+	"logins":        store.FieldLogins,
+	"cmd":           store.FieldCmd,
+	"command":       store.FieldCmd,
+	"cmds":          store.FieldCommands,
+	"commands":      store.FieldCommands,
+	"dls":           store.FieldDownloads,
+	"downloads":     store.FieldDownloads,
+	"uri":           store.FieldURI,
+	"url":           store.FieldURI,
+	"hash":          store.FieldHash,
+	"state_changed": store.FieldStateChanged,
+	"timeout":       store.FieldTimedOut,
+	"timed_out":     store.FieldTimedOut,
+}
+
+// kindNames maps session-kind literals (§3.3 names) to kinds.
+var kindNames = map[string]session.Kind{
+	"scanning":          session.Scanning,
+	"scouting":          session.Scouting,
+	"intrusion":         session.Intrusion,
+	"command-execution": session.CommandExec,
+	"command_execution": session.CommandExec,
+	"commandexec":       session.CommandExec,
+	"exec":              session.CommandExec,
+}
+
+// timeLayouts, most-specific first; a bare year or month widens to its
+// bucket start.
+var timeLayouts = []string{
+	time.RFC3339,
+	"2006-01-02T15:04:05",
+	"2006-01-02 15:04:05",
+	"2006-01-02",
+	"2006-01",
+	"2006",
+}
+
+// Compiled is a statement lowered onto the store's Query engine plus
+// the output shaping (columns, ordering, limit) the engine doesn't do.
+type Compiled struct {
+	Stmt    *Stmt
+	Query   *store.Query
+	Columns []string
+
+	star    bool
+	rowCols []store.Field // projected row-mode columns
+	aggCols []aggCol      // aggregation-mode columns
+	orderBy []ordKey
+	limit   int
+	hasLim  bool
+	explain bool
+}
+
+// aggCol maps one output column to the group key or aggregate that
+// produces it.
+type aggCol struct {
+	key bool
+	idx int
+}
+
+type ordKey struct {
+	col  int
+	desc bool
+}
+
+// Compile parses and compiles one statement.
+func Compile(src string) (*Compiled, error) {
+	st, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return compileStmt(st)
+}
+
+// CompileFilter parses a bare predicate expression — the hnanalyze
+// -where form — and compiles it to a record filter.
+func CompileFilter(src string) (store.Filter, error) {
+	p, err := CompilePredicate(src)
+	if err != nil {
+		return nil, err
+	}
+	return store.CompilePred(p)
+}
+
+// CompilePredicate parses a bare predicate expression to a typed store
+// predicate tree (for callers that want pushdown, not just a filter).
+func CompilePredicate(src string) (*store.Pred, error) {
+	e, err := ParseExpr(src)
+	if err != nil {
+		return nil, err
+	}
+	return compileExpr(e)
+}
+
+func compileStmt(st *Stmt) (*Compiled, error) {
+	c := &Compiled{
+		Stmt:    st,
+		Query:   &store.Query{},
+		star:    st.Star,
+		explain: st.Explain,
+		limit:   st.Limit,
+		hasLim:  st.HasLim,
+	}
+	if st.Where != nil {
+		p, err := compileExpr(st.Where)
+		if err != nil {
+			return nil, err
+		}
+		c.Query.Where = p
+	}
+
+	hasAgg := false
+	for _, it := range st.Items {
+		if it.Agg != "" {
+			hasAgg = true
+		}
+	}
+
+	switch {
+	case st.Star:
+		if hasAgg || len(st.Items) > 0 {
+			return nil, errAt(0, "SELECT * cannot mix with other columns")
+		}
+		if len(st.GroupBy) > 0 {
+			return nil, errAt(st.GroupBy[0].Pos, "SELECT * cannot GROUP BY")
+		}
+		if len(st.OrderBy) > 0 {
+			return nil, errAt(st.OrderBy[0].Pos, "SELECT * streams in store order; ORDER BY needs explicit columns")
+		}
+
+	case !hasAgg:
+		if len(st.GroupBy) > 0 {
+			return nil, errAt(st.GroupBy[0].Pos, "GROUP BY requires an aggregate in SELECT")
+		}
+		for _, it := range st.Items {
+			f, err := lookupField(Ident{it.Pos, it.Field})
+			if err != nil {
+				return nil, err
+			}
+			c.rowCols = append(c.rowCols, f)
+			c.Columns = append(c.Columns, f.Name())
+			c.Query.Select = append(c.Query.Select, f)
+		}
+		if len(st.OrderBy) > 0 {
+			return nil, errAt(st.OrderBy[0].Pos, "ORDER BY requires aggregation (records stream in store order)")
+		}
+
+	default:
+		// Aggregation: non-agg select items and GROUP BY fields must
+		// agree, so every output row is one group.
+		groupOf := map[store.Field]int{}
+		for _, g := range st.GroupBy {
+			f, err := lookupField(g)
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := groupOf[f]; dup {
+				return nil, errAt(g.Pos, "duplicate GROUP BY field %s", f.Name())
+			}
+			if f.Multi() {
+				return nil, errAt(g.Pos, "%s: cannot group by multi-valued field", f.Name())
+			}
+			groupOf[f] = len(c.Query.GroupBy)
+			c.Query.GroupBy = append(c.Query.GroupBy, f)
+		}
+		for _, it := range st.Items {
+			if it.Agg == "" {
+				f, err := lookupField(Ident{it.Pos, it.Field})
+				if err != nil {
+					return nil, err
+				}
+				gi, ok := groupOf[f]
+				if !ok {
+					return nil, errAt(it.Pos, "%s must appear in GROUP BY", f.Name())
+				}
+				c.aggCols = append(c.aggCols, aggCol{key: true, idx: gi})
+				c.Columns = append(c.Columns, f.Name())
+				continue
+			}
+			spec, name, err := compileAgg(it)
+			if err != nil {
+				return nil, err
+			}
+			c.aggCols = append(c.aggCols, aggCol{idx: len(c.Query.Aggs)})
+			c.Query.Aggs = append(c.Query.Aggs, spec)
+			c.Columns = append(c.Columns, name)
+		}
+	}
+
+	for _, k := range st.OrderBy {
+		col, err := c.resolveOrder(k)
+		if err != nil {
+			return nil, err
+		}
+		c.orderBy = append(c.orderBy, ordKey{col: col, desc: k.Desc})
+	}
+	if c.hasLim && !hasAgg {
+		c.Query.Limit = c.limit
+	}
+	return c, nil
+}
+
+func (c *Compiled) resolveOrder(k OrderKey) (int, error) {
+	if k.Ordinal > 0 {
+		if k.Ordinal > len(c.Columns) {
+			return 0, errAt(k.Pos, "ORDER BY ordinal %d out of range", k.Ordinal)
+		}
+		return k.Ordinal - 1, nil
+	}
+	want := lower(k.Col)
+	if k.Item != nil {
+		_, name, err := compileAgg(*k.Item)
+		if err != nil {
+			return 0, err
+		}
+		want = name
+	}
+	for i, name := range c.Columns {
+		if name == want {
+			return i, nil
+		}
+	}
+	// A named field may be spelled by an alias; resolve and re-match.
+	if f, err := lookupField(Ident{k.Pos, want}); err == nil {
+		for i, name := range c.Columns {
+			if name == f.Name() {
+				return i, nil
+			}
+		}
+	}
+	return 0, errAt(k.Pos, "ORDER BY column %q is not selected", k.Col)
+}
+
+func lookupField(id Ident) (store.Field, error) {
+	f, ok := fieldNames[id.Name]
+	if !ok {
+		return 0, errAt(id.Pos, "unknown field %q", id.Name)
+	}
+	return f, nil
+}
+
+func compileAgg(it SelectItem) (store.AggSpec, string, error) {
+	if it.Agg == "count" && it.Field == "" {
+		return store.AggSpec{Op: store.AggCount}, "count(*)", nil
+	}
+	f, err := lookupField(Ident{it.Pos, it.Field})
+	if err != nil {
+		return store.AggSpec{}, "", err
+	}
+	var op store.AggOp
+	name := fmt.Sprintf("%s(%s)", it.Agg, f.Name())
+	switch it.Agg {
+	case "count":
+		op = store.AggCount
+		if it.Distinct {
+			op = store.AggCountDistinct
+			name = fmt.Sprintf("count(distinct %s)", f.Name())
+		}
+	case "sum":
+		op = store.AggSum
+	case "avg":
+		op = store.AggAvg
+	case "min":
+		op = store.AggMin
+	case "max":
+		op = store.AggMax
+	}
+	spec := store.AggSpec{Op: op, Field: f}
+	if err := checkAggSpec(spec, it.Pos); err != nil {
+		return store.AggSpec{}, "", err
+	}
+	return spec, name, nil
+}
+
+// checkAggSpec surfaces aggregate/field mismatches as positioned
+// errors (the store would reject them too, but without positions).
+func checkAggSpec(spec store.AggSpec, pos int) error {
+	f := spec.Field
+	switch spec.Op {
+	case store.AggSum, store.AggAvg:
+		if f.Multi() || (f.Type() != store.ValInt && f.Type() != store.ValFloat) {
+			return errAt(pos, "%s(%s): field is not numeric", spec.Op, f.Name())
+		}
+	case store.AggMin, store.AggMax:
+		if f.Multi() || f.Type() == store.ValBool {
+			return errAt(pos, "%s(%s): field is not orderable", spec.Op, f.Name())
+		}
+	}
+	return nil
+}
+
+func compileExpr(e Expr) (*store.Pred, error) {
+	switch n := e.(type) {
+	case *BoolExpr:
+		kids := make([]*store.Pred, len(n.Kids))
+		for i, k := range n.Kids {
+			p, err := compileExpr(k)
+			if err != nil {
+				return nil, err
+			}
+			kids[i] = p
+		}
+		if n.Op == "and" {
+			return store.And(kids...), nil
+		}
+		return store.Or(kids...), nil
+	case *NotExpr:
+		kid, err := compileExpr(n.Kid)
+		if err != nil {
+			return nil, err
+		}
+		return store.Not(kid), nil
+	case *CmpExpr:
+		return compileCmp(n)
+	}
+	return nil, errAt(e.pos(), "unsupported expression")
+}
+
+var cmpOps = map[string]store.CmpOp{
+	"=": store.CmpEq, "!=": store.CmpNe,
+	"<": store.CmpLt, "<=": store.CmpLe,
+	">": store.CmpGt, ">=": store.CmpGe,
+}
+
+func compileCmp(n *CmpExpr) (*store.Pred, error) {
+	f, err := lookupField(n.Field)
+	if err != nil {
+		return nil, err
+	}
+	if n.Op == "~" || n.Op == "!~" {
+		if f.Type() != store.ValString {
+			return nil, errAt(n.Pos, "%s: ~ requires a string field", f.Name())
+		}
+		re, err := regexp.Compile(n.Lit.Text)
+		if err != nil {
+			return nil, errAt(n.Lit.Pos, "bad regex: %v", err)
+		}
+		return store.Match(f, re, n.Op == "!~"), nil
+	}
+	op, ok := cmpOps[n.Op]
+	if !ok {
+		return nil, errAt(n.Pos, "unknown operator %s", n.Op)
+	}
+	if (op == store.CmpLt || op == store.CmpLe || op == store.CmpGt || op == store.CmpGe) &&
+		(f.Multi() || f.Type() == store.ValBool) {
+		return nil, errAt(n.Pos, "%s: ordering comparison not supported", f.Name())
+	}
+	v, err := typeLiteral(f, n.Lit)
+	if err != nil {
+		return nil, err
+	}
+	return store.Cmp(f, op, v), nil
+}
+
+// typeLiteral types a raw literal against the field it compares with.
+func typeLiteral(f store.Field, lit Lit) (store.Value, error) {
+	text := lit.Text
+	switch f.Type() {
+	case store.ValString:
+		if lit.Kind == litNumber {
+			return store.StringValue(text), nil // e.g. port-like names
+		}
+		return store.StringValue(text), nil
+
+	case store.ValInt:
+		n, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return store.Value{}, errAt(lit.Pos, "%s: expected an integer, got %q", f.Name(), text)
+		}
+		return store.IntValue(n), nil
+
+	case store.ValFloat:
+		// Durations: a bare number is seconds; suffixed forms (90s,
+		// 1h30m) go through ParseDuration.
+		if n, err := strconv.ParseFloat(text, 64); err == nil {
+			return store.FloatValue(n), nil
+		}
+		if d, err := time.ParseDuration(text); err == nil {
+			return store.FloatValue(d.Seconds()), nil
+		}
+		return store.Value{}, errAt(lit.Pos, "%s: expected a number or duration, got %q", f.Name(), text)
+
+	case store.ValBool:
+		switch lower(text) {
+		case "true", "yes", "1":
+			return store.BoolValue(true), nil
+		case "false", "no", "0":
+			return store.BoolValue(false), nil
+		}
+		return store.Value{}, errAt(lit.Pos, "%s: expected true or false, got %q", f.Name(), text)
+
+	case store.ValTime, store.ValMonth, store.ValDay:
+		t, layout, err := parseTime(text)
+		if err != nil {
+			return store.Value{}, errAt(lit.Pos, "%s: %v", f.Name(), err)
+		}
+		switch f.Type() {
+		case store.ValMonth:
+			return store.MonthValue(time.Date(t.Year(), t.Month(), 1, 0, 0, 0, 0, time.UTC)), nil
+		case store.ValDay:
+			if layout == "2006" || layout == "2006-01" {
+				return store.Value{}, errAt(lit.Pos, "%s: expected a date (YYYY-MM-DD), got %q", f.Name(), text)
+			}
+			return store.DayValue(t.Truncate(24 * time.Hour)), nil
+		}
+		return store.TimeValue(t), nil
+
+	case store.ValSessionKind:
+		if k, ok := kindNames[lower(text)]; ok {
+			return store.KindValue(k), nil
+		}
+		if n, err := strconv.ParseInt(text, 10, 64); err == nil && n >= 0 && n <= 3 {
+			return store.KindValue(session.Kind(n)), nil
+		}
+		return store.Value{}, errAt(lit.Pos,
+			"%s: expected scanning, scouting, intrusion, or command-execution, got %q", f.Name(), text)
+	}
+	return store.Value{}, errAt(lit.Pos, "cannot type literal %q", text)
+}
+
+// parseTime tries the accepted layouts, returning the matched layout
+// so callers can tell how precise the literal was.
+func parseTime(text string) (time.Time, string, error) {
+	for _, layout := range timeLayouts {
+		if t, err := time.Parse(layout, text); err == nil {
+			return t.UTC(), layout, nil
+		}
+	}
+	return time.Time{}, "", fmt.Errorf("cannot parse %q as a time (try %s)",
+		text, strings.Join([]string{"2006-01-02T15:04:05Z", "2006-01-02", "2006-01"}, ", "))
+}

@@ -1,0 +1,235 @@
+// Package query is the hnquery DSL: a small SQL-ish language over the
+// session store, compiled to structured store.Query plans that push
+// predicates into segment time bounds, Bloom filters, and sealed
+// metadata. The surface is one statement shape:
+//
+//	[EXPLAIN] SELECT <*|items> [WHERE expr] [GROUP BY fields]
+//	          [ORDER BY cols [DESC]] [LIMIT n]
+//
+// e.g.
+//
+//	SELECT month, count(*) WHERE proto = 'ssh' AND cmd ~ /mdrfckr/
+//	GROUP BY month ORDER BY month
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SyntaxError is a positioned parse or compile error: Pos is the byte
+// offset into the query text.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("query:%d: %s", e.Pos, e.Msg)
+}
+
+func errAt(pos int, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokString // quoted literal, unescaped
+	tokNumber // raw digits, possibly with duration suffix: 42, 1.5, 90s, 1h30m
+	tokRegex  // /pattern/, unescaped
+	tokOp     // = == != <> < <= > >= ~ !~
+	tokLParen
+	tokRParen
+	tokComma
+	tokStar
+)
+
+type token struct {
+	kind tokKind
+	pos  int
+	text string
+}
+
+// lexer tokenizes one query. A '/' opens a regex literal only directly
+// after a match operator, so division-free grammar stays unambiguous.
+type lexer struct {
+	src       string
+	pos       int
+	afterTilt bool // previous token was ~ or !~
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && isSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	afterTilt := l.afterTilt
+	l.afterTilt = false
+	switch {
+	case c == '(':
+		l.pos++
+		return token{tokLParen, start, "("}, nil
+	case c == ')':
+		l.pos++
+		return token{tokRParen, start, ")"}, nil
+	case c == ',':
+		l.pos++
+		return token{tokComma, start, ","}, nil
+	case c == '*':
+		l.pos++
+		return token{tokStar, start, "*"}, nil
+	case c == '\'' || c == '"':
+		return l.lexString(c)
+	case c == '/' && afterTilt:
+		return l.lexRegex()
+	case c == '=':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+		}
+		return token{tokOp, start, "="}, nil
+	case c == '!':
+		l.pos++
+		if l.pos < len(l.src) {
+			switch l.src[l.pos] {
+			case '=':
+				l.pos++
+				return token{tokOp, start, "!="}, nil
+			case '~':
+				l.pos++
+				l.afterTilt = true
+				return token{tokOp, start, "!~"}, nil
+			}
+		}
+		return token{}, errAt(start, "expected != or !~")
+	case c == '<':
+		l.pos++
+		if l.pos < len(l.src) {
+			switch l.src[l.pos] {
+			case '=':
+				l.pos++
+				return token{tokOp, start, "<="}, nil
+			case '>':
+				l.pos++
+				return token{tokOp, start, "!="}, nil
+			}
+		}
+		return token{tokOp, start, "<"}, nil
+	case c == '>':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{tokOp, start, ">="}, nil
+		}
+		return token{tokOp, start, ">"}, nil
+	case c == '~':
+		l.pos++
+		l.afterTilt = true
+		return token{tokOp, start, "~"}, nil
+	case c >= '0' && c <= '9':
+		return l.lexNumber()
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{tokIdent, start, l.src[start:l.pos]}, nil
+	}
+	return token{}, errAt(start, "unexpected character %q", c)
+}
+
+func (l *lexer) lexString(quote byte) (token, error) {
+	start := l.pos
+	l.pos++
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case quote:
+			l.pos++
+			return token{tokString, start, b.String()}, nil
+		case '\\':
+			if l.pos+1 >= len(l.src) {
+				return token{}, errAt(start, "unterminated string")
+			}
+			l.pos++
+			switch e := l.src[l.pos]; e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			default:
+				b.WriteByte(e)
+			}
+			l.pos++
+		default:
+			b.WriteByte(c)
+			l.pos++
+		}
+	}
+	return token{}, errAt(start, "unterminated string")
+}
+
+func (l *lexer) lexRegex() (token, error) {
+	start := l.pos
+	l.pos++
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case '/':
+			l.pos++
+			return token{tokRegex, start, b.String()}, nil
+		case '\\':
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+				b.WriteByte('/')
+				l.pos += 2
+				continue
+			}
+			b.WriteByte('\\')
+			l.pos++
+		default:
+			b.WriteByte(c)
+			l.pos++
+		}
+	}
+	return token{}, errAt(start, "unterminated regex")
+}
+
+// lexNumber scans digits plus anything a duration literal may contain
+// (1.5, 90s, 1h30m, 1.5h); the compiler decides how to parse the text.
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if (c >= '0' && c <= '9') || c == '.' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+			l.pos++
+			continue
+		}
+		if c == 0xC2 && l.pos+1 < len(l.src) && l.src[l.pos+1] == 0xB5 { // µ
+			l.pos += 2
+			continue
+		}
+		break
+	}
+	return token{tokNumber, start, l.src[start:l.pos]}, nil
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9') || c == '-'
+}

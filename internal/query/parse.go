@@ -1,0 +1,496 @@
+package query
+
+import "strconv"
+
+// Stmt is the parsed statement. Literals stay raw: the compiler types
+// them against the field they compare with.
+type Stmt struct {
+	Explain bool
+	Star    bool
+	Items   []SelectItem
+	Where   Expr
+	GroupBy []Ident
+	OrderBy []OrderKey
+	Limit   int  // 0 = unlimited
+	HasLim  bool // LIMIT 0 is distinguishable from no LIMIT
+}
+
+// SelectItem is one output column: a bare field or an aggregate.
+type SelectItem struct {
+	Pos      int
+	Agg      string // "", "count", "sum", "avg", "min", "max"
+	Distinct bool   // count(distinct f)
+	Field    string // "" for count(*)
+}
+
+// Ident is a positioned identifier.
+type Ident struct {
+	Pos  int
+	Name string
+}
+
+// OrderKey is one ORDER BY column: a name, an aggregate expression, or
+// a 1-based ordinal.
+type OrderKey struct {
+	Pos     int
+	Col     string
+	Item    *SelectItem // aggregate form: ORDER BY count(*) etc.
+	Ordinal int         // 0 = named
+	Desc    bool
+}
+
+// Expr is a predicate AST node.
+type Expr interface{ pos() int }
+
+// BoolExpr combines children with "and" or "or".
+type BoolExpr struct {
+	Pos  int
+	Op   string // "and", "or"
+	Kids []Expr
+}
+
+// NotExpr negates its child.
+type NotExpr struct {
+	Pos int
+	Kid Expr
+}
+
+// CmpExpr compares a field with a literal.
+type CmpExpr struct {
+	Pos   int
+	Field Ident
+	Op    string // = != < <= > >= ~ !~
+	Lit   Lit
+}
+
+func (e *BoolExpr) pos() int { return e.Pos }
+func (e *NotExpr) pos() int  { return e.Pos }
+func (e *CmpExpr) pos() int  { return e.Pos }
+
+// litKind tags a raw literal.
+type litKind int
+
+const (
+	litString litKind = iota
+	litNumber         // raw text: 42, 1.5, 90s
+	litRegex
+	litIdent // bare word: ssh, scanning, true
+)
+
+// Lit is a raw literal; Text is unquoted/unescaped.
+type Lit struct {
+	Pos  int
+	Kind litKind
+	Text string
+}
+
+// parser is a one-token-lookahead recursive-descent parser.
+type parser struct {
+	lex lexer
+	tok token
+	err error
+}
+
+func newParser(src string) (*parser, error) {
+	p := &parser{lex: lexer{src: src}}
+	return p, p.advance()
+}
+
+func (p *parser) advance() error {
+	tok, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = tok
+	return nil
+}
+
+// kw reports whether the current token is the given keyword
+// (case-insensitive).
+func (p *parser) kw(word string) bool {
+	return p.tok.kind == tokIdent && equalFold(p.tok.text, word)
+}
+
+// eatKw consumes a keyword if present.
+func (p *parser) eatKw(word string) (bool, error) {
+	if !p.kw(word) {
+		return false, nil
+	}
+	return true, p.advance()
+}
+
+// expectKw requires a keyword.
+func (p *parser) expectKw(word string) error {
+	ok, err := p.eatKw(word)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return errAt(p.tok.pos, "expected %s", word)
+	}
+	return nil
+}
+
+// Parse parses one full statement.
+func Parse(src string) (*Stmt, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	st := &Stmt{}
+	if ok, err := p.eatKw("explain"); err != nil {
+		return nil, err
+	} else if ok {
+		st.Explain = true
+	}
+	if err := p.expectKw("select"); err != nil {
+		return nil, err
+	}
+	if err := p.parseSelectList(st); err != nil {
+		return nil, err
+	}
+	if ok, err := p.eatKw("where"); err != nil {
+		return nil, err
+	} else if ok {
+		if st.Where, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	if ok, err := p.eatKw("group"); err != nil {
+		return nil, err
+	} else if ok {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			if p.tok.kind != tokIdent {
+				return nil, errAt(p.tok.pos, "expected field name in GROUP BY")
+			}
+			st.GroupBy = append(st.GroupBy, Ident{p.tok.pos, p.tok.text})
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if ok, err := p.eatKw("order"); err != nil {
+		return nil, err
+	} else if ok {
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			k := OrderKey{Pos: p.tok.pos}
+			switch p.tok.kind {
+			case tokIdent:
+				item, err := p.parseSelectItem()
+				if err != nil {
+					return nil, err
+				}
+				if item.Agg != "" {
+					k.Item = &item
+				} else {
+					k.Col = item.Field
+				}
+			case tokNumber:
+				n, err := strconv.Atoi(p.tok.text)
+				if err != nil || n < 1 {
+					return nil, errAt(p.tok.pos, "ORDER BY ordinal must be a positive integer")
+				}
+				k.Ordinal = n
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			default:
+				return nil, errAt(p.tok.pos, "expected column in ORDER BY")
+			}
+			if ok, err := p.eatKw("desc"); err != nil {
+				return nil, err
+			} else if ok {
+				k.Desc = true
+			} else if ok, err := p.eatKw("asc"); err != nil {
+				return nil, err
+			} else if ok {
+				// ascending is the default
+				_ = ok
+			}
+			st.OrderBy = append(st.OrderBy, k)
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if ok, err := p.eatKw("limit"); err != nil {
+		return nil, err
+	} else if ok {
+		if p.tok.kind != tokNumber {
+			return nil, errAt(p.tok.pos, "expected number after LIMIT")
+		}
+		n, err := strconv.Atoi(p.tok.text)
+		if err != nil || n < 0 {
+			return nil, errAt(p.tok.pos, "LIMIT must be a non-negative integer")
+		}
+		st.Limit, st.HasLim = n, true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if p.tok.kind != tokEOF {
+		return nil, errAt(p.tok.pos, "unexpected %q", p.tok.text)
+	}
+	return st, nil
+}
+
+// ParseExpr parses a bare predicate expression (the -where flag form).
+func ParseExpr(src string) (Expr, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, errAt(p.tok.pos, "unexpected %q", p.tok.text)
+	}
+	return e, nil
+}
+
+func (p *parser) parseSelectList(st *Stmt) error {
+	if p.tok.kind == tokStar {
+		st.Star = true
+		return p.advance()
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return err
+		}
+		st.Items = append(st.Items, item)
+		if p.tok.kind != tokComma {
+			return nil
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+}
+
+var aggNames = map[string]bool{
+	"count": true, "sum": true, "avg": true, "min": true, "max": true,
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.tok.kind != tokIdent {
+		return SelectItem{}, errAt(p.tok.pos, "expected field or aggregate")
+	}
+	item := SelectItem{Pos: p.tok.pos}
+	name := lower(p.tok.text)
+	if err := p.advance(); err != nil {
+		return SelectItem{}, err
+	}
+	if !aggNames[name] || p.tok.kind != tokLParen {
+		item.Field = name
+		return item, nil
+	}
+	item.Agg = name
+	if err := p.advance(); err != nil { // consume (
+		return SelectItem{}, err
+	}
+	if name == "count" && p.tok.kind == tokStar {
+		if err := p.advance(); err != nil {
+			return SelectItem{}, err
+		}
+	} else {
+		if ok, err := p.eatKw("distinct"); err != nil {
+			return SelectItem{}, err
+		} else if ok {
+			if name != "count" {
+				return SelectItem{}, errAt(item.Pos, "DISTINCT only applies to count")
+			}
+			item.Distinct = true
+		}
+		if p.tok.kind != tokIdent {
+			return SelectItem{}, errAt(p.tok.pos, "expected field in %s(...)", name)
+		}
+		item.Field = lower(p.tok.text)
+		if err := p.advance(); err != nil {
+			return SelectItem{}, err
+		}
+	}
+	if p.tok.kind != tokRParen {
+		return SelectItem{}, errAt(p.tok.pos, "expected ) after aggregate")
+	}
+	return item, p.advance()
+}
+
+// parseExpr handles OR (lowest precedence).
+func (p *parser) parseExpr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	pos := left.pos()
+	kids := []Expr{left}
+	for {
+		ok, err := p.eatKw("or")
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	if len(kids) == 1 {
+		return left, nil
+	}
+	return &BoolExpr{Pos: pos, Op: "or", Kids: kids}, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	pos := left.pos()
+	kids := []Expr{left}
+	for {
+		ok, err := p.eatKw("and")
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, right)
+	}
+	if len(kids) == 1 {
+		return left, nil
+	}
+	return &BoolExpr{Pos: pos, Op: "and", Kids: kids}, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.kw("not") {
+		pos := p.tok.pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		kid, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{Pos: pos, Kid: kid}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	if p.tok.kind == tokLParen {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, errAt(p.tok.pos, "expected )")
+		}
+		return e, p.advance()
+	}
+	if p.tok.kind != tokIdent {
+		return nil, errAt(p.tok.pos, "expected field name")
+	}
+	field := Ident{p.tok.pos, lower(p.tok.text)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokOp {
+		return nil, errAt(p.tok.pos, "expected comparison operator after %s", field.Name)
+	}
+	op := p.tok.text
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	lit, err := p.parseLit(op)
+	if err != nil {
+		return nil, err
+	}
+	return &CmpExpr{Pos: field.Pos, Field: field, Op: op, Lit: lit}, nil
+}
+
+func (p *parser) parseLit(op string) (Lit, error) {
+	lit := Lit{Pos: p.tok.pos}
+	switch p.tok.kind {
+	case tokString:
+		lit.Kind = litString
+	case tokNumber:
+		lit.Kind = litNumber
+	case tokRegex:
+		lit.Kind = litRegex
+	case tokIdent:
+		lit.Kind = litIdent
+	default:
+		return Lit{}, errAt(p.tok.pos, "expected literal after %s", op)
+	}
+	if (op == "~" || op == "!~") && lit.Kind != litRegex && lit.Kind != litString {
+		return Lit{}, errAt(p.tok.pos, "%s needs a /regex/ or string pattern", op)
+	}
+	lit.Text = p.tok.text
+	return lit, p.advance()
+}
+
+func lower(s string) string {
+	hasUpper := false
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 'A' && s[i] <= 'Z' {
+			hasUpper = true
+			break
+		}
+	}
+	if !hasUpper {
+		return s
+	}
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+func equalFold(s, word string) bool {
+	if len(s) != len(word) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != word[i] {
+			return false
+		}
+	}
+	return true
+}

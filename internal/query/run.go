@@ -1,0 +1,136 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"honeynet/internal/session"
+	"honeynet/internal/store"
+)
+
+// Source is anything that executes structured queries: *store.Store,
+// *store.Fleet, or a test double.
+type Source interface {
+	RunQuery(*store.Query) (*store.Result, error)
+}
+
+// Result is a finished query: tabular output (aggregations and
+// projections), full records (SELECT *), and the plan statistics. An
+// EXPLAIN statement additionally carries the rendered plan.
+type Result struct {
+	Columns []string
+	Rows    [][]store.Value
+	Records []*session.Record // SELECT * only
+	Stats   store.PlanStats
+	Explain []string // non-nil for EXPLAIN
+}
+
+// Run parses, compiles, and executes one statement against src.
+func Run(src Source, text string) (*Result, error) {
+	c, err := Compile(text)
+	if err != nil {
+		return nil, err
+	}
+	return c.Execute(src)
+}
+
+// Execute runs a compiled statement.
+func (c *Compiled) Execute(src Source) (*Result, error) {
+	sres, err := src.RunQuery(c.Query)
+	if err != nil {
+		return nil, err
+	}
+	defer sres.Close()
+
+	out := &Result{Columns: c.Columns}
+	switch {
+	case sres.Aggregated():
+		for _, g := range sres.Groups() {
+			row := make([]store.Value, len(c.aggCols))
+			for i, col := range c.aggCols {
+				if col.key {
+					row[i] = g.Keys[col.idx]
+				} else {
+					row[i] = g.Aggs[col.idx]
+				}
+			}
+			out.Rows = append(out.Rows, row)
+		}
+		c.order(out.Rows)
+		if c.hasLim && len(out.Rows) > c.limit {
+			out.Rows = out.Rows[:c.limit]
+		}
+
+	case c.star:
+		for sres.Next() {
+			out.Records = append(out.Records, sres.Record())
+		}
+		if err := sres.Err(); err != nil {
+			return nil, err
+		}
+
+	default:
+		for sres.Next() {
+			r := sres.Record()
+			row := make([]store.Value, len(c.rowCols))
+			for i, f := range c.rowCols {
+				row[i] = f.ValueOf(r)
+			}
+			out.Rows = append(out.Rows, row)
+		}
+		if err := sres.Err(); err != nil {
+			return nil, err
+		}
+	}
+
+	out.Stats = sres.Stats()
+	if c.explain {
+		out.Explain = c.explainLines(out)
+	}
+	return out, nil
+}
+
+// order applies ORDER BY keys (stable, so earlier keys dominate and
+// the store's group-key order breaks remaining ties).
+func (c *Compiled) order(rows [][]store.Value) {
+	if len(c.orderBy) == 0 {
+		return
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range c.orderBy {
+			a, b := rows[i][k.col], rows[j][k.col]
+			if k.desc {
+				a, b = b, a
+			}
+			switch {
+			case a.Less(b):
+				return true
+			case b.Less(a):
+				return false
+			}
+		}
+		return false
+	})
+}
+
+// explainLines renders the chosen plan and its pruning statistics.
+func (c *Compiled) explainLines(res *Result) []string {
+	var out []string
+	switch {
+	case len(c.Query.Aggs) > 0:
+		out = append(out, fmt.Sprintf("query: aggregate, %d group field(s), %d aggregate(s)",
+			len(c.Query.GroupBy), len(c.Query.Aggs)))
+	case c.star:
+		out = append(out, "query: full records (SELECT *)")
+	default:
+		out = append(out, fmt.Sprintf("query: project %d field(s)", len(c.rowCols)))
+	}
+	out = append(out, res.Stats.Lines()...)
+	switch {
+	case res.Records != nil:
+		out = append(out, fmt.Sprintf("result: %d record(s)", len(res.Records)))
+	default:
+		out = append(out, fmt.Sprintf("result: %d row(s)", len(res.Rows)))
+	}
+	return out
+}

@@ -300,6 +300,32 @@ func appendJSONString(dst []byte, s string) []byte {
 	return append(dst, '"')
 }
 
+// FieldMask selects which Record sections a projected decode must
+// populate. Cheap scalar fields (ID, Start, ClientPort, the booleans)
+// are always decoded; the maskable sections are the ones whose decode
+// costs an allocation (strings) or a slice build (the nested arrays).
+// A masked-out section is left at its zero value on the fast path, but
+// callers must treat it as unspecified: non-canonical input falls back
+// to a full stdlib decode, which populates everything.
+type FieldMask uint16
+
+const (
+	FEnd FieldMask = 1 << iota
+	FHoneypotID
+	FHoneypotIP
+	FClientIP
+	FClientVersion
+	FLogins
+	FCommands
+	FDownloads
+	FExecs
+	FHashes
+
+	// FAllFields decodes every section; DecodeMasked(FAllFields) is
+	// exactly Decode.
+	FAllFields FieldMask = 1<<10 - 1
+)
+
 // JSONDecoder decodes record lines, keeping an unescape scratch buffer
 // across calls. The zero value is ready to use; a decoder is not safe
 // for concurrent use.
@@ -321,7 +347,24 @@ func DecodeJSON(data []byte, r *Record) error {
 // result (including errors) always matches the stdlib on a zero Record.
 func (d *JSONDecoder) Decode(data []byte, r *Record) error {
 	*r = Record{}
-	if d.decodeFast(data, r) {
+	if d.decodeFast(data, r, FAllFields) {
+		return nil
+	}
+	*r = Record{}
+	return json.Unmarshal(data, r)
+}
+
+// DecodeMasked decodes one record line into r, guaranteeing only the
+// sections selected by keep (plus the always-decoded scalars: ID, Start,
+// ClientPort, Protocol, StateChanged, TimedOut). Skipped string fields
+// avoid the unescape-and-allocate step and skipped arrays avoid the
+// slice build entirely, so a query that projects a few fields decodes a
+// fraction of each record. Sections outside keep hold unspecified
+// values — zero on the fast path, fully decoded after a stdlib
+// fallback.
+func (d *JSONDecoder) DecodeMasked(data []byte, r *Record, keep FieldMask) error {
+	*r = Record{}
+	if d.decodeFast(data, r, keep) {
 		return nil
 	}
 	*r = Record{}
@@ -338,7 +381,7 @@ type jsonDec struct {
 	scratch *[]byte
 }
 
-func (d *JSONDecoder) decodeFast(data []byte, r *Record) (ok bool) {
+func (d *JSONDecoder) decodeFast(data []byte, r *Record, keep FieldMask) (ok bool) {
 	defer func() {
 		if p := recover(); p != nil {
 			if _, bail := p.(errBailFast); bail {
@@ -355,135 +398,159 @@ func (d *JSONDecoder) decodeFast(data []byte, r *Record) (ok bool) {
 	p.lit(`,"start":`)
 	p.time(&r.Start)
 	p.lit(`,"end":`)
-	p.time(&r.End)
+	if keep&FEnd != 0 {
+		p.time(&r.End)
+	} else {
+		p.skipStr()
+	}
 	p.lit(`,"hp":`)
-	r.HoneypotID = p.str()
+	p.maskedStr(&r.HoneypotID, keep&FHoneypotID != 0)
 	if p.tryLit(`,"hp_ip":`) {
-		r.HoneypotIP = p.str()
+		p.maskedStr(&r.HoneypotIP, keep&FHoneypotIP != 0)
 	}
 	p.lit(`,"client_ip":`)
-	r.ClientIP = p.str()
+	p.maskedStr(&r.ClientIP, keep&FClientIP != 0)
 	if p.tryLit(`,"client_port":`) {
 		r.ClientPort = int(p.int())
 	}
 	p.lit(`,"proto":`)
 	r.Protocol = p.str()
 	if p.tryLit(`,"client_ver":`) {
-		r.ClientVersion = p.str()
+		p.maskedStr(&r.ClientVersion, keep&FClientVersion != 0)
 	}
 	if p.tryLit(`,"logins":[`) {
-		ls := []LoginAttempt{}
-		if p.peek() == ']' {
-			p.i++
+		if keep&FLogins == 0 {
+			p.skipArrayTail()
 		} else {
-			for {
-				var l LoginAttempt
-				p.lit(`{"user":`)
-				l.Username = p.str()
-				p.lit(`,"pass":`)
-				l.Password = p.str()
-				p.lit(`,"ok":`)
-				l.Success = p.bool()
-				p.byte('}')
-				ls = append(ls, l)
-				if p.arrayMore() {
-					continue
+			ls := []LoginAttempt{}
+			if p.peek() == ']' {
+				p.i++
+			} else {
+				for {
+					var l LoginAttempt
+					p.lit(`{"user":`)
+					l.Username = p.str()
+					p.lit(`,"pass":`)
+					l.Password = p.str()
+					p.lit(`,"ok":`)
+					l.Success = p.bool()
+					p.byte('}')
+					ls = append(ls, l)
+					if p.arrayMore() {
+						continue
+					}
+					break
 				}
-				break
 			}
+			r.Logins = ls
 		}
-		r.Logins = ls
 	}
 	if p.tryLit(`,"cmds":[`) {
-		cs := []Command{}
-		if p.peek() == ']' {
-			p.i++
+		if keep&FCommands == 0 {
+			p.skipArrayTail()
 		} else {
-			for {
-				var c Command
-				p.lit(`{"raw":`)
-				c.Raw = p.str()
-				p.lit(`,"known":`)
-				c.Known = p.bool()
-				p.byte('}')
-				cs = append(cs, c)
-				if p.arrayMore() {
-					continue
+			cs := []Command{}
+			if p.peek() == ']' {
+				p.i++
+			} else {
+				for {
+					var c Command
+					p.lit(`{"raw":`)
+					c.Raw = p.str()
+					p.lit(`,"known":`)
+					c.Known = p.bool()
+					p.byte('}')
+					cs = append(cs, c)
+					if p.arrayMore() {
+						continue
+					}
+					break
 				}
-				break
 			}
+			r.Commands = cs
 		}
-		r.Commands = cs
 	}
 	if p.tryLit(`,"dls":[`) {
-		ds := []Download{}
-		if p.peek() == ']' {
-			p.i++
+		if keep&FDownloads == 0 {
+			p.skipArrayTail()
 		} else {
-			for {
-				var dl Download
-				p.lit(`{"uri":`)
-				dl.URI = p.str()
-				if p.tryLit(`,"src_ip":`) {
-					dl.SourceIP = p.str()
+			ds := []Download{}
+			if p.peek() == ']' {
+				p.i++
+			} else {
+				for {
+					var dl Download
+					p.lit(`{"uri":`)
+					dl.URI = p.str()
+					if p.tryLit(`,"src_ip":`) {
+						dl.SourceIP = p.str()
+					}
+					if p.tryLit(`,"hash":`) {
+						dl.Hash = p.str()
+					}
+					if p.tryLit(`,"size":`) {
+						dl.Size = p.int()
+					}
+					p.byte('}')
+					ds = append(ds, dl)
+					if p.arrayMore() {
+						continue
+					}
+					break
 				}
-				if p.tryLit(`,"hash":`) {
-					dl.Hash = p.str()
-				}
-				if p.tryLit(`,"size":`) {
-					dl.Size = p.int()
-				}
-				p.byte('}')
-				ds = append(ds, dl)
-				if p.arrayMore() {
-					continue
-				}
-				break
 			}
+			r.Downloads = ds
 		}
-		r.Downloads = ds
 	}
 	if p.tryLit(`,"execs":[`) {
-		es := []ExecAttempt{}
-		if p.peek() == ']' {
-			p.i++
+		if keep&FExecs == 0 {
+			p.skipArrayTail()
 		} else {
-			for {
-				var e ExecAttempt
-				p.lit(`{"path":`)
-				e.Path = p.str()
-				p.lit(`,"exists":`)
-				e.FileExists = p.bool()
-				if p.tryLit(`,"hash":`) {
-					e.Hash = p.str()
+			es := []ExecAttempt{}
+			if p.peek() == ']' {
+				p.i++
+			} else {
+				for {
+					var e ExecAttempt
+					p.lit(`{"path":`)
+					e.Path = p.str()
+					p.lit(`,"exists":`)
+					e.FileExists = p.bool()
+					if p.tryLit(`,"hash":`) {
+						e.Hash = p.str()
+					}
+					p.byte('}')
+					es = append(es, e)
+					if p.arrayMore() {
+						continue
+					}
+					break
 				}
-				p.byte('}')
-				es = append(es, e)
-				if p.arrayMore() {
-					continue
-				}
-				break
 			}
+			r.ExecAttempts = es
 		}
-		r.ExecAttempts = es
 	}
 	if p.tryLit(`,"state_changed":`) {
 		r.StateChanged = p.bool()
 	}
 	if p.tryLit(`,"hashes":[`) {
-		hs := []string{}
-		if p.peek() == ']' {
-			p.i++
+		if keep&FHashes == 0 {
+			p.skipArrayTail()
 		} else {
-			for {
-				hs = append(hs, p.str())
-				if p.arrayMore() {
-					continue
+			hs := []string{}
+			if p.peek() == ']' {
+				p.i++
+			} else {
+				for {
+					hs = append(hs, p.str())
+					if p.arrayMore() {
+						continue
+					}
+					break
 				}
-				break
 			}
+			r.DroppedHashes = hs
 		}
-		r.DroppedHashes = hs
 	}
 	if p.tryLit(`,"timeout":`) {
 		r.TimedOut = p.bool()
@@ -493,6 +560,63 @@ func (d *JSONDecoder) decodeFast(data []byte, r *Record) (ok bool) {
 		p.bail()
 	}
 	return true
+}
+
+// maskedStr parses a string field, either into *dst or — when the
+// field is masked out — as a no-alloc skip.
+func (p *jsonDec) maskedStr(dst *string, keep bool) {
+	if keep {
+		*dst = p.str()
+	} else {
+		p.skipStr()
+	}
+}
+
+// skipStr consumes a JSON string without unescaping or allocating.
+// Canonical strings never hold raw control bytes, and every escape is
+// either a single escaped byte or \uXXXX, so skipping the byte after
+// each backslash is enough to never mistake an escaped quote for the
+// terminator.
+func (p *jsonDec) skipStr() {
+	p.byte('"')
+	i := p.i
+	for i < len(p.d) {
+		switch p.d[i] {
+		case '\\':
+			i += 2
+		case '"':
+			p.i = i + 1
+			return
+		default:
+			i++
+		}
+	}
+	p.bail()
+}
+
+// skipArrayTail consumes the remainder of an array whose opening '[' the
+// caller already consumed, tracking bracket depth and skipping over
+// strings so structural bytes inside them are ignored.
+func (p *jsonDec) skipArrayTail() {
+	depth := 1
+	for p.i < len(p.d) {
+		switch p.d[p.i] {
+		case '[', '{':
+			depth++
+			p.i++
+		case ']', '}':
+			depth--
+			p.i++
+			if depth == 0 {
+				return
+			}
+		case '"':
+			p.skipStr()
+		default:
+			p.i++
+		}
+	}
+	p.bail()
 }
 
 func (p *jsonDec) bail() {

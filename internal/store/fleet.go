@@ -195,6 +195,8 @@ func (f *Fleet) Months() []time.Time {
 
 // Rollup sums one month's aggregates across shards — still zero block
 // reads: each shard answers from sealed metadata plus its tail.
+//
+// Deprecated: use Fleet.RunQuery with GROUP BY month/kind/proto.
 func (f *Fleet) Rollup(month time.Time) Rollup {
 	out := Rollup{Month: time.Date(month.Year(), month.Month(), 1, 0, 0, 0, 0, time.UTC)}
 	for _, sh := range f.shards {
@@ -228,12 +230,17 @@ type FleetCursor struct {
 }
 
 // Scan returns a merged cursor over records in tr satisfying filter.
+//
+// Deprecated: build a Query and use Fleet.RunQuery, which adds
+// predicate, projection, and metadata pushdown per shard.
 func (f *Fleet) Scan(tr TimeRange, filter Filter) *FleetCursor {
 	return f.scatter(func(s *Store) *Cursor { return s.Scan(tr, filter) })
 }
 
 // ScanIP returns a merged cursor over one client IP's records; every
 // shard prunes its own segments by Bloom filter.
+//
+// Deprecated: use Fleet.RunQuery with Query.IP or an `ip =` predicate.
 func (f *Fleet) ScanIP(ip string, tr TimeRange) *FleetCursor {
 	return f.scatter(func(s *Store) *Cursor { return s.ScanIP(ip, tr) })
 }

@@ -57,7 +57,9 @@ type Cursor struct {
 	ti     int
 	tr     TimeRange
 	filter Filter
-	ip     string // non-empty for ScanIP: exact client-IP match
+	ip     string            // non-empty for ScanIP: exact client-IP match
+	mask   session.FieldMask // projection: fields to decode (0 = all)
+	stats  *PlanStats        // per-query plan stats; may be nil
 	cur    *session.Record
 	err    error
 	dec    session.JSONDecoder
@@ -82,18 +84,32 @@ func (a *recArena) alloc() *session.Record {
 }
 
 // Scan returns a cursor over records in tr satisfying filter.
+//
+// Deprecated: build a Query and use RunQuery, which adds predicate,
+// projection, and metadata pushdown. Scan remains as a thin shim.
 func (s *Store) Scan(tr TimeRange, filter Filter) *Cursor {
-	return s.scan(tr, filter, "")
+	return s.scanQ(tr, filter, "", session.FAllFields, nil)
 }
 
 // ScanIP returns a cursor over records from one client IP, using the
 // per-segment Bloom filters to skip months the address never touched.
+//
+// Deprecated: use RunQuery with Query.IP (or an `ip =` predicate,
+// which routes through the same Bloom probes). ScanIP remains as a
+// thin shim.
 func (s *Store) ScanIP(ip string, tr TimeRange) *Cursor {
-	return s.scan(tr, nil, ip)
+	return s.scanQ(tr, nil, ip, session.FAllFields, nil)
 }
 
-func (s *Store) scan(tr TimeRange, filter Filter, ip string) *Cursor {
+// scanQ builds the streaming cursor every query path shares: month and
+// segment time-bound pruning, Bloom routing for exact-IP scans, a
+// decoder field mask for projection pushdown, and optional plan-stat
+// accounting.
+func (s *Store) scanQ(tr TimeRange, filter Filter, ip string, mask session.FieldMask, stats *PlanStats) *Cursor {
 	man, tail := s.snapshot()
+	if stats != nil {
+		stats.Segments += len(man.Segments)
+	}
 
 	// Bucket tail records by month, preserving append order within.
 	tailByMonth := map[time.Time][]*session.Record{}
@@ -127,25 +143,37 @@ func (s *Store) scan(tr TimeRange, filter Filter, ip string) *Cursor {
 	}
 	var cand []*segmentMeta
 	var keep []bool
-	c := &Cursor{s: s, tr: tr, filter: filter, ip: ip}
+	c := &Cursor{s: s, tr: tr, filter: filter, ip: ip, mask: mask, stats: stats}
 	for _, m := range months {
 		if !monthOverlaps(m, tr) {
+			if stats != nil {
+				stats.TimePruned += len(segsByMonth[m])
+			}
 			continue
 		}
 		cand = cand[:0]
 		for _, seg := range segsByMonth[m] {
 			if seg.overlaps(tr.From, tr.To) {
 				cand = append(cand, seg)
+			} else if stats != nil {
+				stats.TimePruned++
 			}
 		}
 		if ip != "" && len(cand) > 0 {
 			keep = bloomPrune(cand, h1, h2, keep)
 			s.bloomChecks.Add(int64(len(cand)))
+			if stats != nil {
+				stats.BloomChecked += len(cand)
+			}
 			for i, seg := range cand {
 				if keep[i] {
 					c.parts = append(c.parts, part{seg: seg})
 				} else {
 					s.bloomSkips.Add(1)
+					if stats != nil {
+						stats.BloomPruned++
+						stats.BlocksSkipped += int64(len(seg.Blocks))
+					}
 				}
 			}
 		} else {
@@ -155,6 +183,13 @@ func (s *Store) scan(tr TimeRange, filter Filter, ip string) *Cursor {
 		}
 		if t := tailByMonth[m]; len(t) > 0 {
 			c.parts = append(c.parts, part{tail: t})
+		}
+	}
+	if stats != nil {
+		for _, p := range c.parts {
+			if p.seg != nil {
+				stats.ScannedSegments++
+			}
 		}
 	}
 	return c
@@ -196,6 +231,9 @@ func (c *Cursor) Next() bool {
 		if c.filter != nil && !c.filter(r) {
 			continue
 		}
+		if c.stats != nil {
+			c.stats.MatchedRecords++
+		}
 		c.cur = r
 		return true
 	}
@@ -211,6 +249,7 @@ func (c *Cursor) nextRaw() (*session.Record, error) {
 				if err != nil {
 					return nil, err
 				}
+				br.stats = c.stats
 				c.br = br
 			}
 			_, line, err := c.br.next()
@@ -224,14 +263,21 @@ func (c *Cursor) nextRaw() (*session.Record, error) {
 				return nil, err
 			}
 			r := c.arena.alloc()
-			if err := c.dec.Decode(line, r); err != nil {
+			if err := c.dec.DecodeMasked(line, r, c.mask); err != nil {
 				return nil, fmt.Errorf("store: decoding record: %w", err)
+			}
+			if c.stats != nil {
+				c.stats.ScannedRecords++
 			}
 			return r, nil
 		}
 		if c.ti < len(p.tail) {
 			r := p.tail[c.ti]
 			c.ti++
+			if c.stats != nil {
+				c.stats.TailRecords++
+				c.stats.ScannedRecords++
+			}
 			return r, nil
 		}
 		c.ti = 0
@@ -291,33 +337,39 @@ type Rollup struct {
 
 // Rollup aggregates one month from sealed segment metadata — no block
 // is read — plus a pass over the in-memory unsealed tail.
+//
+// Deprecated: use RunQuery with GROUP BY month/kind/proto, which
+// answers the same aggregates from metadata (and composes with WHERE).
+// Rollup remains as a shim over two such queries.
 func (s *Store) Rollup(month time.Time) Rollup {
 	m := time.Date(month.Year(), month.Month(), 1, 0, 0, 0, 0, time.UTC)
-	man, tail := s.snapshot()
 	out := Rollup{Month: m}
-	for _, seg := range man.Segments {
-		if !seg.month().Equal(m) {
-			continue
-		}
-		out.Records += seg.Records
-		out.Sealed += seg.Records
-		out.SSH += seg.SSH
-		out.Telnet += seg.Telnet
-		for k, v := range seg.Kinds {
-			out.Kinds[k] += v
+	byKind := &Query{Time: Month(m), GroupBy: []Field{FieldKind}, Aggs: []AggSpec{{Op: AggCount}}}
+	if res, err := s.RunQuery(byKind); err == nil {
+		for _, g := range res.Groups() {
+			if k := int(g.Keys[0].Int); k >= 0 && k < len(out.Kinds) {
+				out.Kinds[k] += int(g.Aggs[0].Int)
+				out.Records += int(g.Aggs[0].Int)
+			}
 		}
 	}
-	for _, r := range tail {
-		if !r.Month().Equal(m) {
-			continue
+	byProto := &Query{Time: Month(m), GroupBy: []Field{FieldProto}, Aggs: []AggSpec{{Op: AggCount}}}
+	if res, err := s.RunQuery(byProto); err == nil {
+		for _, g := range res.Groups() {
+			switch g.Keys[0].Str {
+			case session.ProtoSSH:
+				out.SSH = int(g.Aggs[0].Int)
+			case session.ProtoTelnet:
+				out.Telnet = int(g.Aggs[0].Int)
+			}
 		}
-		out.Records++
-		out.Kinds[r.Kind()]++
-		switch r.Protocol {
-		case session.ProtoSSH:
-			out.SSH++
-		case session.ProtoTelnet:
-			out.Telnet++
+	}
+	// The sealed-vs-tail split is a storage fact, not a record
+	// predicate; it comes straight from the manifest.
+	man, _ := s.snapshot()
+	for _, seg := range man.Segments {
+		if seg.month().Equal(m) {
+			out.Sealed += seg.Records
 		}
 	}
 	return out

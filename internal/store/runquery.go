@@ -1,0 +1,1703 @@
+package store
+
+// The unified query surface: a structured Query (typed predicate tree +
+// projection + aggregation) that Store, Fleet, and the hnquery planner
+// all execute through one entry point, RunQuery. The executor does the
+// pushdown the hand-rolled Filter API could not: time predicates prune
+// via segment bounds, `ip =` conjuncts route through the Bloom filters,
+// kind/protocol-only aggregates answer from sealed metadata with zero
+// block reads, and projections skip decoding unused record fields.
+// Scan/ScanIP/Rollup remain as thin shims over the same machinery.
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"honeynet/internal/session"
+)
+
+// Field names one queryable attribute of a session record.
+type Field int
+
+const (
+	FieldNone Field = iota
+	FieldStart
+	FieldEnd
+	FieldDuration
+	FieldMonth
+	FieldDay
+	FieldID
+	FieldHoneypot
+	FieldHoneypotIP
+	FieldIP
+	FieldPort
+	FieldProto
+	FieldClientVer
+	FieldKind
+	FieldUser
+	FieldPassword
+	FieldLoginOK
+	FieldLogins
+	FieldCmd
+	FieldCommands
+	FieldDownloads
+	FieldURI
+	FieldHash
+	FieldStateChanged
+	FieldTimedOut
+)
+
+// fieldInfo is the static schema: name, value kind, whether the field
+// yields multiple values per record (any-element predicate semantics),
+// and the decoder mask bits it needs.
+type fieldInfo struct {
+	name  string
+	kind  ValueKind
+	multi bool
+	mask  session.FieldMask
+}
+
+var fieldInfos = map[Field]fieldInfo{
+	FieldStart:        {"start", ValTime, false, 0},
+	FieldEnd:          {"end", ValTime, false, session.FEnd},
+	FieldDuration:     {"duration", ValFloat, false, session.FEnd},
+	FieldMonth:        {"month", ValMonth, false, 0},
+	FieldDay:          {"day", ValDay, false, 0},
+	FieldID:           {"id", ValInt, false, 0},
+	FieldHoneypot:     {"hp", ValString, false, session.FHoneypotID},
+	FieldHoneypotIP:   {"hp_ip", ValString, false, session.FHoneypotIP},
+	FieldIP:           {"ip", ValString, false, session.FClientIP},
+	FieldPort:         {"port", ValInt, false, 0},
+	FieldProto:        {"proto", ValString, false, 0},
+	FieldClientVer:    {"client_ver", ValString, false, session.FClientVersion},
+	FieldKind:         {"kind", ValSessionKind, false, session.FLogins | session.FCommands},
+	FieldUser:         {"user", ValString, true, session.FLogins},
+	FieldPassword:     {"pass", ValString, true, session.FLogins},
+	FieldLoginOK:      {"login_ok", ValBool, false, session.FLogins},
+	FieldLogins:       {"logins", ValInt, false, session.FLogins},
+	FieldCmd:          {"cmd", ValString, false, session.FCommands},
+	FieldCommands:     {"cmds", ValInt, false, session.FCommands},
+	FieldDownloads:    {"dls", ValInt, false, session.FDownloads},
+	FieldURI:          {"uri", ValString, true, session.FDownloads},
+	FieldHash:         {"hash", ValString, true, session.FHashes},
+	FieldStateChanged: {"state_changed", ValBool, false, 0},
+	FieldTimedOut:     {"timeout", ValBool, false, 0},
+}
+
+// Name returns the field's DSL name.
+func (f Field) Name() string {
+	if fi, ok := fieldInfos[f]; ok {
+		return fi.name
+	}
+	return fmt.Sprintf("field(%d)", int(f))
+}
+
+// Type returns the value kind the field yields.
+func (f Field) Type() ValueKind { return fieldInfos[f].kind }
+
+// Multi reports whether the field yields multiple values per record.
+func (f Field) Multi() bool { return fieldInfos[f].multi }
+
+// Mask returns the decoder field-mask bits the field needs.
+func (f Field) Mask() session.FieldMask { return fieldInfos[f].mask }
+
+// ValueOf extracts the field's value from a record (the first element
+// for multi-valued fields, a null Value when absent).
+func (f Field) ValueOf(r *session.Record) Value { return fieldValue(f, r) }
+
+// ValueKind tags a Value.
+type ValueKind int
+
+const (
+	ValNull ValueKind = iota
+	ValString
+	ValInt
+	ValFloat
+	ValBool
+	ValTime
+	ValMonth
+	ValDay
+	ValSessionKind
+)
+
+// Value is the typed scalar queries compare, group by, and return.
+type Value struct {
+	Kind  ValueKind
+	Str   string
+	Int   int64
+	Float float64
+	Bool  bool
+	Time  time.Time
+}
+
+// Convenience constructors.
+func StringValue(s string) Value     { return Value{Kind: ValString, Str: s} }
+func IntValue(n int64) Value         { return Value{Kind: ValInt, Int: n} }
+func FloatValue(f float64) Value     { return Value{Kind: ValFloat, Float: f} }
+func BoolValue(b bool) Value         { return Value{Kind: ValBool, Bool: b} }
+func TimeValue(t time.Time) Value    { return Value{Kind: ValTime, Time: t} }
+func MonthValue(t time.Time) Value   { return Value{Kind: ValMonth, Time: t} }
+func DayValue(t time.Time) Value     { return Value{Kind: ValDay, Time: t} }
+func KindValue(k session.Kind) Value { return Value{Kind: ValSessionKind, Int: int64(k)} }
+
+// String formats the value the way reports print it.
+func (v Value) String() string {
+	switch v.Kind {
+	case ValNull:
+		return ""
+	case ValString:
+		return v.Str
+	case ValInt:
+		return strconv.FormatInt(v.Int, 10)
+	case ValFloat:
+		return strconv.FormatFloat(v.Float, 'g', -1, 64)
+	case ValBool:
+		return strconv.FormatBool(v.Bool)
+	case ValTime:
+		return v.Time.UTC().Format(time.RFC3339)
+	case ValMonth:
+		return v.Time.UTC().Format(monthLayout)
+	case ValDay:
+		return v.Time.UTC().Format("2006-01-02")
+	case ValSessionKind:
+		return session.Kind(v.Int).String()
+	}
+	return ""
+}
+
+// less orders values of the same kind; it is the deterministic group
+// sort behind every aggregated result.
+func (v Value) less(o Value) bool {
+	if v.Kind != o.Kind {
+		return v.Kind < o.Kind
+	}
+	switch v.Kind {
+	case ValString:
+		return v.Str < o.Str
+	case ValInt, ValSessionKind:
+		return v.Int < o.Int
+	case ValFloat:
+		return v.Float < o.Float
+	case ValBool:
+		return !v.Bool && o.Bool
+	case ValTime, ValMonth, ValDay:
+		return v.Time.Before(o.Time)
+	}
+	return false
+}
+
+func (v Value) equal(o Value) bool { return !v.less(o) && !o.less(v) }
+
+// Less is the exported ordering (ORDER BY uses it).
+func (v Value) Less(o Value) bool { return v.less(o) }
+
+// PredOp tags a predicate tree node.
+type PredOp int
+
+const (
+	PredCmp PredOp = iota
+	PredAnd
+	PredOr
+	PredNot
+)
+
+// CmpOp is a comparison operator at a predicate leaf.
+type CmpOp int
+
+const (
+	CmpEq CmpOp = iota
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+	CmpMatch
+	CmpNotMatch
+)
+
+func (op CmpOp) String() string {
+	return [...]string{"=", "!=", "<", "<=", ">", ">=", "~", "!~"}[op]
+}
+
+// Pred is a typed predicate tree. Leaves (PredCmp) compare one field
+// against a literal; inner nodes combine children. Multi-valued fields
+// use any-element semantics for Eq/Match and no-element for
+// Ne/NotMatch.
+type Pred struct {
+	Op    PredOp
+	Kids  []*Pred
+	Field Field
+	Cmp   CmpOp
+	Val   Value
+	Re    *regexp.Regexp
+}
+
+// And, Or, Not, Cmp, and Match build predicate trees.
+func And(kids ...*Pred) *Pred { return &Pred{Op: PredAnd, Kids: kids} }
+func Or(kids ...*Pred) *Pred  { return &Pred{Op: PredOr, Kids: kids} }
+func Not(kid *Pred) *Pred     { return &Pred{Op: PredNot, Kids: []*Pred{kid}} }
+
+func Cmp(f Field, op CmpOp, v Value) *Pred {
+	return &Pred{Op: PredCmp, Field: f, Cmp: op, Val: v}
+}
+
+func Match(f Field, re *regexp.Regexp, negate bool) *Pred {
+	op := CmpMatch
+	if negate {
+		op = CmpNotMatch
+	}
+	return &Pred{Op: PredCmp, Field: f, Cmp: op, Re: re}
+}
+
+// CompilePred validates a predicate tree and compiles it to a Filter.
+// A nil tree compiles to a nil Filter (select all).
+func CompilePred(p *Pred) (Filter, error) {
+	if p == nil {
+		return nil, nil
+	}
+	if err := checkPred(p); err != nil {
+		return nil, err
+	}
+	return evalFunc(p), nil
+}
+
+// checkPred type-checks one predicate tree.
+func checkPred(p *Pred) error {
+	switch p.Op {
+	case PredAnd, PredOr:
+		if len(p.Kids) == 0 {
+			return fmt.Errorf("query: empty %s", map[PredOp]string{PredAnd: "AND", PredOr: "OR"}[p.Op])
+		}
+		for _, k := range p.Kids {
+			if err := checkPred(k); err != nil {
+				return err
+			}
+		}
+		return nil
+	case PredNot:
+		if len(p.Kids) != 1 {
+			return fmt.Errorf("query: NOT takes one operand")
+		}
+		return checkPred(p.Kids[0])
+	}
+	fi, ok := fieldInfos[p.Field]
+	if !ok {
+		return fmt.Errorf("query: unknown field in predicate")
+	}
+	switch p.Cmp {
+	case CmpMatch, CmpNotMatch:
+		if fi.kind != ValString {
+			return fmt.Errorf("query: %s: ~ requires a string field", fi.name)
+		}
+		if p.Re == nil {
+			return fmt.Errorf("query: %s: missing pattern", fi.name)
+		}
+		return nil
+	case CmpLt, CmpLe, CmpGt, CmpGe:
+		if fi.multi {
+			return fmt.Errorf("query: %s: ordering comparison on multi-valued field", fi.name)
+		}
+		if fi.kind == ValBool {
+			return fmt.Errorf("query: %s: ordering comparison on boolean field", fi.name)
+		}
+	}
+	if !valueCompatible(fi.kind, p.Val.Kind) {
+		return fmt.Errorf("query: %s: cannot compare %s field with %s literal",
+			fi.name, kindName(fi.kind), kindName(p.Val.Kind))
+	}
+	return nil
+}
+
+func kindName(k ValueKind) string {
+	return [...]string{"null", "string", "int", "float", "bool", "time", "month", "day", "kind"}[k]
+}
+
+// valueCompatible reports whether a literal of kind lv can compare with
+// a field of kind fv.
+func valueCompatible(fv, lv ValueKind) bool {
+	if fv == lv {
+		return true
+	}
+	switch fv {
+	case ValInt, ValFloat:
+		return lv == ValInt || lv == ValFloat
+	case ValTime, ValMonth, ValDay:
+		return lv == ValTime || lv == ValMonth || lv == ValDay
+	case ValSessionKind:
+		return lv == ValSessionKind || lv == ValInt
+	}
+	return false
+}
+
+// evalFunc compiles a checked tree to a closure.
+func evalFunc(p *Pred) Filter {
+	switch p.Op {
+	case PredAnd:
+		kids := make([]Filter, len(p.Kids))
+		for i, k := range p.Kids {
+			kids[i] = evalFunc(k)
+		}
+		return func(r *session.Record) bool {
+			for _, k := range kids {
+				if !k(r) {
+					return false
+				}
+			}
+			return true
+		}
+	case PredOr:
+		kids := make([]Filter, len(p.Kids))
+		for i, k := range p.Kids {
+			kids[i] = evalFunc(k)
+		}
+		return func(r *session.Record) bool {
+			for _, k := range kids {
+				if k(r) {
+					return true
+				}
+			}
+			return false
+		}
+	case PredNot:
+		kid := evalFunc(p.Kids[0])
+		return func(r *session.Record) bool { return !kid(r) }
+	}
+	f, cmp, val, re := p.Field, p.Cmp, p.Val, p.Re
+	if fieldInfos[f].multi {
+		return func(r *session.Record) bool { return evalMulti(f, cmp, val, re, r) }
+	}
+	return func(r *session.Record) bool { return evalCmp(fieldValue(f, r), cmp, val, re) }
+}
+
+// evalMulti applies any-element semantics for Eq/Match and no-element
+// semantics for Ne/NotMatch over a multi-valued string field.
+func evalMulti(f Field, cmp CmpOp, val Value, re *regexp.Regexp, r *session.Record) bool {
+	any := func(pred func(string) bool) bool {
+		switch f {
+		case FieldUser:
+			for i := range r.Logins {
+				if pred(r.Logins[i].Username) {
+					return true
+				}
+			}
+		case FieldPassword:
+			for i := range r.Logins {
+				if pred(r.Logins[i].Password) {
+					return true
+				}
+			}
+		case FieldURI:
+			for i := range r.Downloads {
+				if pred(r.Downloads[i].URI) {
+					return true
+				}
+			}
+		case FieldHash:
+			for _, h := range r.DroppedHashes {
+				if pred(h) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	switch cmp {
+	case CmpEq:
+		return any(func(s string) bool { return s == val.Str })
+	case CmpNe:
+		return !any(func(s string) bool { return s == val.Str })
+	case CmpMatch:
+		return any(re.MatchString)
+	case CmpNotMatch:
+		return !any(re.MatchString)
+	}
+	return false
+}
+
+// fieldValue extracts a single-valued field (or the first element of a
+// multi-valued one) from a record.
+func fieldValue(f Field, r *session.Record) Value {
+	switch f {
+	case FieldStart:
+		return TimeValue(r.Start)
+	case FieldEnd:
+		return TimeValue(r.End)
+	case FieldDuration:
+		return FloatValue(r.End.Sub(r.Start).Seconds())
+	case FieldMonth:
+		return MonthValue(r.Month())
+	case FieldDay:
+		return DayValue(r.Day())
+	case FieldID:
+		return IntValue(int64(r.ID))
+	case FieldHoneypot:
+		return StringValue(r.HoneypotID)
+	case FieldHoneypotIP:
+		return StringValue(r.HoneypotIP)
+	case FieldIP:
+		return StringValue(r.ClientIP)
+	case FieldPort:
+		return IntValue(int64(r.ClientPort))
+	case FieldProto:
+		return StringValue(r.Protocol)
+	case FieldClientVer:
+		return StringValue(r.ClientVersion)
+	case FieldKind:
+		return KindValue(r.Kind())
+	case FieldUser:
+		if len(r.Logins) > 0 {
+			return StringValue(r.Logins[0].Username)
+		}
+		return Value{}
+	case FieldPassword:
+		if len(r.Logins) > 0 {
+			return StringValue(r.Logins[0].Password)
+		}
+		return Value{}
+	case FieldLoginOK:
+		return BoolValue(r.LoggedIn())
+	case FieldLogins:
+		return IntValue(int64(len(r.Logins)))
+	case FieldCmd:
+		return StringValue(r.CommandText())
+	case FieldCommands:
+		return IntValue(int64(len(r.Commands)))
+	case FieldDownloads:
+		return IntValue(int64(len(r.Downloads)))
+	case FieldURI:
+		if len(r.Downloads) > 0 {
+			return StringValue(r.Downloads[0].URI)
+		}
+		return Value{}
+	case FieldHash:
+		if len(r.DroppedHashes) > 0 {
+			return StringValue(r.DroppedHashes[0])
+		}
+		return Value{}
+	case FieldStateChanged:
+		return BoolValue(r.StateChanged)
+	case FieldTimedOut:
+		return BoolValue(r.TimedOut)
+	}
+	return Value{}
+}
+
+// evalCmp compares one extracted value against a literal.
+func evalCmp(v Value, cmp CmpOp, val Value, re *regexp.Regexp) bool {
+	switch cmp {
+	case CmpMatch:
+		return re.MatchString(v.Str)
+	case CmpNotMatch:
+		return !re.MatchString(v.Str)
+	}
+	c := compareValues(v, val)
+	switch cmp {
+	case CmpEq:
+		return c == 0
+	case CmpNe:
+		return c != 0
+	case CmpLt:
+		return c < 0
+	case CmpLe:
+		return c <= 0
+	case CmpGt:
+		return c > 0
+	case CmpGe:
+		return c >= 0
+	}
+	return false
+}
+
+// compareValues compares across the compatible-kind pairs
+// valueCompatible admits (ints vs floats, times vs months vs days).
+func compareValues(a, b Value) int {
+	switch a.Kind {
+	case ValString:
+		return strings.Compare(a.Str, b.Str)
+	case ValBool:
+		switch {
+		case a.Bool == b.Bool:
+			return 0
+		case !a.Bool:
+			return -1
+		}
+		return 1
+	case ValInt, ValSessionKind:
+		if b.Kind == ValFloat {
+			return cmpFloat(float64(a.Int), b.Float)
+		}
+		switch {
+		case a.Int < b.Int:
+			return -1
+		case a.Int > b.Int:
+			return 1
+		}
+		return 0
+	case ValFloat:
+		bf := b.Float
+		if b.Kind == ValInt {
+			bf = float64(b.Int)
+		}
+		return cmpFloat(a.Float, bf)
+	case ValTime, ValMonth, ValDay:
+		switch {
+		case a.Time.Before(b.Time):
+			return -1
+		case a.Time.After(b.Time):
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// AggOp is an aggregation function.
+type AggOp int
+
+const (
+	AggCount AggOp = iota
+	AggCountDistinct
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+func (op AggOp) String() string {
+	return [...]string{"count", "count_distinct", "sum", "avg", "min", "max"}[op]
+}
+
+// AggSpec is one aggregate output column. Field is FieldNone for
+// count(*).
+type AggSpec struct {
+	Op    AggOp
+	Field Field
+}
+
+// Query is the structured query every execution path shares: an
+// optional time range and exact-IP route, an optional typed predicate
+// tree (or an opaque legacy Filter, which disables pushdown), a
+// projection, and an optional aggregation.
+type Query struct {
+	Time   TimeRange
+	IP     string
+	Filter Filter // opaque legacy filter; defeats pushdown and projection
+	Where  *Pred
+
+	// Select lists the fields a row-mode caller will read; the decoder
+	// skips the rest. Empty means all fields (full records).
+	Select []Field
+
+	// GroupBy + Aggs switch the query to aggregation mode: one output
+	// row per distinct GroupBy key, columns Aggs. GroupBy without Aggs
+	// is invalid; Aggs without GroupBy is a single global row.
+	GroupBy []Field
+	Aggs    []AggSpec
+
+	// Limit bounds row-mode results (0 = unlimited).
+	Limit int
+}
+
+// PlanStats describes what the planner chose and what pruning achieved,
+// so pushdown is observable rather than assumed.
+type PlanStats struct {
+	Mode string // "metadata", "hybrid", "scan", "ip-scan", "empty"
+
+	Segments        int // sealed segments in the snapshot
+	TimePruned      int // segments skipped via time bounds
+	BloomChecked    int // segments probed by the Bloom route
+	BloomPruned     int // segments the Bloom filter excluded
+	MetaSegments    int // segments answered from sealed metadata
+	ScannedSegments int // segments whose blocks were opened
+	TailRecords     int // unsealed records considered
+
+	BlocksRead    int64 // compressed blocks read and decoded
+	BlocksSkipped int64 // blocks in segments answered without reading
+
+	ScannedRecords int64 // records decoded by the scan
+	MatchedRecords int64 // records that passed every predicate
+
+	From, To time.Time // effective pushed-down time range
+	IP       string    // effective pushed-down exact-IP route
+}
+
+// add accumulates shard stats into fleet-wide stats.
+func (ps *PlanStats) add(o *PlanStats) {
+	ps.Segments += o.Segments
+	ps.TimePruned += o.TimePruned
+	ps.BloomChecked += o.BloomChecked
+	ps.BloomPruned += o.BloomPruned
+	ps.MetaSegments += o.MetaSegments
+	ps.ScannedSegments += o.ScannedSegments
+	ps.TailRecords += o.TailRecords
+	ps.BlocksRead += o.BlocksRead
+	ps.BlocksSkipped += o.BlocksSkipped
+	ps.ScannedRecords += o.ScannedRecords
+	ps.MatchedRecords += o.MatchedRecords
+}
+
+// Lines renders the stats as EXPLAIN output.
+func (ps *PlanStats) Lines() []string {
+	rng := "all time"
+	if !ps.From.IsZero() || !ps.To.IsZero() {
+		f, t := "-inf", "+inf"
+		if !ps.From.IsZero() {
+			f = ps.From.UTC().Format(time.RFC3339)
+		}
+		if !ps.To.IsZero() {
+			t = ps.To.UTC().Format(time.RFC3339)
+		}
+		rng = fmt.Sprintf("[%s, %s)", f, t)
+	}
+	out := []string{
+		fmt.Sprintf("plan: %s", ps.Mode),
+		fmt.Sprintf("time range: %s", rng),
+	}
+	if ps.IP != "" {
+		out = append(out, fmt.Sprintf("ip route: %s (Bloom-probed)", ps.IP))
+	}
+	out = append(out,
+		fmt.Sprintf("segments: %d total, %d time-pruned, %d Bloom-checked, %d Bloom-pruned",
+			ps.Segments, ps.TimePruned, ps.BloomChecked, ps.BloomPruned),
+		fmt.Sprintf("answered from metadata: %d segments (%d blocks skipped)",
+			ps.MetaSegments, ps.BlocksSkipped),
+		fmt.Sprintf("scanned: %d segments, %d blocks read, %d tail records",
+			ps.ScannedSegments, ps.BlocksRead, ps.TailRecords),
+		fmt.Sprintf("records: %d decoded, %d matched", ps.ScannedRecords, ps.MatchedRecords),
+	)
+	return out
+}
+
+// GroupRow is one aggregated output row.
+type GroupRow struct {
+	Keys []Value // one per Query.GroupBy field
+	Aggs []Value // one per Query.Aggs spec
+}
+
+// recordCursor is the streaming-record interface both Cursor and
+// FleetCursor satisfy.
+type recordCursor interface {
+	Next() bool
+	Record() *session.Record
+	Err() error
+	Close() error
+}
+
+// Result is a query's output: either finalized group rows (aggregation
+// mode) or a streaming record cursor (row mode), plus plan statistics.
+type Result struct {
+	agg   bool
+	rows  []GroupRow
+	cur   recordCursor
+	n     int
+	limit int
+	stats *PlanStats
+}
+
+// Aggregated reports whether the result holds group rows rather than a
+// record stream.
+func (r *Result) Aggregated() bool { return r.agg }
+
+// Groups returns the aggregated rows, sorted by group key.
+func (r *Result) Groups() []GroupRow { return r.rows }
+
+// Next advances a row-mode result to the next record.
+func (r *Result) Next() bool {
+	if r.agg || r.cur == nil {
+		return false
+	}
+	if r.limit > 0 && r.n >= r.limit {
+		return false
+	}
+	if !r.cur.Next() {
+		return false
+	}
+	r.n++
+	return true
+}
+
+// Record returns the record Next advanced to.
+func (r *Result) Record() *session.Record {
+	if r.cur == nil {
+		return nil
+	}
+	return r.cur.Record()
+}
+
+// Err returns the first error the query hit, if any.
+func (r *Result) Err() error {
+	if r.cur == nil {
+		return nil
+	}
+	return r.cur.Err()
+}
+
+// Close releases any open cursor. Safe on aggregated results.
+func (r *Result) Close() error {
+	if r.cur == nil {
+		return nil
+	}
+	return r.cur.Close()
+}
+
+// Stats returns the plan statistics.
+func (r *Result) Stats() PlanStats { return *r.stats }
+
+// validate checks the query's shape and compiles its predicate.
+func (q *Query) validate() (Filter, error) {
+	if len(q.GroupBy) > 0 && len(q.Aggs) == 0 {
+		return nil, fmt.Errorf("query: GROUP BY without aggregates")
+	}
+	if len(q.Aggs) > 0 && len(q.Select) > 0 {
+		return nil, fmt.Errorf("query: Select and Aggs are mutually exclusive")
+	}
+	for _, f := range q.Select {
+		if _, ok := fieldInfos[f]; !ok {
+			return nil, fmt.Errorf("query: unknown select field")
+		}
+	}
+	for _, f := range q.GroupBy {
+		if fi, ok := fieldInfos[f]; !ok {
+			return nil, fmt.Errorf("query: unknown group-by field")
+		} else if fi.multi {
+			return nil, fmt.Errorf("query: %s: cannot group by multi-valued field", fi.name)
+		}
+	}
+	for _, a := range q.Aggs {
+		switch a.Op {
+		case AggCount:
+			// count(*) or count(field) both fine.
+			if a.Field != FieldNone {
+				if _, ok := fieldInfos[a.Field]; !ok {
+					return nil, fmt.Errorf("query: unknown count field")
+				}
+			}
+		case AggCountDistinct:
+			if _, ok := fieldInfos[a.Field]; !ok {
+				return nil, fmt.Errorf("query: count(distinct) needs a field")
+			}
+		case AggSum, AggAvg, AggMin, AggMax:
+			fi, ok := fieldInfos[a.Field]
+			if !ok {
+				return nil, fmt.Errorf("query: %s needs a field", a.Op)
+			}
+			if fi.multi {
+				return nil, fmt.Errorf("query: %s(%s): aggregate over multi-valued field", a.Op, fi.name)
+			}
+			if a.Op == AggSum || a.Op == AggAvg {
+				if fi.kind != ValInt && fi.kind != ValFloat {
+					return nil, fmt.Errorf("query: %s(%s): field is not numeric", a.Op, fi.name)
+				}
+			} else if fi.kind == ValBool {
+				return nil, fmt.Errorf("query: %s(%s): field is not orderable", a.Op, fi.name)
+			}
+		default:
+			return nil, fmt.Errorf("query: unknown aggregate")
+		}
+	}
+	return CompilePred(q.Where)
+}
+
+// mask computes the decoder field mask the query needs. An opaque
+// Filter forces full decoding; otherwise only the fields the predicate,
+// projection, and aggregates read are decoded.
+func (q *Query) mask(ip string) session.FieldMask {
+	if q.Filter != nil {
+		return session.FAllFields
+	}
+	if len(q.Aggs) == 0 && len(q.Select) == 0 {
+		return session.FAllFields // full records requested
+	}
+	var m session.FieldMask
+	for _, f := range q.Select {
+		m |= f.Mask()
+	}
+	for _, f := range q.GroupBy {
+		m |= f.Mask()
+	}
+	for _, a := range q.Aggs {
+		if a.Field != FieldNone {
+			m |= a.Field.Mask()
+		}
+	}
+	m |= predMask(q.Where)
+	if ip != "" {
+		m |= session.FClientIP
+	}
+	return m
+}
+
+func predMask(p *Pred) session.FieldMask {
+	if p == nil {
+		return 0
+	}
+	if p.Op == PredCmp {
+		return p.Field.Mask()
+	}
+	var m session.FieldMask
+	for _, k := range p.Kids {
+		m |= predMask(k)
+	}
+	return m
+}
+
+// predTimeRange extracts a conservative time range implied by the
+// predicate: every matching record's Start falls inside it. AND
+// intersects, OR takes the hull, NOT is open.
+func predTimeRange(p *Pred) TimeRange {
+	if p == nil {
+		return TimeRange{}
+	}
+	switch p.Op {
+	case PredAnd:
+		var tr TimeRange
+		for _, k := range p.Kids {
+			tr = intersectRange(tr, predTimeRange(k))
+		}
+		return tr
+	case PredOr:
+		tr := predTimeRange(p.Kids[0])
+		for _, k := range p.Kids[1:] {
+			tr = hullRange(tr, predTimeRange(k))
+		}
+		return tr
+	case PredNot:
+		return TimeRange{}
+	}
+	switch p.Field {
+	case FieldStart:
+		if p.Val.Kind != ValTime {
+			return TimeRange{}
+		}
+		return boundRange(p.Cmp, p.Val.Time, p.Val.Time.Add(time.Nanosecond))
+	case FieldMonth:
+		if p.Val.Kind != ValMonth && p.Val.Kind != ValTime {
+			return TimeRange{}
+		}
+		m := time.Date(p.Val.Time.Year(), p.Val.Time.Month(), 1, 0, 0, 0, 0, time.UTC)
+		return boundRange(p.Cmp, m, m.AddDate(0, 1, 0))
+	case FieldDay:
+		if p.Val.Kind != ValDay && p.Val.Kind != ValTime {
+			return TimeRange{}
+		}
+		d := p.Val.Time.UTC().Truncate(24 * time.Hour)
+		return boundRange(p.Cmp, d, d.Add(24*time.Hour))
+	}
+	return TimeRange{}
+}
+
+// boundRange maps a comparison against a bucket [lo, hi) — a point in
+// time is the degenerate bucket [t, t+1ns) — to a Start range.
+func boundRange(cmp CmpOp, lo, hi time.Time) TimeRange {
+	switch cmp {
+	case CmpEq:
+		return TimeRange{From: lo, To: hi}
+	case CmpLt:
+		return TimeRange{To: lo}
+	case CmpLe:
+		return TimeRange{To: hi}
+	case CmpGt:
+		return TimeRange{From: hi}
+	case CmpGe:
+		return TimeRange{From: lo}
+	}
+	return TimeRange{}
+}
+
+// intersectRange narrows to the overlap of two ranges (zero = open).
+func intersectRange(a, b TimeRange) TimeRange {
+	out := a
+	if out.From.IsZero() || (!b.From.IsZero() && b.From.After(out.From)) {
+		out.From = b.From
+	}
+	if out.To.IsZero() || (!b.To.IsZero() && b.To.Before(out.To)) {
+		out.To = b.To
+	}
+	return out
+}
+
+// hullRange widens to cover both ranges; an open side stays open.
+func hullRange(a, b TimeRange) TimeRange {
+	var out TimeRange
+	if !a.From.IsZero() && !b.From.IsZero() {
+		out.From = a.From
+		if b.From.Before(out.From) {
+			out.From = b.From
+		}
+	}
+	if !a.To.IsZero() && !b.To.IsZero() {
+		out.To = a.To
+		if b.To.After(out.To) {
+			out.To = b.To
+		}
+	}
+	return out
+}
+
+// emptyRange reports a contradictory (always-false) range.
+func emptyRange(tr TimeRange) bool {
+	return !tr.From.IsZero() && !tr.To.IsZero() && !tr.From.Before(tr.To)
+}
+
+// predIP extracts an exact client-IP route from required top-level AND
+// conjuncts. The second return is false on a contradiction (two
+// different required IPs).
+func predIP(p *Pred) (string, bool) {
+	if p == nil {
+		return "", true
+	}
+	switch p.Op {
+	case PredCmp:
+		if p.Field == FieldIP && p.Cmp == CmpEq && p.Val.Kind == ValString {
+			return p.Val.Str, true
+		}
+		return "", true
+	case PredAnd:
+		ip := ""
+		for _, k := range p.Kids {
+			kip, ok := predIP(k)
+			if !ok {
+				return "", false
+			}
+			if kip == "" {
+				continue
+			}
+			if ip != "" && ip != kip {
+				return "", false
+			}
+			ip = kip
+		}
+		return ip, true
+	}
+	return "", true
+}
+
+// RunQuery executes a structured query against the store. Aggregation
+// queries return finalized group rows; row queries return a streaming
+// cursor. The caller must Close the result.
+func (s *Store) RunQuery(q *Query) (*Result, error) {
+	ev, err := q.validate()
+	if err != nil {
+		return nil, err
+	}
+	res, tab, err := s.runQuery(q, ev)
+	if err != nil {
+		return nil, err
+	}
+	if tab != nil {
+		res.rows = tab.finalize()
+	}
+	s.noteQuery(res.stats)
+	return res, nil
+}
+
+// noteQuery folds one query's plan stats into the store's counters.
+func (s *Store) noteQuery(ps *PlanStats) {
+	s.queriesTotal.Add(1)
+	if ps.Mode == "metadata" || ps.Mode == "empty" {
+		s.queryMetaOnly.Add(1)
+	}
+	s.querySegsPruned.Add(int64(ps.TimePruned + ps.BloomPruned))
+	s.queryBlocksSkipped.Add(ps.BlocksSkipped)
+}
+
+// runQuery plans and executes; aggregation queries additionally return
+// the un-finalized table so Fleet can merge across shards.
+func (s *Store) runQuery(q *Query, ev Filter) (*Result, *aggTable, error) {
+	stats := &PlanStats{}
+
+	// Pushdown: narrow the time range by predicate-implied bounds and
+	// route required `ip =` conjuncts through the Bloom filters.
+	tr := intersectRange(q.Time, predTimeRange(q.Where))
+	pip, ok := predIP(q.Where)
+	ip := q.IP
+	if ok && ip == "" {
+		ip = pip
+	}
+	contradiction := !ok || (q.IP != "" && pip != "" && q.IP != pip) || emptyRange(tr)
+	stats.From, stats.To, stats.IP = tr.From, tr.To, ip
+
+	filter := combineFilters(ev, q.Filter)
+
+	if contradiction {
+		stats.Mode = "empty"
+		if len(q.Aggs) > 0 {
+			return &Result{agg: true, stats: stats}, newAggTable(q.GroupBy, q.Aggs), nil
+		}
+		return &Result{cur: &Cursor{}, limit: q.Limit, stats: stats}, nil, nil
+	}
+
+	if len(q.Aggs) > 0 {
+		tab, err := s.runAgg(q, filter, tr, ip, stats)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &Result{agg: true, stats: stats}, tab, nil
+	}
+
+	stats.Mode = "scan"
+	if ip != "" {
+		stats.Mode = "ip-scan"
+	}
+	cur := s.scanQ(tr, filter, ip, q.mask(ip), stats)
+	return &Result{cur: cur, limit: q.Limit, stats: stats}, nil, nil
+}
+
+func combineFilters(a, b Filter) Filter {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	}
+	return func(r *session.Record) bool { return a(r) && b(r) }
+}
+
+// metadataEligible reports whether an aggregation query can be answered
+// from sealed segment metadata alone: all aggregates are counts over
+// whole records, grouping and predicates touch only what segments
+// record (month, time bounds, kind counts, protocol counts), and —
+// since segments hold kind and protocol *marginals*, not their joint —
+// at most one of kind/proto appears anywhere.
+func metadataEligible(q *Query, ip string) bool {
+	if q.Filter != nil || ip != "" {
+		return false
+	}
+	for _, a := range q.Aggs {
+		if a.Op != AggCount || a.Field != FieldNone {
+			return false
+		}
+	}
+	needKind, needProto := false, false
+	for _, f := range q.GroupBy {
+		switch f {
+		case FieldMonth:
+		case FieldKind:
+			needKind = true
+		case FieldProto:
+			needProto = true
+		default:
+			return false
+		}
+	}
+	okFields := predFieldsIn(q.Where, &needKind, &needProto)
+	return okFields && !(needKind && needProto)
+}
+
+// predFieldsIn walks the tree checking every leaf field is
+// metadata-decidable, flagging kind/proto use.
+func predFieldsIn(p *Pred, needKind, needProto *bool) bool {
+	if p == nil {
+		return true
+	}
+	if p.Op != PredCmp {
+		for _, k := range p.Kids {
+			if !predFieldsIn(k, needKind, needProto) {
+				return false
+			}
+		}
+		return true
+	}
+	switch p.Field {
+	case FieldStart, FieldMonth, FieldDay:
+		return true
+	case FieldKind:
+		*needKind = true
+		return true
+	case FieldProto:
+		*needProto = true
+		return true
+	}
+	return false
+}
+
+// runAgg executes an aggregation query: the metadata path when
+// eligible (zero block reads), falling back per segment — and for the
+// unsealed tail — to a streaming scan through the same table.
+func (s *Store) runAgg(q *Query, filter Filter, tr TimeRange, ip string, stats *PlanStats) (*aggTable, error) {
+	tab := newAggTable(q.GroupBy, q.Aggs)
+
+	if !metadataEligible(q, ip) {
+		stats.Mode = "scan"
+		if ip != "" {
+			stats.Mode = "ip-scan"
+		}
+		cur := s.scanQ(tr, filter, ip, q.mask(ip), stats)
+		defer cur.Close()
+		for cur.Next() {
+			tab.addRecord(cur.Record())
+		}
+		return tab, cur.Err()
+	}
+
+	man, tail := s.snapshot()
+	stats.Segments = len(man.Segments)
+	var scanSegs []*segmentMeta
+	for _, seg := range man.Segments {
+		if !seg.overlaps(tr.From, tr.To) {
+			stats.TimePruned++
+			continue
+		}
+		if segFromMetadata(seg, q, tr, tab) {
+			stats.MetaSegments++
+			stats.BlocksSkipped += int64(len(seg.Blocks))
+		} else {
+			scanSegs = append(scanSegs, seg)
+		}
+	}
+
+	stats.Mode = "metadata"
+	if len(scanSegs) > 0 {
+		stats.Mode = "hybrid"
+		cur := &Cursor{s: s, tr: tr, filter: filter, mask: q.mask(ip), stats: stats}
+		for _, seg := range scanSegs {
+			cur.parts = append(cur.parts, part{seg: seg})
+		}
+		for cur.Next() {
+			tab.addRecord(cur.Record())
+		}
+		if err := cur.Err(); err != nil {
+			cur.Close()
+			return nil, err
+		}
+		cur.Close()
+		stats.ScannedSegments += len(scanSegs)
+	}
+
+	// The unsealed tail is already in memory: evaluate it record by
+	// record, no decoding involved.
+	for _, r := range tail {
+		if !tr.contains(r.Start) {
+			continue
+		}
+		if filter != nil && !filter(r) {
+			continue
+		}
+		stats.TailRecords++
+		stats.MatchedRecords++
+		tab.addRecord(r)
+	}
+	return tab, nil
+}
+
+// tri is Kleene three-valued logic for evaluating predicates against
+// segment metadata, where some facts (the exact start time, the
+// protocol of a specific record) are only bounded, not known.
+type tri int8
+
+const (
+	triFalse tri = iota
+	triTrue
+	triUnknown
+)
+
+func triNot(t tri) tri {
+	switch t {
+	case triTrue:
+		return triFalse
+	case triFalse:
+		return triTrue
+	}
+	return triUnknown
+}
+
+// metaEnv is what sealed metadata knows about one bucket of a
+// segment's records.
+type metaEnv struct {
+	month      time.Time // partition month (definite)
+	minT, maxT time.Time // Start bounds (inclusive)
+	kind       session.Kind
+	hasKind    bool
+	proto      string
+	hasProto   bool
+}
+
+// triEval evaluates a predicate over a metadata bucket.
+func triEval(p *Pred, env *metaEnv) tri {
+	switch p.Op {
+	case PredAnd:
+		out := triTrue
+		for _, k := range p.Kids {
+			switch triEval(k, env) {
+			case triFalse:
+				return triFalse
+			case triUnknown:
+				out = triUnknown
+			}
+		}
+		return out
+	case PredOr:
+		out := triFalse
+		for _, k := range p.Kids {
+			switch triEval(k, env) {
+			case triTrue:
+				return triTrue
+			case triUnknown:
+				out = triUnknown
+			}
+		}
+		return out
+	case PredNot:
+		return triNot(triEval(p.Kids[0], env))
+	}
+	switch p.Field {
+	case FieldMonth:
+		return triCmpDefinite(MonthValue(env.month), p.Cmp, p.Val)
+	case FieldKind:
+		if !env.hasKind {
+			return triUnknown
+		}
+		return triCmpDefinite(KindValue(env.kind), p.Cmp, p.Val)
+	case FieldProto:
+		if !env.hasProto {
+			return triUnknown
+		}
+		if p.Cmp == CmpMatch || p.Cmp == CmpNotMatch {
+			if evalCmp(StringValue(env.proto), p.Cmp, p.Val, p.Re) {
+				return triTrue
+			}
+			return triFalse
+		}
+		return triCmpDefinite(StringValue(env.proto), p.Cmp, p.Val)
+	case FieldStart:
+		return triInterval(env.minT, env.maxT, p.Cmp, p.Val.Time)
+	case FieldDay:
+		// Compare the day-bucket interval of the segment bounds.
+		lo := env.minT.UTC().Truncate(24 * time.Hour)
+		hi := env.maxT.UTC().Truncate(24 * time.Hour)
+		return triInterval(lo, hi, p.Cmp, p.Val.Time)
+	}
+	return triUnknown
+}
+
+// triCmpDefinite compares a known value.
+func triCmpDefinite(v Value, cmp CmpOp, val Value) tri {
+	if evalCmp(v, cmp, val, nil) {
+		return triTrue
+	}
+	return triFalse
+}
+
+// triInterval decides cmp(x, v) where all that is known is
+// x ∈ [lo, hi].
+func triInterval(lo, hi time.Time, cmp CmpOp, v time.Time) tri {
+	all := func(b bool) tri {
+		if b {
+			return triTrue
+		}
+		return triUnknown
+	}
+	switch cmp {
+	case CmpLt:
+		if !lo.Before(v) {
+			return triFalse
+		}
+		return all(hi.Before(v))
+	case CmpLe:
+		if lo.After(v) {
+			return triFalse
+		}
+		return all(!hi.After(v))
+	case CmpGt:
+		if !hi.After(v) {
+			return triFalse
+		}
+		return all(lo.After(v))
+	case CmpGe:
+		if hi.Before(v) {
+			return triFalse
+		}
+		return all(!lo.Before(v))
+	case CmpEq:
+		if v.Before(lo) || v.After(hi) {
+			return triFalse
+		}
+		if lo.Equal(hi) && lo.Equal(v) {
+			return triTrue
+		}
+		return triUnknown
+	case CmpNe:
+		return triNot(triInterval(lo, hi, CmpEq, v))
+	}
+	return triUnknown
+}
+
+// segFromMetadata tries to fold one segment into the table using only
+// sealed metadata. It returns false — contributing nothing — when any
+// bucket's predicate is undecidable, in which case the caller scans
+// the segment's blocks instead.
+func segFromMetadata(seg *segmentMeta, q *Query, tr TimeRange, tab *aggTable) bool {
+	env := metaEnv{month: seg.month(), minT: seg.MinTime, maxT: seg.MaxTime}
+	// The pushed range may cut through the segment: records outside tr
+	// must not be counted, and metadata cannot say how many those are.
+	if !tr.From.IsZero() && seg.MinTime.Before(tr.From) {
+		return false
+	}
+	if !tr.To.IsZero() && !seg.MaxTime.Before(tr.To) {
+		return false
+	}
+
+	needKind, needProto := false, false
+	for _, f := range q.GroupBy {
+		switch f {
+		case FieldKind:
+			needKind = true
+		case FieldProto:
+			needProto = true
+		}
+	}
+	predFieldsIn(q.Where, &needKind, &needProto)
+
+	type bucket struct {
+		env metaEnv
+		n   int
+	}
+	var buckets []bucket
+	switch {
+	case needKind:
+		for k, n := range seg.Kinds {
+			if n == 0 {
+				continue
+			}
+			e := env
+			e.kind, e.hasKind = session.Kind(k), true
+			buckets = append(buckets, bucket{e, n})
+		}
+	case needProto:
+		if seg.SSH+seg.Telnet != seg.Records {
+			return false // records with an unrecorded protocol: scan
+		}
+		if seg.SSH > 0 {
+			e := env
+			e.proto, e.hasProto = session.ProtoSSH, true
+			buckets = append(buckets, bucket{e, seg.SSH})
+		}
+		if seg.Telnet > 0 {
+			e := env
+			e.proto, e.hasProto = session.ProtoTelnet, true
+			buckets = append(buckets, bucket{e, seg.Telnet})
+		}
+	default:
+		buckets = append(buckets, bucket{env, seg.Records})
+	}
+
+	type hit struct {
+		keys []Value
+		n    int
+	}
+	var hits []hit
+	for _, b := range buckets {
+		if q.Where != nil {
+			switch triEval(q.Where, &b.env) {
+			case triFalse:
+				continue
+			case triUnknown:
+				return false
+			}
+		}
+		keys := make([]Value, len(q.GroupBy))
+		for i, f := range q.GroupBy {
+			switch f {
+			case FieldMonth:
+				keys[i] = MonthValue(b.env.month)
+			case FieldKind:
+				keys[i] = KindValue(b.env.kind)
+			case FieldProto:
+				keys[i] = StringValue(b.env.proto)
+			}
+		}
+		hits = append(hits, hit{keys, b.n})
+	}
+	for _, h := range hits {
+		tab.addCount(h.keys, int64(h.n))
+	}
+	return true
+}
+
+// aggTable accumulates streaming group-by state: one row per distinct
+// key, mergeable across shards for fleet scatter-gather.
+type aggTable struct {
+	groupBy []Field
+	aggs    []AggSpec
+	rows    map[string]*aggRow
+}
+
+type aggRow struct {
+	keys []Value
+	accs []aggAcc
+}
+
+type aggAcc struct {
+	n        int64
+	sum      float64
+	min, max Value
+	hasMM    bool
+	set      map[string]bool
+}
+
+func newAggTable(groupBy []Field, aggs []AggSpec) *aggTable {
+	return &aggTable{groupBy: groupBy, aggs: aggs, rows: map[string]*aggRow{}}
+}
+
+// keyOf encodes group keys into a map key.
+func keyOf(keys []Value) string {
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteByte(byte(k.Kind))
+		b.WriteString(k.String())
+		b.WriteByte(0)
+	}
+	return b.String()
+}
+
+func (t *aggTable) row(keys []Value) *aggRow {
+	k := keyOf(keys)
+	r, ok := t.rows[k]
+	if !ok {
+		r = &aggRow{keys: append([]Value(nil), keys...), accs: make([]aggAcc, len(t.aggs))}
+		for i := range r.accs {
+			if t.aggs[i].Op == AggCountDistinct {
+				r.accs[i].set = map[string]bool{}
+			}
+		}
+		t.rows[k] = r
+	}
+	return r
+}
+
+// addCount folds a metadata bucket of n records into a count-only
+// table.
+func (t *aggTable) addCount(keys []Value, n int64) {
+	r := t.row(keys)
+	for i := range r.accs {
+		r.accs[i].n += n
+	}
+}
+
+// addRecord folds one record.
+func (t *aggTable) addRecord(rec *session.Record) {
+	keys := make([]Value, len(t.groupBy))
+	for i, f := range t.groupBy {
+		keys[i] = fieldValue(f, rec)
+	}
+	r := t.row(keys)
+	for i, spec := range t.aggs {
+		acc := &r.accs[i]
+		switch spec.Op {
+		case AggCount:
+			if spec.Field == FieldNone || fieldValue(spec.Field, rec).Kind != ValNull {
+				acc.n++
+			}
+		case AggCountDistinct:
+			if fieldInfos[spec.Field].multi {
+				for _, s := range fieldElems(spec.Field, rec) {
+					acc.set[s] = true
+				}
+			} else if v := fieldValue(spec.Field, rec); v.Kind != ValNull {
+				acc.set[v.String()] = true
+			}
+		case AggSum, AggAvg:
+			v := fieldValue(spec.Field, rec)
+			acc.n++
+			if v.Kind == ValInt {
+				acc.sum += float64(v.Int)
+			} else {
+				acc.sum += v.Float
+			}
+		case AggMin, AggMax:
+			v := fieldValue(spec.Field, rec)
+			if v.Kind == ValNull {
+				break
+			}
+			if !acc.hasMM {
+				acc.min, acc.max, acc.hasMM = v, v, true
+			} else {
+				if v.less(acc.min) {
+					acc.min = v
+				}
+				if acc.max.less(v) {
+					acc.max = v
+				}
+			}
+		}
+	}
+}
+
+// fieldElems lists a multi-valued field's elements.
+func fieldElems(f Field, r *session.Record) []string {
+	var out []string
+	switch f {
+	case FieldUser:
+		for i := range r.Logins {
+			out = append(out, r.Logins[i].Username)
+		}
+	case FieldPassword:
+		for i := range r.Logins {
+			out = append(out, r.Logins[i].Password)
+		}
+	case FieldURI:
+		for i := range r.Downloads {
+			out = append(out, r.Downloads[i].URI)
+		}
+	case FieldHash:
+		out = append(out, r.DroppedHashes...)
+	}
+	return out
+}
+
+// merge folds another shard's table in.
+func (t *aggTable) merge(o *aggTable) {
+	for k, or := range o.rows {
+		r, ok := t.rows[k]
+		if !ok {
+			t.rows[k] = or
+			continue
+		}
+		for i := range r.accs {
+			a, b := &r.accs[i], &or.accs[i]
+			a.n += b.n
+			a.sum += b.sum
+			for s := range b.set {
+				a.set[s] = true
+			}
+			if b.hasMM {
+				if !a.hasMM {
+					a.min, a.max, a.hasMM = b.min, b.max, true
+				} else {
+					if b.min.less(a.min) {
+						a.min = b.min
+					}
+					if a.max.less(b.max) {
+						a.max = b.max
+					}
+				}
+			}
+		}
+	}
+}
+
+// finalize renders sorted group rows.
+func (t *aggTable) finalize() []GroupRow {
+	out := make([]GroupRow, 0, len(t.rows))
+	for _, r := range t.rows {
+		row := GroupRow{Keys: r.keys, Aggs: make([]Value, len(t.aggs))}
+		for i, spec := range t.aggs {
+			acc := &r.accs[i]
+			switch spec.Op {
+			case AggCount:
+				row.Aggs[i] = IntValue(acc.n)
+			case AggCountDistinct:
+				row.Aggs[i] = IntValue(int64(len(acc.set)))
+			case AggSum:
+				row.Aggs[i] = sumValue(spec.Field, acc.sum)
+			case AggAvg:
+				if acc.n == 0 {
+					row.Aggs[i] = Value{}
+				} else {
+					row.Aggs[i] = FloatValue(acc.sum / float64(acc.n))
+				}
+			case AggMin:
+				row.Aggs[i] = acc.min
+			case AggMax:
+				row.Aggs[i] = acc.max
+			}
+		}
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Keys, out[j].Keys
+		for k := range a {
+			if !a[k].equal(b[k]) {
+				return a[k].less(b[k])
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// sumValue keeps integer sums integral.
+func sumValue(f Field, sum float64) Value {
+	if fieldInfos[f].kind == ValInt {
+		return IntValue(int64(sum))
+	}
+	return FloatValue(sum)
+}
+
+// RunQuery executes a structured query fleet-wide: aggregation tables
+// merge across shards, row queries stream through the canonical
+// (month, Start, node) merge order, and plan statistics sum.
+func (f *Fleet) RunQuery(q *Query) (*Result, error) {
+	ev, err := q.validate()
+	if err != nil {
+		return nil, err
+	}
+	total := &PlanStats{}
+	if len(q.Aggs) > 0 {
+		var tab *aggTable
+		for _, sh := range f.shards {
+			res, t, err := sh.Store.runQuery(q, ev)
+			if err != nil {
+				return nil, fmt.Errorf("store: fleet shard %s: %w", sh.Node, err)
+			}
+			st := res.Stats()
+			total.add(&st)
+			if total.Mode == "" || total.Mode == st.Mode {
+				total.Mode = st.Mode
+			} else {
+				total.Mode = "hybrid"
+			}
+			total.From, total.To, total.IP = st.From, st.To, st.IP
+			sh.Store.noteQuery(&st)
+			if tab == nil {
+				tab = t
+			} else {
+				tab.merge(t)
+			}
+		}
+		if tab == nil {
+			tab = newAggTable(q.GroupBy, q.Aggs)
+		}
+		return &Result{agg: true, rows: tab.finalize(), stats: total}, nil
+	}
+
+	// Row mode: pushdown happens per shard inside scanQ; compute the
+	// shared plan once.
+	tr := intersectRange(q.Time, predTimeRange(q.Where))
+	pip, ok := predIP(q.Where)
+	ip := q.IP
+	if ok && ip == "" {
+		ip = pip
+	}
+	total.From, total.To, total.IP = tr.From, tr.To, ip
+	if !ok || (q.IP != "" && pip != "" && q.IP != pip) || emptyRange(tr) {
+		total.Mode = "empty"
+		return &Result{cur: &FleetCursor{}, limit: q.Limit, stats: total}, nil
+	}
+	total.Mode = "scan"
+	if ip != "" {
+		total.Mode = "ip-scan"
+	}
+	filter := combineFilters(ev, q.Filter)
+	mask := q.mask(ip)
+	cur := f.scatter(func(s *Store) *Cursor {
+		c := s.scanQ(tr, filter, ip, mask, total)
+		s.queriesTotal.Add(1)
+		return c
+	})
+	return &Result{cur: cur, limit: q.Limit, stats: total}, nil
+}

@@ -190,10 +190,11 @@ var blockBufPool = sync.Pool{New: func() any { return new([]byte) }}
 // so peak memory is bounded by the block size, not the segment (let
 // alone the dataset). Buffers are pooled and returned on close.
 type blockReader struct {
-	s    *Store // counters; may be nil in tests
-	f    *os.File
-	meta *segmentMeta
-	bi   int // next block index
+	s     *Store     // counters; may be nil in tests
+	stats *PlanStats // per-query plan stats; may be nil
+	f     *os.File
+	meta  *segmentMeta
+	bi    int // next block index
 
 	codec   blockCodec
 	comp    *[]byte // pooled scratch: compressed block
@@ -283,6 +284,9 @@ func (br *blockReader) loadBlock(b blockMeta) error {
 	br.left = b.Count
 	if br.s != nil {
 		br.s.blocksRead.Add(1)
+	}
+	if br.stats != nil {
+		br.stats.BlocksRead++
 	}
 	return nil
 }

@@ -212,6 +212,11 @@ type Store struct {
 	recoveredBytes atomic.Int64
 	staleWALDrops  atomic.Int64
 	appended       atomic.Int64
+
+	queriesTotal       atomic.Int64
+	queryMetaOnly      atomic.Int64
+	querySegsPruned    atomic.Int64
+	queryBlocksSkipped atomic.Int64
 }
 
 // walHeader is the first line of the WAL: it binds the file to the
@@ -1017,6 +1022,10 @@ func (s *Store) sealWorkers(blocks int) int {
 //	honeynet_store_bloom_skips_total
 //	honeynet_store_recovered_bytes
 //	honeynet_store_stale_wal_drops_total
+//	honeynet_query_total
+//	honeynet_query_meta_only_total
+//	honeynet_query_segments_pruned_total
+//	honeynet_query_blocks_skipped_total
 func (s *Store) Register(reg *obs.Registry) {
 	reg.GaugeFunc("honeynet_store_records",
 		"Session records held by the store (sealed + unsealed).",
@@ -1052,4 +1061,12 @@ func (s *Store) Register(reg *obs.Registry) {
 		func() float64 { return float64(s.RecoveredBytes()) })
 	reg.CounterFunc("honeynet_store_stale_wal_drops_total",
 		"Stale WALs (already sealed before a crash) discarded on open.", s.staleWALDrops.Load)
+	reg.CounterFunc("honeynet_query_total",
+		"Structured queries executed via RunQuery (including shims).", s.queriesTotal.Load)
+	reg.CounterFunc("honeynet_query_meta_only_total",
+		"Queries answered entirely from sealed metadata: zero block reads.", s.queryMetaOnly.Load)
+	reg.CounterFunc("honeynet_query_segments_pruned_total",
+		"Segments skipped by query pushdown (time bounds + Bloom filters).", s.querySegsPruned.Load)
+	reg.CounterFunc("honeynet_query_blocks_skipped_total",
+		"Compressed blocks never read because pushdown skipped their segment.", s.queryBlocksSkipped.Load)
 }
