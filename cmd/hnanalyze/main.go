@@ -10,10 +10,12 @@
 // 9, 10, 11, 12, 13, 14, 16, 17, table1, storage, mdrfckr, appc, kselect,
 // all.
 //
-// -store reads v1 (DEFLATE) and v2 (LZ) segments transparently — the
-// codec each segment was sealed with is recorded in the store's
-// manifest — and output is byte-identical to -in over the same records,
-// whatever codec or -workers value is used.
+// -store reads v1 (DEFLATE), v2 (LZ), and v3 (columnar) segments
+// transparently — the codec and layout each segment was sealed with
+// are recorded in the store's manifest — streaming the records in
+// exact global append order with peak memory bounded by the open
+// blocks, and output is byte-identical to -in over the same records,
+// whatever format mix or -workers value is used.
 package main
 
 import (
@@ -84,7 +86,7 @@ func main() {
 		if *in != "" {
 			p, err = loadDataset(*in, *seed)
 		} else {
-			p, err = loadStore(*storeDir, *seed, *workers)
+			p, err = loadStore(*storeDir, *seed)
 		}
 		if p != nil {
 			p.World.Workers = *workers
@@ -163,36 +165,32 @@ func loadDataset(path string, seed int64) (*core.Pipeline, error) {
 	return core.FromRecords(recs, w), nil
 }
 
-// loadStore materializes a month-partitioned session store (written by
-// hnsim -store or a live honeypotd -store) in exact global append
-// order, decompressing sealed segments in parallel. The figure output
-// is byte-identical to analyzing the equivalent JSONL via -in. A fleet
-// directory written by hncollect (node-<id>/ shards) loads
-// transparently, scatter-gathered and merged into the fleet's canonical
-// (time, node, seq) order.
-func loadStore(dir string, seed int64, workers int) (*core.Pipeline, error) {
-	var recs []*session.Record
+// loadStore streams a month-partitioned session store (written by
+// hnsim -store or a live honeypotd -store) into the pipeline in exact
+// global append order, one record at a time — peak memory is the
+// collector's working set plus the open scan blocks, not a second full
+// copy of the dataset. The figure output is byte-identical to analyzing
+// the equivalent JSONL via -in. A fleet directory written by hncollect
+// (node-<id>/ shards) streams transparently, one month resident at a
+// time, merged into the fleet's canonical (time, node, seq) order.
+func loadStore(dir string, seed int64) (*core.Pipeline, error) {
+	w := &analysis.World{Registry: asdb.NewRegistry(seed+1, 2000)}
 	if store.IsFleetDir(dir) {
 		fl, err := store.OpenFleet(dir, store.Options{ReadOnly: true})
 		if err != nil {
 			return nil, err
 		}
 		defer fl.Close()
-		if recs, err = fl.Load(workers); err != nil {
-			return nil, err
-		}
-	} else {
-		st, err := store.Open(dir, store.Options{ReadOnly: true})
-		if err != nil {
-			return nil, err
-		}
-		defer st.Close()
-		if recs, err = st.Load(workers); err != nil {
-			return nil, err
-		}
+		return core.FromRecordCursor(fl.Stream(), w)
 	}
-	w := &analysis.World{Registry: asdb.NewRegistry(seed+1, 2000)}
-	return core.FromRecords(recs, w), nil
+	st, err := store.Open(dir, store.Options{ReadOnly: true})
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	src := st.Stream()
+	defer src.Close()
+	return core.FromRecordCursor(src, w)
 }
 
 func runOne(p *core.Pipeline, fig string, ccfg analysis.ClusterConfig, csv bool) error {

@@ -76,6 +76,7 @@ type config struct {
 	matrixCache string
 	storeDir    string
 	storeCodec  string
+	storeFormat string
 }
 
 // Option tunes Simulate and Load. Options are applied in order; the
@@ -143,6 +144,17 @@ func WithCodec(name string) Option {
 	return optionFunc(func(c *config) { c.storeCodec = name })
 }
 
+// WithFormat selects the segment layout for segments sealed by
+// WithStore: store.FormatV2 (the default row layout: blocks of whole
+// records, WithCodec applies) or store.FormatV3 (columnar: per-field
+// stripes, always LZ-compressed, fastest projected scans). Reading is
+// unaffected — every store opens with whatever layout its manifest
+// records, and formats mix freely within one store. Query output is
+// byte-identical across formats.
+func WithFormat(name string) Option {
+	return optionFunc(func(c *config) { c.storeFormat = name })
+}
+
 // SimOptions selects the scale and seed of a dataset generation run.
 //
 // Deprecated: use the functional options (WithScale, WithSeed, ...)
@@ -178,7 +190,7 @@ func Simulate(opts ...Option) (*Pipeline, error) {
 	}
 	p.World.MatrixCache = c.matrixCache
 	if c.storeDir != "" {
-		if err := persistStore(c.storeDir, c.storeCodec, p.World.Store.All()); err != nil {
+		if err := persistStore(c.storeDir, c.storeCodec, c.storeFormat, p.World.Store.All()); err != nil {
 			return nil, err
 		}
 	}
@@ -186,8 +198,8 @@ func Simulate(opts ...Option) (*Pipeline, error) {
 }
 
 // persistStore seals records into the session store at dir.
-func persistStore(dir, codec string, recs []*session.Record) error {
-	st, err := store.Open(dir, store.Options{Codec: codec})
+func persistStore(dir, codec, format string, recs []*session.Record) error {
+	st, err := store.Open(dir, store.Options{Codec: codec, Format: format})
 	if err != nil {
 		return err
 	}
@@ -239,11 +251,10 @@ func Open(dir string, opts ...Option) (*Pipeline, error) {
 	for _, o := range opts {
 		o.apply(&c)
 	}
-	recs, err := loadStoreDir(dir, c.workers)
+	p, err := streamStoreDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	p := core.FromRecords(recs, nil)
 	p.World.Workers = c.workers
 	p.World.Tracer = c.tracer
 	p.World.MatrixCache = c.matrixCache
@@ -285,20 +296,25 @@ func Query(dir, stmt string) (*QueryResult, error) {
 	return query.Run(st, stmt)
 }
 
-// loadStoreDir materializes every record in a store or fleet directory.
-func loadStoreDir(dir string, workers int) ([]*session.Record, error) {
+// streamStoreDir streams every record of a store or fleet directory
+// into a pipeline, one at a time in exact canonical order — identical
+// output to the old materializing Load, with peak memory bounded by
+// the collector's working set instead of twice the dataset.
+func streamStoreDir(dir string) (*core.Pipeline, error) {
 	if store.IsFleetDir(dir) {
 		fl, err := store.OpenFleet(dir, store.Options{ReadOnly: true})
 		if err != nil {
 			return nil, err
 		}
 		defer fl.Close()
-		return fl.Load(workers)
+		return core.FromRecordCursor(fl.Stream(), nil)
 	}
 	st, err := store.Open(dir, store.Options{ReadOnly: true})
 	if err != nil {
 		return nil, err
 	}
 	defer st.Close()
-	return st.Load(workers)
+	src := st.Stream()
+	defer src.Close()
+	return core.FromRecordCursor(src, nil)
 }

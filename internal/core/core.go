@@ -66,6 +66,35 @@ func FromRecords(recs []*session.Record, w *analysis.World) *Pipeline {
 	for _, r := range recs {
 		store.Add(r)
 	}
+	return fromStore(store, w)
+}
+
+// RecordSource is the streaming iterator FromRecordCursor consumes:
+// the Next/Record/Err shape of store.StreamCursor, store.FleetStream,
+// and every store cursor.
+type RecordSource interface {
+	Next() bool
+	Record() *session.Record
+	Err() error
+}
+
+// FromRecordCursor builds a pipeline by draining a streaming record
+// source — one record at a time, no intermediate slice — so loading a
+// disk store costs the collector's working set instead of twice the
+// dataset. The source must yield records in the same order FromRecords
+// would receive them for byte-identical figures.
+func FromRecordCursor(src RecordSource, w *analysis.World) (*Pipeline, error) {
+	store := collector.NewStore()
+	for src.Next() {
+		store.Add(src.Record())
+	}
+	if err := src.Err(); err != nil {
+		return nil, err
+	}
+	return fromStore(store, w), nil
+}
+
+func fromStore(store *collector.Store, w *analysis.World) *Pipeline {
 	if w == nil {
 		w = &analysis.World{}
 	}

@@ -166,8 +166,8 @@ func compileStmt(st *Stmt) (*Compiled, error) {
 		if len(st.GroupBy) > 0 {
 			return nil, errAt(st.GroupBy[0].Pos, "SELECT * cannot GROUP BY")
 		}
-		if len(st.OrderBy) > 0 {
-			return nil, errAt(st.OrderBy[0].Pos, "SELECT * streams in store order; ORDER BY needs explicit columns")
+		if err := c.pushRowOrder(st, nil); err != nil {
+			return nil, err
 		}
 
 	case !hasAgg:
@@ -183,8 +183,8 @@ func compileStmt(st *Stmt) (*Compiled, error) {
 			c.Columns = append(c.Columns, f.Name())
 			c.Query.Select = append(c.Query.Select, f)
 		}
-		if len(st.OrderBy) > 0 {
-			return nil, errAt(st.OrderBy[0].Pos, "ORDER BY requires aggregation (records stream in store order)")
+		if err := c.pushRowOrder(st, c.rowCols); err != nil {
+			return nil, err
 		}
 
 	default:
@@ -229,17 +229,54 @@ func compileStmt(st *Stmt) (*Compiled, error) {
 		}
 	}
 
-	for _, k := range st.OrderBy {
-		col, err := c.resolveOrder(k)
-		if err != nil {
-			return nil, err
+	if hasAgg {
+		for _, k := range st.OrderBy {
+			col, err := c.resolveOrder(k)
+			if err != nil {
+				return nil, err
+			}
+			c.orderBy = append(c.orderBy, ordKey{col: col, desc: k.Desc})
 		}
-		c.orderBy = append(c.orderBy, ordKey{col: col, desc: k.Desc})
 	}
 	if c.hasLim && !hasAgg {
 		c.Query.Limit = c.limit
 	}
 	return c, nil
+}
+
+// pushRowOrder lowers a row-mode ORDER BY onto the store query, where
+// it runs below the scan as a bounded top-k heap (with LIMIT) instead
+// of a post-hoc sort. The store orders by one key; ties keep store
+// order, which is deterministic, so a single key is all the engine
+// accepts here.
+func (c *Compiled) pushRowOrder(st *Stmt, rowCols []store.Field) error {
+	if len(st.OrderBy) == 0 {
+		return nil
+	}
+	if len(st.OrderBy) > 1 {
+		return errAt(st.OrderBy[1].Pos, "row-mode ORDER BY takes one key (ties keep store order)")
+	}
+	k := st.OrderBy[0]
+	if k.Item != nil {
+		return errAt(k.Pos, "ORDER BY %s(...) requires aggregation", k.Item.Agg)
+	}
+	var f store.Field
+	if k.Ordinal > 0 {
+		if k.Ordinal > len(rowCols) {
+			return errAt(k.Pos, "ORDER BY ordinal %d out of range", k.Ordinal)
+		}
+		f = rowCols[k.Ordinal-1]
+	} else {
+		var err error
+		if f, err = lookupField(Ident{k.Pos, lower(k.Col)}); err != nil {
+			return err
+		}
+	}
+	if f.Multi() {
+		return errAt(k.Pos, "%s: cannot order by multi-valued field", f.Name())
+	}
+	c.Query.OrderBy, c.Query.Desc = f, k.Desc
+	return nil
 }
 
 func (c *Compiled) resolveOrder(k OrderKey) (int, error) {

@@ -422,112 +422,28 @@ func (d *JSONDecoder) decodeFast(data []byte, r *Record, keep FieldMask) (ok boo
 		if keep&FLogins == 0 {
 			p.skipArrayTail()
 		} else {
-			ls := []LoginAttempt{}
-			if p.peek() == ']' {
-				p.i++
-			} else {
-				for {
-					var l LoginAttempt
-					p.lit(`{"user":`)
-					l.Username = p.str()
-					p.lit(`,"pass":`)
-					l.Password = p.str()
-					p.lit(`,"ok":`)
-					l.Success = p.bool()
-					p.byte('}')
-					ls = append(ls, l)
-					if p.arrayMore() {
-						continue
-					}
-					break
-				}
-			}
-			r.Logins = ls
+			r.Logins = p.loginsArr()
 		}
 	}
 	if p.tryLit(`,"cmds":[`) {
 		if keep&FCommands == 0 {
 			p.skipArrayTail()
 		} else {
-			cs := []Command{}
-			if p.peek() == ']' {
-				p.i++
-			} else {
-				for {
-					var c Command
-					p.lit(`{"raw":`)
-					c.Raw = p.str()
-					p.lit(`,"known":`)
-					c.Known = p.bool()
-					p.byte('}')
-					cs = append(cs, c)
-					if p.arrayMore() {
-						continue
-					}
-					break
-				}
-			}
-			r.Commands = cs
+			r.Commands = p.cmdsArr()
 		}
 	}
 	if p.tryLit(`,"dls":[`) {
 		if keep&FDownloads == 0 {
 			p.skipArrayTail()
 		} else {
-			ds := []Download{}
-			if p.peek() == ']' {
-				p.i++
-			} else {
-				for {
-					var dl Download
-					p.lit(`{"uri":`)
-					dl.URI = p.str()
-					if p.tryLit(`,"src_ip":`) {
-						dl.SourceIP = p.str()
-					}
-					if p.tryLit(`,"hash":`) {
-						dl.Hash = p.str()
-					}
-					if p.tryLit(`,"size":`) {
-						dl.Size = p.int()
-					}
-					p.byte('}')
-					ds = append(ds, dl)
-					if p.arrayMore() {
-						continue
-					}
-					break
-				}
-			}
-			r.Downloads = ds
+			r.Downloads = p.dlsArr()
 		}
 	}
 	if p.tryLit(`,"execs":[`) {
 		if keep&FExecs == 0 {
 			p.skipArrayTail()
 		} else {
-			es := []ExecAttempt{}
-			if p.peek() == ']' {
-				p.i++
-			} else {
-				for {
-					var e ExecAttempt
-					p.lit(`{"path":`)
-					e.Path = p.str()
-					p.lit(`,"exists":`)
-					e.FileExists = p.bool()
-					if p.tryLit(`,"hash":`) {
-						e.Hash = p.str()
-					}
-					p.byte('}')
-					es = append(es, e)
-					if p.arrayMore() {
-						continue
-					}
-					break
-				}
-			}
-			r.ExecAttempts = es
+			r.ExecAttempts = p.execsArr()
 		}
 	}
 	if p.tryLit(`,"state_changed":`) {
@@ -537,19 +453,7 @@ func (d *JSONDecoder) decodeFast(data []byte, r *Record, keep FieldMask) (ok boo
 		if keep&FHashes == 0 {
 			p.skipArrayTail()
 		} else {
-			hs := []string{}
-			if p.peek() == ']' {
-				p.i++
-			} else {
-				for {
-					hs = append(hs, p.str())
-					if p.arrayMore() {
-						continue
-					}
-					break
-				}
-			}
-			r.DroppedHashes = hs
+			r.DroppedHashes = p.hashesArr()
 		}
 	}
 	if p.tryLit(`,"timeout":`) {
@@ -560,6 +464,117 @@ func (d *JSONDecoder) decodeFast(data []byte, r *Record, keep FieldMask) (ok boo
 		p.bail()
 	}
 	return true
+}
+
+// The array parsers below consume a canonical field array whose opening
+// '[' the caller already consumed. They are shared between the full-line
+// fast path (decodeFast) and the columnar fragment decode
+// (DecodeColumns), so both produce identical values.
+
+func (p *jsonDec) loginsArr() []LoginAttempt {
+	ls := []LoginAttempt{}
+	if p.peek() == ']' {
+		p.i++
+		return ls
+	}
+	for {
+		var l LoginAttempt
+		p.lit(`{"user":`)
+		l.Username = p.str()
+		p.lit(`,"pass":`)
+		l.Password = p.str()
+		p.lit(`,"ok":`)
+		l.Success = p.bool()
+		p.byte('}')
+		ls = append(ls, l)
+		if !p.arrayMore() {
+			return ls
+		}
+	}
+}
+
+func (p *jsonDec) cmdsArr() []Command {
+	cs := []Command{}
+	if p.peek() == ']' {
+		p.i++
+		return cs
+	}
+	for {
+		var c Command
+		p.lit(`{"raw":`)
+		c.Raw = p.str()
+		p.lit(`,"known":`)
+		c.Known = p.bool()
+		p.byte('}')
+		cs = append(cs, c)
+		if !p.arrayMore() {
+			return cs
+		}
+	}
+}
+
+func (p *jsonDec) dlsArr() []Download {
+	ds := []Download{}
+	if p.peek() == ']' {
+		p.i++
+		return ds
+	}
+	for {
+		var dl Download
+		p.lit(`{"uri":`)
+		dl.URI = p.str()
+		if p.tryLit(`,"src_ip":`) {
+			dl.SourceIP = p.str()
+		}
+		if p.tryLit(`,"hash":`) {
+			dl.Hash = p.str()
+		}
+		if p.tryLit(`,"size":`) {
+			dl.Size = p.int()
+		}
+		p.byte('}')
+		ds = append(ds, dl)
+		if !p.arrayMore() {
+			return ds
+		}
+	}
+}
+
+func (p *jsonDec) execsArr() []ExecAttempt {
+	es := []ExecAttempt{}
+	if p.peek() == ']' {
+		p.i++
+		return es
+	}
+	for {
+		var e ExecAttempt
+		p.lit(`{"path":`)
+		e.Path = p.str()
+		p.lit(`,"exists":`)
+		e.FileExists = p.bool()
+		if p.tryLit(`,"hash":`) {
+			e.Hash = p.str()
+		}
+		p.byte('}')
+		es = append(es, e)
+		if !p.arrayMore() {
+			return es
+		}
+	}
+}
+
+func (p *jsonDec) hashesArr() []string {
+	hs := []string{}
+	if p.peek() == ']' {
+		p.i++
+		return hs
+	}
+	for {
+		hs = append(hs, p.str())
+		if !p.arrayMore() {
+			return hs
+		}
+	}
 }
 
 // maskedStr parses a string field, either into *dst or — when the

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -223,4 +224,245 @@ func TestScanMemoryBounded(t *testing.T) {
 	if peak > 6<<20 {
 		t.Fatalf("scan peak heap growth %d bytes exceeds block-bounded ceiling", peak)
 	}
+}
+
+// BenchmarkQueryProjectionColumnar is the PR-9 acceptance benchmark: a
+// narrow projection (ip, start) over one sealed month, row format vs
+// columnar. The v3 reader touches only the projected columns' stripes
+// at the byte level; the row reader must decompress whole blocks. The
+// CI tripwire holds the v3/v2 ratio at >=3x.
+//
+// The two formats are measured PAIRED — every iteration runs one v2 op
+// then one v3 op, each on its own clock — so a noisy neighbour or a
+// thermal window degrades both sides of the ratio equally. Running them
+// as separate sub-benchmarks put every v2 op minutes before every v3
+// op, which systematically flattered whichever format ran on the
+// cooler CPU.
+func BenchmarkQueryProjectionColumnar(b *testing.B) {
+	const n = 30000
+	open := func(format string) *Store {
+		s, err := Open(b.TempDir(), Options{SealBytes: -1, SyncEvery: -1, Format: format})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { s.Close() })
+		for i := 0; i < n; i++ {
+			if err := s.Append(benchRecord(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := s.Seal(); err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	s2, s3 := open("v2"), open(FormatV3)
+	month := s2.Months()[0]
+	perOp := monthLen(s2, month)
+	q := &Query{
+		Time:   Month(month),
+		Select: []Field{FieldIP, FieldStart},
+	}
+	scan := func(s *Store) int {
+		res, err := s.RunQuery(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := 0
+		for res.Next() {
+			rows += len(res.Record().ClientIP)
+		}
+		if err := res.Err(); err != nil {
+			b.Fatal(err)
+		}
+		res.Close()
+		return rows
+	}
+	var t2, t3 time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		r2 := scan(s2)
+		t2 += time.Since(start)
+		start = time.Now()
+		r3 := scan(s3)
+		t3 += time.Since(start)
+		if r2 == 0 || r2 != r3 {
+			b.Fatalf("projection mismatch: v2 %d bytes, v3 %d bytes", r2, r3)
+		}
+	}
+	b.StopTimer()
+	ops := float64(b.N) * float64(perOp)
+	b.ReportMetric(ops/t2.Seconds(), "v2-recs/s")
+	b.ReportMetric(ops/t3.Seconds(), "v3-recs/s")
+	b.ReportMetric(t2.Seconds()/t3.Seconds(), "speedup")
+}
+
+// monthLen counts the records of one partition month (for normalizing
+// bench metrics).
+func monthLen(s *Store, m time.Time) int {
+	cur := s.Scan(Month(m), nil)
+	defer cur.Close()
+	n := 0
+	for cur.Next() {
+		n++
+	}
+	return n
+}
+
+// BenchmarkStreamLoad compares the materializing Load against the
+// streaming cursor on a 50k-record store, reporting each side's peak
+// heap growth. The PR-9 acceptance bar: the stream's peak is <=10% of
+// Load's — O(open blocks), not O(store).
+func BenchmarkStreamLoad(b *testing.B) {
+	const n = 50000
+	dir := b.TempDir()
+	// Records round-robin all twelve months, so the seq merge keeps
+	// every month's segment open at once; modest blocks keep the
+	// stream's resident set to what the merge actually needs.
+	s, err := Open(dir, Options{SealBytes: -1, SyncEvery: -1, BlockBytes: 64 << 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < n; i++ {
+		if err := s.Append(benchRecord(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Seal(); err != nil {
+		b.Fatal(err)
+	}
+
+	// The peak metric is peak LIVE heap — what the O(store) vs O(open
+	// blocks) claim is about. Each run calls sample() at the points
+	// where its working set is held (Load: while the materialized slice
+	// is still alive, its maximum by construction; stream: every n/8
+	// records mid-drain, while the merge's open segments are resident);
+	// sample forces a collection first, so floating garbage — a product
+	// of the pacer and the allocation rate, not of what the code under
+	// test holds — never lands in a sample. Both sides pay the same
+	// per-sample GC tax.
+	measure := func(b *testing.B, run func(sample func()) int) {
+		runtime.GC()
+		var base runtime.MemStats
+		runtime.ReadMemStats(&base)
+		var peak uint64
+		sample := func() {
+			runtime.GC()
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			if g := ms.HeapAlloc - base.HeapAlloc; ms.HeapAlloc > base.HeapAlloc && g > peak {
+				peak = g
+			}
+		}
+		b.ResetTimer()
+		total := 0
+		for i := 0; i < b.N; i++ {
+			total += run(sample)
+		}
+		b.StopTimer()
+		if total != n*b.N {
+			b.Fatalf("drained %d records, want %d", total, n*b.N)
+		}
+		b.ReportMetric(float64(peak), "peak-bytes")
+		b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "recs/s")
+	}
+
+	b.Run("load", func(b *testing.B) {
+		measure(b, func(sample func()) int {
+			recs, err := s.Load(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sample()
+			// Without this the compiler proves the records dead before
+			// sample's forced GC and the peak under-reads.
+			runtime.KeepAlive(recs)
+			return len(recs)
+		})
+	})
+	b.Run("stream", func(b *testing.B) {
+		measure(b, func(sample func()) int {
+			c := s.Stream()
+			count := 0
+			for c.Next() {
+				count++
+				if count%(n/8) == 0 {
+					sample()
+				}
+			}
+			if err := c.Err(); err != nil {
+				b.Fatal(err)
+			}
+			c.Close()
+			return count
+		})
+	})
+}
+
+// BenchmarkOrderByLimitPushdown compares the pushed-down bounded top-k
+// heap against the client-side equivalent (drain everything, full
+// sort, truncate) for a top-20-by-port query over the whole store.
+func BenchmarkOrderByLimitPushdown(b *testing.B) {
+	const n, k = 30000, 20
+	dir := b.TempDir()
+	s, err := Open(dir, Options{SealBytes: -1, SyncEvery: -1, Format: FormatV3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < n; i++ {
+		if err := s.Append(benchRecord(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Seal(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("heap", func(b *testing.B) {
+		q := &Query{OrderBy: FieldPort, Desc: true, Limit: k}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := s.RunQuery(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows := 0
+			for res.Next() {
+				rows++
+			}
+			if err := res.Err(); err != nil {
+				b.Fatal(err)
+			}
+			res.Close()
+			if rows != k {
+				b.Fatalf("got %d rows, want %d", rows, k)
+			}
+		}
+		b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "recs/s")
+	})
+	b.Run("clientsort", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := s.RunQuery(&Query{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var all []*session.Record
+			for res.Next() {
+				all = append(all, res.Record())
+			}
+			if err := res.Err(); err != nil {
+				b.Fatal(err)
+			}
+			res.Close()
+			sort.Slice(all, func(i, j int) bool { return all[i].ClientPort > all[j].ClientPort })
+			if len(all) < k {
+				b.Fatalf("got %d rows", len(all))
+			}
+		}
+		b.ReportMetric(float64(n*b.N)/b.Elapsed().Seconds(), "recs/s")
+	})
 }

@@ -56,9 +56,12 @@ func newBlockCodec(name string) (blockCodec, error) {
 	return nil, fmt.Errorf("store: unknown codec %q", name)
 }
 
-// segmentMagic returns the file magic for a codec name.
+// segmentMagic returns the file magic for a codec/layout name.
 func segmentMagic(name string) [8]byte {
-	if name == CodecLZ {
+	switch name {
+	case FormatV3:
+		return segMagicV3
+	case CodecLZ:
 		return segMagicV2
 	}
 	return segMagicV1

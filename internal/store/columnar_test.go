@@ -1,0 +1,361 @@
+package store
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"honeynet/internal/session"
+)
+
+// openFmt opens a fresh store in dir with the given segment format.
+func openFmt(t *testing.T, dir, format string) *Store {
+	t.Helper()
+	s, err := Open(dir, Options{BlockBytes: 2048, Format: format})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// sealAll appends recs and seals them.
+func sealAll(t *testing.T, s *Store, recs []*session.Record) {
+	t.Helper()
+	for i, r := range recs {
+		if err := s.Append(r); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := s.Seal(); err != nil {
+		t.Fatalf("seal: %v", err)
+	}
+}
+
+func TestColumnarLoadMatchesRowFormat(t *testing.T) {
+	recs := make([]*session.Record, 0, 400)
+	for i := 0; i < 400; i++ {
+		recs = append(recs, mkRecord(i%3, i))
+	}
+	v2, v3 := openFmt(t, t.TempDir(), ""), openFmt(t, t.TempDir(), FormatV3)
+	defer v2.Close()
+	defer v3.Close()
+	sealAll(t, v2, recs)
+	sealAll(t, v3, recs)
+
+	a, err := v2.Load(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := v3.Load(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("Load lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !reflect.DeepEqual(a[i], b[i]) {
+			t.Fatalf("record %d differs:\n v2 %+v\n v3 %+v", i, a[i], b[i])
+		}
+	}
+	// The v3 manifest must say so, and the file must carry HNSTORE3.
+	man, _ := v3.snapshot()
+	if len(man.Segments) == 0 {
+		t.Fatal("no sealed segments")
+	}
+	for _, seg := range man.Segments {
+		if seg.Codec != FormatV3 {
+			t.Fatalf("segment %s: codec %q, want %q", seg.File, seg.Codec, FormatV3)
+		}
+		if seg.Blocks[0].DirLen <= 0 {
+			t.Fatalf("segment %s: missing directory length", seg.File)
+		}
+	}
+}
+
+func TestColumnarRunQueryMatchesRowFormat(t *testing.T) {
+	recs := make([]*session.Record, 0, 600)
+	for i := 0; i < 600; i++ {
+		recs = append(recs, mkRecord(i%2, i))
+	}
+	v2, v3 := openFmt(t, t.TempDir(), "v2"), openFmt(t, t.TempDir(), FormatV3)
+	defer v2.Close()
+	defer v3.Close()
+	sealAll(t, v2, recs)
+	sealAll(t, v3, recs)
+
+	queries := []*Query{
+		{Where: Cmp(FieldProto, CmpEq, StringValue(session.ProtoSSH)),
+			Select: []Field{FieldIP, FieldStart}},
+		{Where: Cmp(FieldKind, CmpEq, KindValue(session.CommandExec))},
+		{Where: And(
+			Cmp(FieldProto, CmpEq, StringValue(session.ProtoTelnet)),
+			Cmp(FieldStart, CmpGe, TimeValue(time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC))))},
+		{IP: recs[42].ClientIP},
+		{Where: Not(Cmp(FieldProto, CmpEq, StringValue(session.ProtoSSH)))},
+		{Time: Month(time.Date(2021, 5, 1, 0, 0, 0, 0, time.UTC)), Limit: 7},
+	}
+	for qi, q := range queries {
+		collect := func(s *Store) []*session.Record {
+			// Queries are stateless values; reuse is safe across stores.
+			res, err := s.RunQuery(q)
+			if err != nil {
+				t.Fatalf("query %d: %v", qi, err)
+			}
+			defer res.Close()
+			var out []*session.Record
+			for res.Next() {
+				out = append(out, res.Record())
+			}
+			if err := res.Err(); err != nil {
+				t.Fatalf("query %d: %v", qi, err)
+			}
+			return out
+		}
+		// Full-record DeepEqual, not just IDs: the columnar path decodes
+		// (and sidecar-prefills) field by field, and every byte of every
+		// projected field must match the row reader's output.
+		a, b := collect(v2), collect(v3)
+		if len(a) != len(b) {
+			t.Fatalf("query %d: v2 returned %d rows, v3 %d rows", qi, len(a), len(b))
+		}
+		for i := range a {
+			if !reflect.DeepEqual(a[i], b[i]) {
+				t.Fatalf("query %d row %d differs:\n v2 %+v\n v3 %+v", qi, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestColumnarZonePruning: a narrow time slice of a multi-block month
+// must skip blocks on the directory zone maps alone.
+func TestColumnarZonePruning(t *testing.T) {
+	recs := make([]*session.Record, 0, 2000)
+	for i := 0; i < 2000; i++ {
+		recs = append(recs, mkRecord(0, i))
+	}
+	s := openFmt(t, t.TempDir(), FormatV3)
+	defer s.Close()
+	sealAll(t, s, recs)
+
+	// Records ascend in time; the last few land in the last block.
+	from := recs[len(recs)-3].Start
+	res, err := s.RunQuery(&Query{Where: Cmp(FieldStart, CmpGe, TimeValue(from))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	n := 0
+	for res.Next() {
+		n++
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("got %d records, want 3", n)
+	}
+	st := res.Stats()
+	if st.BlocksZonePruned == 0 {
+		t.Fatalf("expected zone-pruned blocks, stats: %+v", st)
+	}
+	if st.BlocksRead >= int64(len(mustSegBlocks(s))) {
+		t.Fatalf("read %d of %d blocks; pruning did nothing", st.BlocksRead, len(mustSegBlocks(s)))
+	}
+}
+
+func mustSegBlocks(s *Store) []blockMeta {
+	man, _ := s.snapshot()
+	var out []blockMeta
+	for _, seg := range man.Segments {
+		out = append(out, seg.Blocks...)
+	}
+	return out
+}
+
+// TestColumnarProjectionSkipsStripes: a narrow projection must touch
+// fewer stripe bytes than a full-record scan of the same store.
+func TestColumnarProjectionSkipsStripes(t *testing.T) {
+	recs := make([]*session.Record, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		recs = append(recs, mkRecord(0, i))
+	}
+	s := openFmt(t, t.TempDir(), FormatV3)
+	defer s.Close()
+	sealAll(t, s, recs)
+
+	run := func(sel []Field) PlanStats {
+		res, err := s.RunQuery(&Query{Select: sel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Close()
+		for res.Next() {
+		}
+		if err := res.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats()
+	}
+	narrow := run([]Field{FieldIP, FieldStart})
+	full := run(nil)
+	if narrow.StripesRead == 0 || full.StripesRead == 0 {
+		t.Fatalf("stripe stats missing: narrow %+v full %+v", narrow, full)
+	}
+	if narrow.StripeBytes >= full.StripeBytes {
+		t.Fatalf("narrow projection read %d stripe bytes, full scan %d — no byte-level skipping",
+			narrow.StripeBytes, full.StripeBytes)
+	}
+}
+
+// TestColumnarRawOverflow: lines ShredJSON rejects (non-canonical key
+// order) must round-trip through the raw stripe.
+func TestColumnarRawOverflow(t *testing.T) {
+	s := openFmt(t, t.TempDir(), FormatV3)
+	defer s.Close()
+
+	recs := make([]*session.Record, 6)
+	lines := make([][]byte, 6)
+	idxs := make([]int32, 6)
+	for i := range recs {
+		recs[i] = mkRecord(0, i)
+		if i%2 == 1 {
+			// Valid JSON for the same record, but not the canonical key
+			// order — ShredJSON rejects it, the raw stripe carries it.
+			lines[i] = []byte(fmt.Sprintf(`{"start":%q,"id":%d,"end":%q,"hp":"hp-1","client_ip":%q,"client_port":%d,"proto":%q}`,
+				recs[i].Start.Format(time.RFC3339Nano), recs[i].ID,
+				recs[i].End.Format(time.RFC3339Nano), recs[i].ClientIP,
+				recs[i].ClientPort, recs[i].Protocol))
+		} else {
+			lines[i] = marshal(t, recs[i])
+		}
+		idxs[i] = int32(i)
+	}
+	meta, err := s.writeSegmentColumnar(segFileName(0), recs, lines, idxs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	s.man.Segments = append(s.man.Segments, meta)
+	s.man.NextSeq = 6
+	s.mu.Unlock()
+
+	got, err := s.Load(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("loaded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		want := *recs[i]
+		want.Logins, want.Commands, want.Downloads = nil, nil, nil
+		want.StateChanged = false
+		if i%2 == 0 {
+			want = *recs[i]
+		}
+		if !reflect.DeepEqual(got[i], &want) {
+			t.Fatalf("record %d:\n got %+v\nwant %+v", i, got[i], &want)
+		}
+	}
+	// And a predicate scan must still see the raw rows (they are
+	// unknown to the prefilter, exact in the cursor's re-check).
+	res, err := s.RunQuery(&Query{Where: Cmp(FieldProto, CmpEq, StringValue(session.ProtoSSH))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	n := 0
+	for res.Next() {
+		n++
+	}
+	want := 0
+	for _, r := range recs {
+		if r.Protocol == session.ProtoSSH {
+			want++
+		}
+	}
+	if n != want {
+		t.Fatalf("predicate over mixed shredded/raw rows: got %d, want %d", n, want)
+	}
+}
+
+// TestScanPoolBalanced: every scan path — full scans, LIMIT early
+// exits, mid-stream Close — must return its pooled block scratch.
+func TestScanPoolBalanced(t *testing.T) {
+	for _, format := range []string{"v2", FormatV3} {
+		t.Run(format, func(t *testing.T) {
+			recs := make([]*session.Record, 0, 800)
+			for i := 0; i < 800; i++ {
+				recs = append(recs, mkRecord(i%2, i))
+			}
+			s := openFmt(t, t.TempDir(), format)
+			defer s.Close()
+			sealAll(t, s, recs)
+
+			g0, p0 := PoolCounters()
+
+			// Full scan to exhaustion, no explicit Close.
+			res, err := s.RunQuery(&Query{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for res.Next() {
+			}
+			res.Close()
+
+			// LIMIT early exit: the cursor must close itself at the limit.
+			res, err = s.RunQuery(&Query{Limit: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for res.Next() {
+			}
+
+			// Mid-stream abandon with explicit Close.
+			res, err = s.RunQuery(&Query{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res.Next()
+			res.Close()
+
+			g1, p1 := PoolCounters()
+			if gets, puts := g1-g0, p1-p0; gets != puts {
+				t.Fatalf("pool imbalance: %d gets, %d puts", gets, puts)
+			} else if gets == 0 {
+				t.Fatal("no pool traffic recorded; counters not wired")
+			}
+		})
+	}
+}
+
+// TestShimScanCounters: the deprecated Scan/ScanIP shims must feed the
+// store's query counters like RunQuery does.
+func TestShimScanCounters(t *testing.T) {
+	recs := make([]*session.Record, 0, 100)
+	for i := 0; i < 100; i++ {
+		recs = append(recs, mkRecord(0, i))
+	}
+	s := openFmt(t, t.TempDir(), "")
+	defer s.Close()
+	sealAll(t, s, recs)
+
+	before := s.queriesTotal.Load()
+	cur := s.Scan(TimeRange{}, nil)
+	for cur.Next() {
+	}
+	cur.Close()
+	ipCur := s.ScanIP("198.51.100.9", TimeRange{})
+	for ipCur.Next() {
+	}
+	ipCur.Close()
+	if got := s.queriesTotal.Load() - before; got != 2 {
+		t.Fatalf("queriesTotal rose by %d, want 2", got)
+	}
+	// The Bloom-pruned ScanIP should show up as pruned segments too.
+	if s.querySegsPruned.Load() == 0 {
+		t.Fatal("ScanIP pruning not reflected in querySegsPruned")
+	}
+}

@@ -23,13 +23,19 @@ const (
 	monthLayout     = "2006-01"
 )
 
-// blockMeta locates one compressed block inside a segment file.
+// blockMeta locates one compressed block inside a segment file. For
+// row blocks (v1/v2) the CRC covers the compressed bytes. For columnar
+// blocks (v3) DirLen is the length of the uncompressed column
+// directory at Off, the CRC covers the directory bytes (each stripe
+// carries its own CRC in the directory), CLen is directory plus all
+// stripes, and ULen is the summed uncompressed stripe length.
 type blockMeta struct {
-	Off   int64  `json:"off"`   // byte offset in the segment file
-	CLen  int    `json:"clen"`  // compressed length
-	ULen  int    `json:"ulen"`  // uncompressed payload length
-	Count int    `json:"count"` // records in the block
-	CRC   uint32 `json:"crc"`   // IEEE CRC-32 over the compressed bytes
+	Off    int64  `json:"off"`            // byte offset in the segment file
+	CLen   int    `json:"clen"`           // compressed length
+	ULen   int    `json:"ulen"`           // uncompressed payload length
+	Count  int    `json:"count"`          // records in the block
+	CRC    uint32 `json:"crc"`            // IEEE CRC-32 (v1/v2: compressed bytes; v3: directory)
+	DirLen int    `json:"dlen,omitempty"` // v3 only: column directory length
 }
 
 // segmentMeta describes one sealed, immutable segment: a single month's
@@ -49,8 +55,9 @@ type segmentMeta struct {
 	Telnet    int    `json:"telnet"`
 	RawBytes  int64  `json:"raw_bytes"`
 	CompBytes int64  `json:"comp_bytes"`
-	// Codec names the block codec: "" or "flate" is DEFLATE (v1,
-	// HNSTORE1 magic), "lz" the in-tree LZ codec (v2, HNSTORE2).
+	// Codec names the block codec and layout: "" or "flate" is DEFLATE
+	// (v1, HNSTORE1 magic), "lz" the in-tree LZ codec (v2, HNSTORE2),
+	// "v3" the columnar layout (HNSTORE3, LZ-compressed stripes).
 	// Omitted for v1 so pre-codec manifests round-trip byte-identically.
 	Codec  string      `json:"codec,omitempty"`
 	Bloom  *Bloom      `json:"bloom"` // over client IPs

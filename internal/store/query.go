@@ -53,13 +53,18 @@ type Cursor struct {
 	s      *Store
 	parts  []part
 	pi     int
-	br     *blockReader
+	br     segReader  // open v1/v2 segment, if any
+	cc     *colCursor // open v3 segment, if any
 	ti     int
 	tr     TimeRange
 	filter Filter
 	ip     string            // non-empty for ScanIP: exact client-IP match
 	mask   session.FieldMask // projection: fields to decode (0 = all)
-	stats  *PlanStats        // per-query plan stats; may be nil
+	pred   *Pred             // pushed predicate: prefilter only, Next re-checks
+	prog   *vecProg          // compiled vectorized prefilter (lazy)
+	progOK bool
+	stats  *PlanStats // per-query plan stats; may be nil
+	note   func()     // deprecated-shim hook: fold stats into counters once
 	cur    *session.Record
 	err    error
 	dec    session.JSONDecoder
@@ -86,9 +91,10 @@ func (a *recArena) alloc() *session.Record {
 // Scan returns a cursor over records in tr satisfying filter.
 //
 // Deprecated: build a Query and use RunQuery, which adds predicate,
-// projection, and metadata pushdown. Scan remains as a thin shim.
+// projection, and metadata pushdown. Scan remains as a thin shim; its
+// plan stats feed the same honeynet_query_* counters RunQuery reports.
 func (s *Store) Scan(tr TimeRange, filter Filter) *Cursor {
-	return s.scanQ(tr, filter, "", session.FAllFields, nil)
+	return s.shimScan(tr, filter, "")
 }
 
 // ScanIP returns a cursor over records from one client IP, using the
@@ -96,16 +102,28 @@ func (s *Store) Scan(tr TimeRange, filter Filter) *Cursor {
 //
 // Deprecated: use RunQuery with Query.IP (or an `ip =` predicate,
 // which routes through the same Bloom probes). ScanIP remains as a
-// thin shim.
+// thin shim; its plan stats feed the honeynet_query_* counters.
 func (s *Store) ScanIP(ip string, tr TimeRange) *Cursor {
-	return s.scanQ(tr, nil, ip, session.FAllFields, nil)
+	return s.shimScan(tr, nil, ip)
+}
+
+// shimScan backs the deprecated Scan/ScanIP entry points: a full scan
+// with private plan stats that fold into the store's query counters
+// when the cursor finishes (exhaustion or Close), so shim traffic shows
+// up beside RunQuery's in the metrics.
+func (s *Store) shimScan(tr TimeRange, filter Filter, ip string) *Cursor {
+	stats := &PlanStats{}
+	c := s.scanQ(tr, filter, ip, session.FAllFields, nil, stats)
+	c.note = func() { s.noteQuery(stats) }
+	return c
 }
 
 // scanQ builds the streaming cursor every query path shares: month and
 // segment time-bound pruning, Bloom routing for exact-IP scans, a
-// decoder field mask for projection pushdown, and optional plan-stat
-// accounting.
-func (s *Store) scanQ(tr TimeRange, filter Filter, ip string, mask session.FieldMask, stats *PlanStats) *Cursor {
+// decoder field mask for projection pushdown, an optional pushed
+// predicate (vectorized prefilter over v3 segments — Next re-checks, so
+// it is advisory), and optional plan-stat accounting.
+func (s *Store) scanQ(tr TimeRange, filter Filter, ip string, mask session.FieldMask, pred *Pred, stats *PlanStats) *Cursor {
 	man, tail := s.snapshot()
 	if stats != nil {
 		stats.Segments += len(man.Segments)
@@ -143,7 +161,7 @@ func (s *Store) scanQ(tr TimeRange, filter Filter, ip string, mask session.Field
 	}
 	var cand []*segmentMeta
 	var keep []bool
-	c := &Cursor{s: s, tr: tr, filter: filter, ip: ip, mask: mask, stats: stats}
+	c := &Cursor{s: s, tr: tr, filter: filter, ip: ip, mask: mask, pred: pred, stats: stats}
 	for _, m := range months {
 		if !monthOverlaps(m, tr) {
 			if stats != nil {
@@ -220,6 +238,10 @@ func (c *Cursor) Next() bool {
 				c.err = err
 			}
 			c.cur = nil
+			// Release pooled scratch on every terminal path, error
+			// included — leaving it to an optional Close would leak the
+			// buffers out of the pool.
+			c.Close()
 			return false
 		}
 		if !c.tr.contains(r.Start) {
@@ -243,13 +265,40 @@ func (c *Cursor) Next() bool {
 func (c *Cursor) nextRaw() (*session.Record, error) {
 	for c.pi < len(c.parts) {
 		p := &c.parts[c.pi]
+		if p.seg != nil && p.seg.Codec == FormatV3 {
+			// Columnar segment: the vectorized cursor prunes blocks on
+			// zone maps, prefilters rows column-at-a-time, and decodes
+			// only the projected columns of the selected rows.
+			if c.cc == nil {
+				if !c.progOK {
+					c.prog = compileVec(c.pred, c.ip, c.tr)
+					c.progOK = true
+				}
+				cc, err := c.s.openColCursor(p.seg, c.prog, c.mask, c.stats, &c.dec, &c.arena)
+				if err != nil {
+					return nil, err
+				}
+				c.cc = cc
+			}
+			r, err := c.cc.next()
+			if err == io.EOF {
+				c.cc.close()
+				c.cc = nil
+				c.pi++
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			return r, nil
+		}
 		if p.seg != nil {
 			if c.br == nil {
 				br, err := c.s.openSegment(p.seg)
 				if err != nil {
 					return nil, err
 				}
-				br.stats = c.stats
+				br.setStats(c.stats)
 				c.br = br
 			}
 			_, line, err := c.br.next()
@@ -295,12 +344,22 @@ func (c *Cursor) Err() error { return c.err }
 // Close releases the cursor's open segment, if any. Safe to call at
 // any point; exhausted cursors are already closed.
 func (c *Cursor) Close() error {
+	var err error
 	if c.br != nil {
-		err := c.br.close()
+		err = c.br.close()
 		c.br = nil
-		return err
 	}
-	return nil
+	if c.cc != nil {
+		if cerr := c.cc.close(); err == nil {
+			err = cerr
+		}
+		c.cc = nil
+	}
+	if c.note != nil {
+		c.note()
+		c.note = nil
+	}
+	return err
 }
 
 // Months returns the sorted distinct partition months present.

@@ -610,6 +610,14 @@ type Query struct {
 
 	// Limit bounds row-mode results (0 = unlimited).
 	Limit int
+
+	// OrderBy sorts row-mode results by one field (FieldNone = store
+	// order). With a Limit the sort runs as a bounded top-k heap below
+	// the scan — memory O(limit), not O(result) — keyed on the sort
+	// column alone. Incompatible with Aggs.
+	OrderBy Field
+	// Desc reverses the OrderBy direction.
+	Desc bool
 }
 
 // PlanStats describes what the planner chose and what pruning achieved,
@@ -628,8 +636,18 @@ type PlanStats struct {
 	BlocksRead    int64 // compressed blocks read and decoded
 	BlocksSkipped int64 // blocks in segments answered without reading
 
+	// Columnar (v3) pushdown: blocks pruned by per-block zone maps
+	// before any stripe decompressed, and the stripes actually touched.
+	BlocksZonePruned int64
+	StripesRead      int64
+	StripeBytes      int64 // compressed bytes of stripes read
+
 	ScannedRecords int64 // records decoded by the scan
 	MatchedRecords int64 // records that passed every predicate
+
+	// TopK is the bounded ORDER BY/LIMIT heap size when the sort was
+	// pushed below the aggregator (0 = no pushdown).
+	TopK int
 
 	From, To time.Time // effective pushed-down time range
 	IP       string    // effective pushed-down exact-IP route
@@ -646,8 +664,14 @@ func (ps *PlanStats) add(o *PlanStats) {
 	ps.TailRecords += o.TailRecords
 	ps.BlocksRead += o.BlocksRead
 	ps.BlocksSkipped += o.BlocksSkipped
+	ps.BlocksZonePruned += o.BlocksZonePruned
+	ps.StripesRead += o.StripesRead
+	ps.StripeBytes += o.StripeBytes
 	ps.ScannedRecords += o.ScannedRecords
 	ps.MatchedRecords += o.MatchedRecords
+	if o.TopK > ps.TopK {
+		ps.TopK = o.TopK
+	}
 }
 
 // Lines renders the stats as EXPLAIN output.
@@ -679,6 +703,13 @@ func (ps *PlanStats) Lines() []string {
 			ps.ScannedSegments, ps.BlocksRead, ps.TailRecords),
 		fmt.Sprintf("records: %d decoded, %d matched", ps.ScannedRecords, ps.MatchedRecords),
 	)
+	if ps.BlocksZonePruned > 0 || ps.StripesRead > 0 {
+		out = append(out, fmt.Sprintf("columnar: %d blocks zone-pruned, %d stripes read (%d compressed bytes)",
+			ps.BlocksZonePruned, ps.StripesRead, ps.StripeBytes))
+	}
+	if ps.TopK > 0 {
+		out = append(out, fmt.Sprintf("order by: top-%d heap pushed below the scan", ps.TopK))
+	}
 	return out
 }
 
@@ -715,12 +746,15 @@ func (r *Result) Aggregated() bool { return r.agg }
 // Groups returns the aggregated rows, sorted by group key.
 func (r *Result) Groups() []GroupRow { return r.rows }
 
-// Next advances a row-mode result to the next record.
+// Next advances a row-mode result to the next record. Hitting the
+// LIMIT closes the underlying cursor immediately, so pooled block
+// scratch goes back even when the caller never calls Close.
 func (r *Result) Next() bool {
 	if r.agg || r.cur == nil {
 		return false
 	}
 	if r.limit > 0 && r.n >= r.limit {
+		r.cur.Close()
 		return false
 	}
 	if !r.cur.Next() {
@@ -775,6 +809,16 @@ func (q *Query) validate() (Filter, error) {
 			return nil, fmt.Errorf("query: unknown group-by field")
 		} else if fi.multi {
 			return nil, fmt.Errorf("query: %s: cannot group by multi-valued field", fi.name)
+		}
+	}
+	if q.OrderBy != FieldNone {
+		if len(q.Aggs) > 0 {
+			return nil, fmt.Errorf("query: OrderBy applies to row mode, not aggregates")
+		}
+		if fi, ok := fieldInfos[q.OrderBy]; !ok {
+			return nil, fmt.Errorf("query: unknown order-by field")
+		} else if fi.multi {
+			return nil, fmt.Errorf("query: %s: cannot order by multi-valued field", fi.name)
 		}
 	}
 	for _, a := range q.Aggs {
@@ -835,6 +879,9 @@ func (q *Query) mask(ip string) session.FieldMask {
 		}
 	}
 	m |= predMask(q.Where)
+	if q.OrderBy != FieldNone {
+		m |= q.OrderBy.Mask()
+	}
 	if ip != "" {
 		m |= session.FClientIP
 	}
@@ -1053,7 +1100,19 @@ func (s *Store) runQuery(q *Query, ev Filter) (*Result, *aggTable, error) {
 	if ip != "" {
 		stats.Mode = "ip-scan"
 	}
-	cur := s.scanQ(tr, filter, ip, q.mask(ip), stats)
+	cur := s.scanQ(tr, filter, ip, q.mask(ip), q.Where, stats)
+	if q.OrderBy != FieldNone {
+		// ORDER BY pushdown: stream the scan through a bounded top-k
+		// heap instead of materializing and sorting the result.
+		rows, err := collectTopK(cur, q.OrderBy, q.Desc, q.Limit)
+		if err != nil {
+			return nil, nil, err
+		}
+		if q.Limit > 0 {
+			stats.TopK = q.Limit
+		}
+		return &Result{cur: &sliceCursor{rows: rows}, limit: q.Limit, stats: stats}, nil, nil
+	}
 	return &Result{cur: cur, limit: q.Limit, stats: stats}, nil, nil
 }
 
@@ -1136,7 +1195,7 @@ func (s *Store) runAgg(q *Query, filter Filter, tr TimeRange, ip string, stats *
 		if ip != "" {
 			stats.Mode = "ip-scan"
 		}
-		cur := s.scanQ(tr, filter, ip, q.mask(ip), stats)
+		cur := s.scanQ(tr, filter, ip, q.mask(ip), q.Where, stats)
 		defer cur.Close()
 		for cur.Next() {
 			tab.addRecord(cur.Record())
@@ -1163,7 +1222,7 @@ func (s *Store) runAgg(q *Query, filter Filter, tr TimeRange, ip string, stats *
 	stats.Mode = "metadata"
 	if len(scanSegs) > 0 {
 		stats.Mode = "hybrid"
-		cur := &Cursor{s: s, tr: tr, filter: filter, mask: q.mask(ip), stats: stats}
+		cur := &Cursor{s: s, tr: tr, filter: filter, mask: q.mask(ip), pred: q.Where, stats: stats}
 		for _, seg := range scanSegs {
 			cur.parts = append(cur.parts, part{seg: seg})
 		}
@@ -1695,9 +1754,22 @@ func (f *Fleet) RunQuery(q *Query) (*Result, error) {
 	filter := combineFilters(ev, q.Filter)
 	mask := q.mask(ip)
 	cur := f.scatter(func(s *Store) *Cursor {
-		c := s.scanQ(tr, filter, ip, mask, total)
+		c := s.scanQ(tr, filter, ip, mask, q.Where, total)
 		s.queriesTotal.Add(1)
 		return c
 	})
+	if q.OrderBy != FieldNone {
+		// The scatter cursor already merges shards in global store
+		// order, so the same streaming top-k gives the fleet-wide
+		// answer with the same deterministic tie-break.
+		rows, err := collectTopK(cur, q.OrderBy, q.Desc, q.Limit)
+		if err != nil {
+			return nil, err
+		}
+		if q.Limit > 0 {
+			total.TopK = q.Limit
+		}
+		return &Result{cur: &sliceCursor{rows: rows}, limit: q.Limit, stats: total}, nil
+	}
 	return &Result{cur: cur, limit: q.Limit, stats: total}, nil
 }

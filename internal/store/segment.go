@@ -26,7 +26,18 @@ import (
 var (
 	segMagicV1 = [8]byte{'H', 'N', 'S', 'T', 'O', 'R', 'E', '1'}
 	segMagicV2 = [8]byte{'H', 'N', 'S', 'T', 'O', 'R', 'E', '2'}
+	segMagicV3 = [8]byte{'H', 'N', 'S', 'T', 'O', 'R', 'E', '3'}
 )
+
+// segReader streams one segment's records in sequence order, whatever
+// the segment's layout: blockReader for the row formats (v1/v2),
+// colReader for columnar v3. Lines alias reader scratch — valid until
+// the next call.
+type segReader interface {
+	next() (seq uint64, line []byte, err error)
+	close() error
+	setStats(*PlanStats)
+}
 
 // segFileName names segment n.
 func segFileName(n int) string { return fmt.Sprintf("seg-%06d.hns", n) }
@@ -45,6 +56,9 @@ type blockSpan struct {
 // file is fsynced before return; the caller commits it via the
 // manifest.
 func (s *Store) writeSegment(file string, recs []*session.Record, lines [][]byte, idxs []int32, baseSeq uint64) (*segmentMeta, error) {
+	if s.opts.Format == FormatV3 {
+		return s.writeSegmentColumnar(file, recs, lines, idxs, baseSeq)
+	}
 	codecName := s.opts.codec()
 	manifestCodec := codecName
 	if manifestCodec == CodecFlate {
@@ -204,10 +218,18 @@ type blockReader struct {
 	left    int     // records left in current payload
 }
 
-// openSegment opens seg for reading under the store's directory. The
-// block codec comes from the segment's manifest entry; the file magic
-// must agree with it.
-func (s *Store) openSegment(meta *segmentMeta) (*blockReader, error) {
+// openSegment opens seg for reading under the store's directory,
+// dispatching on the segment's layout. The block codec comes from the
+// segment's manifest entry; the file magic must agree with it.
+func (s *Store) openSegment(meta *segmentMeta) (segReader, error) {
+	if meta.Codec == FormatV3 {
+		return s.openColReader(meta)
+	}
+	return s.openRowSegment(meta)
+}
+
+// openRowSegment opens a v1/v2 row-layout segment.
+func (s *Store) openRowSegment(meta *segmentMeta) (*blockReader, error) {
 	f, err := os.Open(filepath.Join(s.dir, meta.File))
 	if err != nil {
 		return nil, err
@@ -224,6 +246,9 @@ func (s *Store) openSegment(meta *segmentMeta) (*blockReader, error) {
 	}
 	return &blockReader{s: s, f: f, meta: meta, codec: codec}, nil
 }
+
+// setStats attaches per-query plan stats.
+func (br *blockReader) setStats(ps *PlanStats) { br.stats = ps }
 
 // next returns the next (seq, record JSON) entry, loading blocks as
 // needed. It returns io.EOF after the last record. The returned line
@@ -268,6 +293,7 @@ func (br *blockReader) loadBlock(b blockMeta) error {
 	if br.comp == nil {
 		br.comp = blockBufPool.Get().(*[]byte)
 		br.payload = blockBufPool.Get().(*[]byte)
+		poolGets.Add(2)
 	}
 	comp := grow(br.comp, b.CLen)
 	if _, err := br.f.ReadAt(comp, b.Off); err != nil {
@@ -296,6 +322,7 @@ func (br *blockReader) close() error {
 	if br.comp != nil {
 		blockBufPool.Put(br.comp)
 		blockBufPool.Put(br.payload)
+		poolPuts.Add(2)
 		br.comp, br.payload, br.buf = nil, nil, nil
 	}
 	return br.f.Close()

@@ -35,7 +35,7 @@ func (s *Store) Watch() <-chan struct{} {
 // segStream is one open segment inside a sequence merge, holding its
 // current head entry.
 type segStream struct {
-	br   *blockReader
+	br   segReader
 	seq  uint64
 	line []byte
 }

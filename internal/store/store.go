@@ -83,6 +83,13 @@ type Options struct {
 	// segments are always read with the codec their manifest records,
 	// whatever this is set to. Unknown names are rejected.
 	Codec string
+	// Format selects the layout of newly sealed segments: "" or "v2"
+	// for the row layout (blocks of whole records, Codec applies), "v3"
+	// for the columnar layout (per-field stripes, always LZ — v3 with
+	// CodecFlate is rejected). Existing segments are always read with
+	// the layout their manifest records; mixing formats in one store is
+	// fully supported.
+	Format string
 	// SealWorkers caps how many goroutines compress blocks during a
 	// seal. Zero means GOMAXPROCS; negative is rejected.
 	SealWorkers int
@@ -107,6 +114,14 @@ func (o *Options) Validate() error {
 		return fmt.Errorf("store: negative SealWorkers %d", o.SealWorkers)
 	case !validCodec(o.Codec):
 		return fmt.Errorf("store: unknown codec %q (want %q or %q)", o.Codec, CodecLZ, CodecFlate)
+	}
+	switch o.Format {
+	case "", FormatV2, FormatV3:
+	default:
+		return fmt.Errorf("store: unknown segment format %q (want \"v2\" or %q)", o.Format, FormatV3)
+	}
+	if o.Format == FormatV3 && o.Codec == CodecFlate {
+		return fmt.Errorf("store: format v3 stripes are always LZ-compressed; Codec %q conflicts", o.Codec)
 	}
 	return nil
 }
@@ -199,6 +214,7 @@ type Store struct {
 	sealFrames []byte
 	sealComps  [][]byte
 	sealCodecs []blockCodec
+	sealCol    *colWriter // v3 columnar block builder
 
 	sealsTotal     atomic.Int64
 	sealBackground atomic.Int64

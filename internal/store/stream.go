@@ -1,0 +1,164 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"honeynet/internal/session"
+)
+
+// Streaming replacements for the materializing Load paths. Load builds
+// the whole record set in memory before the first record is consumed —
+// O(store) peak, fine for a month of data, hostile at the paper's 635M
+// sessions. Stream yields the identical sequence one record at a time:
+// Store.Stream holds one open block per live segment of the sequence
+// merge (O(open blocks)), Fleet.Stream buffers one month at a time
+// (O(largest month)), and both orders are exactly Load's, so a consumer
+// that folds records as they arrive — the figure pipeline, hncollect —
+// computes byte-identical results without the up-front copy.
+
+// StreamCursor streams a snapshot of one store in exact global append
+// order — the same sequence Load materializes.
+type StreamCursor struct {
+	sc    *SeqCursor
+	dec   session.JSONDecoder
+	arena recArena
+	cur   *session.Record
+	err   error
+}
+
+// Stream returns a cursor over every record in global append order.
+// Peak memory is one open block per segment overlapping the merge
+// frontier, not the dataset. Records the cursor yields stay valid after
+// the next call (they are arena-allocated, never reused).
+func (s *Store) Stream() *StreamCursor {
+	return &StreamCursor{sc: s.ScanSeq(0)}
+}
+
+// Next advances to the next record in append order.
+func (c *StreamCursor) Next() bool {
+	if c.err != nil {
+		return false
+	}
+	if !c.sc.Next() {
+		if err := c.sc.Err(); err != nil {
+			c.err = err
+		}
+		c.cur = nil
+		return false
+	}
+	r := c.arena.alloc()
+	if err := c.dec.Decode(c.sc.Line(), r); err != nil {
+		c.err = fmt.Errorf("store: decoding record: %w", err)
+		c.cur = nil
+		return false
+	}
+	c.cur = r
+	return true
+}
+
+// Record returns the record Next advanced to.
+func (c *StreamCursor) Record() *session.Record { return c.cur }
+
+// Err returns the first error the stream hit, if any.
+func (c *StreamCursor) Err() error { return c.err }
+
+// Close releases the stream's open segments.
+func (c *StreamCursor) Close() error { return c.sc.Close() }
+
+// FleetStream streams a fleet snapshot in the canonical total order —
+// (Start, node, seq), exactly Fleet.Load's — buffering one month at a
+// time instead of the whole fleet.
+type FleetStream struct {
+	f      *Fleet
+	months []time.Time
+	mi     int
+	buf    []*session.Record
+	bi     int
+	cur    *session.Record
+	err    error
+}
+
+// Stream returns a cursor over every record across shards in the
+// fleet's canonical order. Because Start determines the partition
+// month, the global (Start, node, seq) sort decomposes into ascending
+// months sorted independently — so only one month is resident at a
+// time.
+func (f *Fleet) Stream() *FleetStream {
+	return &FleetStream{f: f, months: f.Months()}
+}
+
+// Next advances to the next record in canonical fleet order.
+func (fs *FleetStream) Next() bool {
+	if fs.err != nil {
+		return false
+	}
+	for fs.bi >= len(fs.buf) {
+		if fs.mi >= len(fs.months) {
+			fs.cur = nil
+			return false
+		}
+		if !fs.loadMonth(fs.months[fs.mi]) {
+			return false
+		}
+		fs.mi++
+	}
+	fs.cur = fs.buf[fs.bi]
+	fs.bi++
+	return true
+}
+
+// loadMonth gathers one month from every shard and sorts it into the
+// canonical order. A shard's month-scoped scan yields its records in
+// sequence order, so the within-month (node, arrival) tie-break equals
+// Load's global (node, seq) one restricted to the month.
+func (fs *FleetStream) loadMonth(m time.Time) bool {
+	type ent struct {
+		r     *session.Record
+		shard int32
+		idx   int32
+	}
+	var ents []ent
+	tr := Month(m)
+	for si, sh := range fs.f.shards {
+		cur := sh.Store.scanQ(tr, nil, "", session.FAllFields, nil, nil)
+		idx := int32(0)
+		for cur.Next() {
+			ents = append(ents, ent{r: cur.Record(), shard: int32(si), idx: idx})
+			idx++
+		}
+		if err := cur.Err(); err != nil {
+			cur.Close()
+			fs.err = fmt.Errorf("store: fleet shard %s: %w", sh.Node, err)
+			return false
+		}
+		cur.Close()
+	}
+	sort.Slice(ents, func(i, j int) bool {
+		a, b := ents[i], ents[j]
+		if !a.r.Start.Equal(b.r.Start) {
+			return a.r.Start.Before(b.r.Start)
+		}
+		if a.shard != b.shard {
+			return fs.f.shards[a.shard].Node < fs.f.shards[b.shard].Node
+		}
+		return a.idx < b.idx
+	})
+	fs.buf = fs.buf[:0]
+	for _, e := range ents {
+		fs.buf = append(fs.buf, e.r)
+	}
+	fs.bi = 0
+	return true
+}
+
+// Record returns the record Next advanced to.
+func (fs *FleetStream) Record() *session.Record { return fs.cur }
+
+// Err returns the first error the stream hit, if any.
+func (fs *FleetStream) Err() error { return fs.err }
+
+// Close is a no-op (month scans close as they finish); it exists so
+// FleetStream satisfies the same cursor shape as StreamCursor.
+func (fs *FleetStream) Close() error { return nil }

@@ -1,0 +1,766 @@
+package store
+
+import (
+	"io"
+	"math/bits"
+	"regexp"
+	"time"
+
+	"honeynet/internal/session"
+)
+
+// The vectorized scan over v3 columnar blocks. A query's predicate
+// tree compiles once (compileVec) into leaves that run column-at-a-time
+// over a whole block's decoded stripes, producing a Kleene selection
+// bitmap pair (lo = definitely true, hi = possibly true): leaves the
+// columns can decide exactly set lo == hi, anything else (an opaque
+// field, a raw-overflow row) widens to unknown. Rows with hi clear are
+// skipped before any per-row decode; rows with hi set materialize and
+// still pass through the cursor's authoritative per-record filter, so
+// the bitmap is a pure prefilter and can never change results. The
+// same leaves answer block-level tri-valued questions against the
+// directory's zone maps (min/max start time, kind and protocol
+// presence masks), pruning whole blocks before any stripe decompresses.
+
+// vecLeafKind tags what a vectorized leaf reads.
+type vecLeafKind int
+
+const (
+	vecUnknown vecLeafKind = iota // not column-decidable: whole column unknown
+	vecTime                       // start time vs the meta stripe's tnanos
+	vecKind                       // session kind vs the meta stripe's kind bytes
+	vecProto                      // protocol vs the dictionary-coded column
+	vecIP                         // client IP vs the raw fragment bytes
+)
+
+// vecNode is one compiled predicate node.
+type vecNode struct {
+	op   PredOp // PredCmp = leaf
+	kids []*vecNode
+
+	leaf vecLeafKind
+	cmp  CmpOp
+	val  Value
+	re   *regexp.Regexp
+	tv   int64  // vecTime: comparison instant, unix nanoseconds
+	kv   int64  // vecKind: comparison kind
+	qv   []byte // vecIP: the quoted JSON fragment an equal IP encodes to
+}
+
+// vecProg is a compiled prefilter: the node tree plus the field columns
+// its leaves read.
+type vecProg struct {
+	root *vecNode
+	cols session.ColumnSet
+}
+
+// compileVec builds the vectorized prefilter for a scan: the predicate
+// tree, the exact-IP route, and the pushed time range, conjoined. It
+// returns nil when nothing is column-decidable (the prefilter would
+// select everything).
+func compileVec(p *Pred, ip string, tr TimeRange) *vecProg {
+	prog := &vecProg{}
+	var kids []*vecNode
+	if !tr.From.IsZero() && tnanoSafe(tr.From.Year()) {
+		kids = append(kids, &vecNode{op: PredCmp, leaf: vecTime, cmp: CmpGe, tv: tr.From.UnixNano()})
+	}
+	if !tr.To.IsZero() && tnanoSafe(tr.To.Year()) {
+		kids = append(kids, &vecNode{op: PredCmp, leaf: vecTime, cmp: CmpLt, tv: tr.To.UnixNano()})
+	}
+	if ip != "" {
+		if q, ok := quoteIP(ip); ok {
+			kids = append(kids, &vecNode{op: PredCmp, leaf: vecIP, cmp: CmpEq, qv: q})
+			prog.cols |= 1 << uint(session.ColClientIP)
+		}
+	}
+	if p != nil {
+		kids = append(kids, prog.compile(p))
+	}
+	useful := false
+	for _, k := range kids {
+		if k.decidesAnything() {
+			useful = true
+		}
+	}
+	if !useful {
+		return nil
+	}
+	if len(kids) == 1 {
+		prog.root = kids[0]
+	} else {
+		prog.root = &vecNode{op: PredAnd, kids: kids}
+	}
+	return prog
+}
+
+func (n *vecNode) decidesAnything() bool {
+	if n.op != PredCmp {
+		for _, k := range n.kids {
+			if k.decidesAnything() {
+				return true
+			}
+		}
+		return false
+	}
+	return n.leaf != vecUnknown
+}
+
+// compile lowers one predicate node.
+func (g *vecProg) compile(p *Pred) *vecNode {
+	switch p.Op {
+	case PredAnd, PredOr, PredNot:
+		n := &vecNode{op: p.Op, kids: make([]*vecNode, len(p.Kids))}
+		for i, k := range p.Kids {
+			n.kids[i] = g.compile(k)
+		}
+		return n
+	}
+	n := &vecNode{op: PredCmp, cmp: p.Cmp, val: p.Val, re: p.Re}
+	switch p.Field {
+	case FieldStart:
+		if p.Cmp != CmpMatch && p.Cmp != CmpNotMatch &&
+			(p.Val.Kind == ValTime || p.Val.Kind == ValMonth || p.Val.Kind == ValDay) &&
+			tnanoSafe(p.Val.Time.Year()) {
+			n.leaf, n.tv = vecTime, p.Val.Time.UnixNano()
+		}
+	case FieldKind:
+		if p.Cmp != CmpMatch && p.Cmp != CmpNotMatch &&
+			(p.Val.Kind == ValSessionKind || p.Val.Kind == ValInt) {
+			n.leaf, n.kv = vecKind, p.Val.Int
+		}
+	case FieldProto:
+		n.leaf = vecProto
+	case FieldIP:
+		if (p.Cmp == CmpEq || p.Cmp == CmpNe) && p.Val.Kind == ValString {
+			if q, ok := quoteIP(p.Val.Str); ok {
+				n.leaf, n.qv = vecIP, q
+			}
+		}
+	}
+	if n.leaf == vecIP {
+		g.cols |= 1 << uint(session.ColClientIP)
+	}
+	return n
+}
+
+// quoteIP returns the exact JSON string fragment a client IP encodes
+// to, when the address is plain enough that byte equality on fragments
+// equals string equality on decoded values (no JSON escaping).
+func quoteIP(s string) ([]byte, bool) {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c >= 0x7f || c == '"' || c == '\\' || c == '<' || c == '>' || c == '&' {
+			return nil, false
+		}
+	}
+	q := make([]byte, 0, len(s)+2)
+	q = append(q, '"')
+	q = append(q, s...)
+	return append(q, '"'), true
+}
+
+// blockTri answers the node against a block directory's zone maps:
+// triFalse means no row in the block can match and the block is pruned
+// unread.
+func (n *vecNode) blockTri(d *colDir) tri {
+	switch n.op {
+	case PredAnd:
+		out := triTrue
+		for _, k := range n.kids {
+			switch k.blockTri(d) {
+			case triFalse:
+				return triFalse
+			case triUnknown:
+				out = triUnknown
+			}
+		}
+		return out
+	case PredOr:
+		out := triFalse
+		for _, k := range n.kids {
+			switch k.blockTri(d) {
+			case triTrue:
+				return triTrue
+			case triUnknown:
+				out = triUnknown
+			}
+		}
+		return out
+	case PredNot:
+		return triNot(n.kids[0].blockTri(d))
+	}
+	switch n.leaf {
+	case vecTime:
+		if !d.tnOK {
+			return triUnknown
+		}
+		return triIntervalI64(d.minT, d.maxT, n.cmp, n.tv)
+	case vecKind:
+		if n.kv < 0 || n.kv > 7 {
+			return triUnknown
+		}
+		bit := byte(1) << uint(n.kv)
+		switch n.cmp {
+		case CmpEq:
+			if d.kindMask&bit == 0 {
+				return triFalse
+			}
+			if d.kindMask == bit {
+				return triTrue
+			}
+		case CmpNe:
+			if d.kindMask == bit {
+				return triFalse
+			}
+			if d.kindMask&bit == 0 {
+				return triTrue
+			}
+		}
+		return triUnknown
+	case vecProto:
+		// The directory records presence of ssh, telnet, and "anything
+		// else"; a decision needs the mask to pin every row's verdict.
+		all, any := true, false
+		for bit, proto := range map[byte]string{1: session.ProtoSSH, 2: session.ProtoTelnet} {
+			if d.protoMask&bit == 0 {
+				continue
+			}
+			if evalCmp(StringValue(proto), n.cmp, n.val, n.re) {
+				any = true
+			} else {
+				all = false
+			}
+		}
+		if d.protoMask&4 != 0 {
+			return triUnknown // rows with unlisted protocols: undecidable here
+		}
+		switch {
+		case !any:
+			return triFalse
+		case all:
+			return triTrue
+		}
+		return triUnknown
+	}
+	return triUnknown
+}
+
+// triIntervalI64 decides cmp(x, v) knowing only x ∈ [lo, hi].
+func triIntervalI64(lo, hi int64, cmp CmpOp, v int64) tri {
+	all := func(b bool) tri {
+		if b {
+			return triTrue
+		}
+		return triUnknown
+	}
+	switch cmp {
+	case CmpLt:
+		if lo >= v {
+			return triFalse
+		}
+		return all(hi < v)
+	case CmpLe:
+		if lo > v {
+			return triFalse
+		}
+		return all(hi <= v)
+	case CmpGt:
+		if hi <= v {
+			return triFalse
+		}
+		return all(lo > v)
+	case CmpGe:
+		if hi < v {
+			return triFalse
+		}
+		return all(lo >= v)
+	case CmpEq:
+		if v < lo || v > hi {
+			return triFalse
+		}
+		if lo == hi && lo == v {
+			return triTrue
+		}
+		return triUnknown
+	case CmpNe:
+		return triNot(triIntervalI64(lo, hi, CmpEq, v))
+	}
+	return triUnknown
+}
+
+// vecEnv is one block's decoded column state, handed to leaf kernels.
+type vecEnv struct {
+	sc   *colScratch
+	rows int
+	tnOK bool
+}
+
+// bitmap helpers: bitmaps are []uint64 with rows bits; trailing bits of
+// the last word are kept zero for lo / one-masked handling in callers.
+
+func bmWords(rows int) int { return (rows + 63) / 64 }
+
+func bmZero(b []uint64) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+func bmFill(b []uint64, rows int) {
+	for i := range b {
+		b[i] = ^uint64(0)
+	}
+	if rows%64 != 0 {
+		b[len(b)-1] = (1 << uint(rows%64)) - 1
+	}
+}
+
+func bmAnd(dst, src []uint64) {
+	for i := range dst {
+		dst[i] &= src[i]
+	}
+}
+
+func bmOr(dst, src []uint64) {
+	for i := range dst {
+		dst[i] |= src[i]
+	}
+}
+
+// bmNot complements in place within rows bits.
+func bmNot(b []uint64, rows int) {
+	for i := range b {
+		b[i] = ^b[i]
+	}
+	if rows%64 != 0 {
+		b[len(b)-1] &= (1 << uint(rows%64)) - 1
+	}
+}
+
+func bmCount(b []uint64) int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+func bmSet(b []uint64, i int) { b[i>>6] |= 1 << uint(i&63) }
+
+func bmHas(b []uint64, i int) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
+
+// bmNext returns the first set bit at or after i, or rows.
+func bmNext(b []uint64, i, rows int) int {
+	for i < rows {
+		w := b[i>>6] >> uint(i&63)
+		if w != 0 {
+			i += bits.TrailingZeros64(w)
+			if i >= rows {
+				return rows
+			}
+			return i
+		}
+		i = (i>>6 + 1) << 6
+	}
+	return rows
+}
+
+// bmAlloc carves bitmap space out of the scratch arena.
+type bmAlloc struct {
+	arena *[]uint64
+	used  int
+}
+
+func (a *bmAlloc) get(words int) []uint64 {
+	need := a.used + words
+	if cap(*a.arena) < need {
+		next := make([]uint64, need*2)
+		copy(next, (*a.arena)[:a.used])
+		*a.arena = next
+	}
+	*a.arena = (*a.arena)[:cap(*a.arena)]
+	b := (*a.arena)[a.used:need]
+	a.used = need
+	return b
+}
+
+// eval computes the node's Kleene bitmap pair over the block: lo bits
+// are definitely-true rows, hi bits possibly-true rows.
+func (n *vecNode) eval(env *vecEnv, a *bmAlloc, lo, hi []uint64) {
+	rows := env.rows
+	switch n.op {
+	case PredAnd:
+		bmFill(lo, rows)
+		bmFill(hi, rows)
+		klo, khi := a.get(len(lo)), a.get(len(hi))
+		for _, k := range n.kids {
+			k.eval(env, a, klo, khi)
+			bmAnd(lo, klo)
+			bmAnd(hi, khi)
+		}
+		return
+	case PredOr:
+		bmZero(lo)
+		bmZero(hi)
+		klo, khi := a.get(len(lo)), a.get(len(hi))
+		for _, k := range n.kids {
+			k.eval(env, a, klo, khi)
+			bmOr(lo, klo)
+			bmOr(hi, khi)
+		}
+		return
+	case PredNot:
+		// NOT swaps and complements the pair: lo' = ^hi, hi' = ^lo.
+		n.kids[0].eval(env, a, hi, lo)
+		bmNot(lo, rows)
+		bmNot(hi, rows)
+		return
+	}
+	n.evalLeaf(env, lo, hi)
+}
+
+// evalLeaf runs one column kernel. Exact verdicts set lo == hi; rows a
+// column cannot decide (raw-overflow rows for field leaves, a block
+// without safe nanoseconds for time leaves) get lo=0, hi=1.
+func (n *vecNode) evalLeaf(env *vecEnv, lo, hi []uint64) {
+	rows := env.rows
+	sc := env.sc
+	switch n.leaf {
+	case vecTime:
+		if !env.tnOK {
+			bmZero(lo)
+			bmFill(hi, rows)
+			return
+		}
+		bmZero(lo)
+		for i, t := range sc.tnanos {
+			if cmpI64(t, n.tv, n.cmp) {
+				bmSet(lo, i)
+			}
+		}
+		copy(hi, lo)
+	case vecKind:
+		bmZero(lo)
+		for i, k := range sc.kinds {
+			if cmpI64(int64(k), n.kv, n.cmp) {
+				bmSet(lo, i)
+			}
+		}
+		copy(hi, lo)
+	case vecProto:
+		// Evaluate once per dictionary entry, then scatter by index.
+		var verdict [16]bool
+		ok := len(sc.dict) <= len(verdict)
+		if ok {
+			for j, p := range sc.dict {
+				verdict[j] = evalCmp(StringValue(p), n.cmp, n.val, n.re)
+			}
+			bmZero(lo)
+			for i, di := range sc.protos {
+				if verdict[di] {
+					bmSet(lo, i)
+				}
+			}
+			copy(hi, lo)
+			return
+		}
+		bmZero(lo)
+		bmFill(hi, rows)
+	case vecIP:
+		cd := &sc.cols[session.ColClientIP]
+		bmZero(lo)
+		bmZero(hi)
+		for i := 0; i < rows; i++ {
+			frag := cd.frag(i)
+			if frag == nil {
+				bmSet(hi, i) // raw-overflow row: unknown
+				continue
+			}
+			eq := bytesEqual(frag, n.qv)
+			if n.cmp == CmpNe {
+				eq = !eq
+			}
+			if eq {
+				bmSet(lo, i)
+				bmSet(hi, i)
+			}
+		}
+	default:
+		bmZero(lo)
+		bmFill(hi, rows)
+	}
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func cmpI64(a, b int64, cmp CmpOp) bool {
+	switch cmp {
+	case CmpEq:
+		return a == b
+	case CmpNe:
+		return a != b
+	case CmpLt:
+		return a < b
+	case CmpLe:
+		return a <= b
+	case CmpGt:
+		return a > b
+	case CmpGe:
+		return a >= b
+	}
+	return false
+}
+
+// colCursor scans one v3 segment under a field mask and compiled
+// prefilter: per block it reads the directory, asks the zone maps
+// whether the block can match at all, evaluates the prefilter over
+// just the predicate's columns, and only then loads the projected
+// columns and materializes the selected rows.
+type colCursor struct {
+	cs    *colSeg
+	prog  *vecProg
+	mask  session.FieldMask
+	stats *PlanStats
+
+	bi     int
+	rows   int
+	row    int
+	dir    colDir
+	sel    []uint64
+	loaded session.ColumnSet
+	pre    session.ColumnSet // columns prefilled from sidecars, stripes unread
+	rawOK  bool
+
+	need    session.ColumnSet // ColumnsForMask(mask), cached
+	asm     session.Columns
+	colIdx  []int  // loaded∩need columns materialize refreshes per row
+	ipArena string // block's client_ip stripe, one string alloc per block
+	dec     *session.JSONDecoder
+	ar      *recArena
+}
+
+// openColCursor opens a masked scan over one v3 segment.
+func (s *Store) openColCursor(meta *segmentMeta, prog *vecProg, mask session.FieldMask, stats *PlanStats, dec *session.JSONDecoder, ar *recArena) (*colCursor, error) {
+	cs, err := s.openColSeg(meta)
+	if err != nil {
+		return nil, err
+	}
+	return &colCursor{
+		cs: cs, prog: prog, mask: mask, stats: stats,
+		need: session.ColumnsForMask(mask), dec: dec, ar: ar,
+	}, nil
+}
+
+func (cc *colCursor) close() error { return cc.cs.close() }
+
+// next returns the next selected record, or io.EOF.
+func (cc *colCursor) next() (*session.Record, error) {
+	for {
+		if cc.row >= cc.rows {
+			ok, err := cc.nextBlock()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return nil, io.EOF
+			}
+			continue
+		}
+		i := bmNext(cc.sel, cc.row, cc.rows)
+		if i >= cc.rows {
+			cc.row = cc.rows
+			continue
+		}
+		cc.row = i + 1
+		r, err := cc.materialize(i)
+		if err != nil {
+			return nil, err
+		}
+		if cc.stats != nil {
+			cc.stats.ScannedRecords++
+		}
+		return r, nil
+	}
+}
+
+// nextBlock advances to the next block that survives zone pruning and
+// prefiltering, loading its projected columns. Returns false at EOF.
+func (cc *colCursor) nextBlock() (bool, error) {
+	for cc.bi < len(cc.cs.meta.Blocks) {
+		bi := cc.bi
+		cc.bi++
+		if err := cc.cs.readDir(bi, &cc.dir); err != nil {
+			return false, err
+		}
+		if cc.prog != nil && cc.prog.root.blockTri(&cc.dir) == triFalse {
+			if cc.stats != nil {
+				cc.stats.BlocksZonePruned++
+				cc.stats.BlocksSkipped++
+			}
+			continue
+		}
+		if err := cc.cs.loadSidecars(&cc.dir, cc.stats); err != nil {
+			return false, err
+		}
+		if cc.cs.s != nil {
+			cc.cs.s.blocksRead.Add(1)
+		}
+		if cc.stats != nil {
+			cc.stats.BlocksRead++
+		}
+		rows := cc.dir.rows
+		words := bmWords(rows)
+		a := bmAlloc{arena: &cc.cs.sc.bm}
+		cc.sel = a.get(words)
+		cc.loaded = 0
+		cc.rawOK = false
+
+		if cc.prog != nil {
+			// Phase 1: only the predicate's columns, then evaluate.
+			if err := cc.loadCols(cc.prog.cols); err != nil {
+				return false, err
+			}
+			lo := a.get(words)
+			env := &vecEnv{sc: cc.cs.sc, rows: rows, tnOK: len(cc.cs.sc.tnanos) == rows}
+			cc.prog.root.eval(env, &a, lo, cc.sel)
+			if bmCount(cc.sel) == 0 {
+				continue
+			}
+		} else {
+			bmFill(cc.sel, rows)
+		}
+
+		// Phase 2: the projection's columns, plus raw overflow. The
+		// meta sidecar already holds the protocol (via the dictionary)
+		// and — when the block's timestamps round-trip through nanos —
+		// the start time verbatim, so those stripes are never loaded:
+		// materialize prefills the fields from the sidecar instead.
+		cc.pre = session.ColumnSet(1 << uint(session.ColProto))
+		if len(cc.cs.sc.tnanos) == rows {
+			cc.pre |= 1 << uint(session.ColStart)
+		}
+		if err := cc.loadCols(cc.need &^ cc.pre); err != nil {
+			return false, err
+		}
+		// Same idea for client_ip, with the loaded stripe itself as the
+		// source: when the writer asserted (directory plain bit) that
+		// every fragment in the block is a plain quoted ASCII string,
+		// one string copy of the whole stripe replaces a per-row
+		// parse-and-allocate — rows slice it, quotes stripped. A
+		// retained record pins its block's copy; that is bounded by the
+		// block size, the same order as the record's own strings.
+		cc.ipArena = ""
+		if cc.mask&session.FClientIP != 0 && cc.dir.plain.Has(session.ColClientIP) {
+			if cd := &cc.cs.sc.cols[session.ColClientIP]; cc.loaded.Has(session.ColClientIP) && cd.lens != nil {
+				cc.ipArena = string(cd.data)
+				cc.pre |= 1 << uint(session.ColClientIP)
+			}
+		}
+		if err := cc.cs.loadRaw(&cc.dir, cc.stats); err != nil {
+			return false, err
+		}
+		cc.rawOK = true
+		cc.asmRebuild()
+		cc.rows, cc.row = rows, 0
+		return true, nil
+	}
+	return false, nil
+}
+
+// asmRebuild refreshes the per-row assembly plan after the block's
+// loaded set changes: columns the decode will never consult go nil
+// once, so materialize touches only the live ones per row. The decoder
+// reads only ColumnsForMask(mask) columns, and the reassembly fallback
+// only feeds a masked decode, so loaded predicate-only columns outside
+// that set can stay nil too.
+func (cc *colCursor) asmRebuild() {
+	cc.colIdx = cc.colIdx[:0]
+	reads := cc.loaded & cc.need &^ cc.pre
+	for c := 0; c < session.NumColumns; c++ {
+		if reads.Has(c) {
+			cc.colIdx = append(cc.colIdx, c)
+		} else {
+			cc.asm[c] = nil
+		}
+	}
+}
+
+// loadCols loads the not-yet-loaded columns of the set.
+func (cc *colCursor) loadCols(set session.ColumnSet) error {
+	for c := 0; c < session.NumColumns; c++ {
+		if !set.Has(c) || cc.loaded.Has(c) {
+			continue
+		}
+		if err := cc.cs.loadCol(&cc.dir, c, cc.stats); err != nil {
+			return err
+		}
+		cc.loaded |= 1 << uint(c)
+	}
+	return nil
+}
+
+// materialize decodes row i under the cursor's mask: raw rows through
+// the whole-line decoder, shredded rows column-directly, falling back
+// to reassembly plus the whole-line decoder if a fragment bails.
+func (cc *colCursor) materialize(i int) (*session.Record, error) {
+	sc := cc.cs.sc
+	r := cc.ar.alloc()
+	if line := sc.raw.frag(i); line != nil {
+		if err := cc.dec.DecodeMasked(line, r, cc.mask); err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
+	for _, c := range cc.colIdx {
+		cc.asm[c] = sc.cols[c].frag(i)
+	}
+	// Arena records arrive zeroed, so the sidecar values can go straight
+	// into the record and the decoder skips those columns entirely.
+	if cc.pre.Has(session.ColStart) {
+		r.Start = time.Unix(0, sc.tnanos[i]).UTC()
+	}
+	if cc.pre.Has(session.ColProto) {
+		r.Protocol = sc.dict[sc.protos[i]]
+	}
+	if cc.pre.Has(session.ColClientIP) {
+		cd := &sc.cols[session.ColClientIP]
+		if l := cd.lens[i]; l >= 2 {
+			off := cd.off[i]
+			r.ClientIP = cc.ipArena[off+1 : off+l-1]
+		}
+	}
+	if cc.dec.DecodeColumnsPrefilled(&cc.asm, r, cc.mask, cc.pre) {
+		return r, nil
+	}
+	if cc.pre != 0 {
+		// The fallback reassembles a whole line, which needs the real
+		// fragments of the prefilled columns: load their stripes and
+		// stop prefilling for the rest of this block.
+		if err := cc.loadCols(cc.pre); err != nil {
+			return nil, err
+		}
+		cc.pre = 0
+		cc.asmRebuild()
+		for _, c := range cc.colIdx {
+			cc.asm[c] = sc.cols[c].frag(i)
+		}
+	}
+	// A loaded-column subset assembles to a valid canonical line whose
+	// masked decode matches the full line's: omitted columns are either
+	// outside the mask (never stored) or absent in the original too.
+	sc.lineBuf = session.AppendAssembled(sc.lineBuf[:0], &cc.asm)
+	if err := cc.dec.DecodeMasked(sc.lineBuf, r, cc.mask); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

@@ -70,6 +70,10 @@ type ServeConfig struct {
 	// StoreCodec selects the block codec for segments the store seals:
 	// store.CodecLZ (default) or store.CodecFlate (v1-compatible).
 	StoreCodec string
+	// StoreFormat selects the segment layout the store seals: "" or
+	// store.FormatV2 for row blocks, store.FormatV3 for columnar
+	// stripes (fastest projected scans; always LZ-compressed).
+	StoreFormat string
 	// StoreMaxBatch caps how many records one group-commit WAL write
 	// may carry (0 = store default).
 	StoreMaxBatch int
@@ -173,6 +177,7 @@ func Serve(cfg ServeConfig) (*Server, error) {
 	if cfg.StorePath != "" {
 		s.store, err = store.Open(cfg.StorePath, store.Options{
 			Codec:    cfg.StoreCodec,
+			Format:   cfg.StoreFormat,
 			MaxBatch: cfg.StoreMaxBatch,
 			MaxDelay: cfg.StoreMaxDelay,
 		})
