@@ -6,7 +6,7 @@
 //
 //	hncollect -dir fleet/ [-listen :7070] [-admin :9091]
 //	          [-store-codec lz] [-store-max-batch N] [-store-max-delay D]
-//	          [-sync-ack=true]
+//	          [-sync-ack=true] [-live=true]
 //
 // Delivery is at-least-once from the edges and exactly-once in the
 // shards: each edge resumes from the cursor the collector advertises at
@@ -14,6 +14,11 @@
 // -sync-ack (the default) an acknowledgment implies the record is
 // fsynced here, so a collector crash never loses acked data. SIGTERM
 // seals every shard so the fleet directory is immediately queryable.
+//
+// With -live (the default) every committed record also feeds the
+// streaming analytics pipeline — fleet-wide online classification,
+// cluster assignment, and campaign waves — surfaced as honeynet_live_*
+// on /metrics and as a JSON snapshot on /live.
 package main
 
 import (
@@ -26,29 +31,41 @@ import (
 	"os/signal"
 	"syscall"
 
+	"honeynet/internal/classify"
 	"honeynet/internal/fleet"
+	"honeynet/internal/live"
 	"honeynet/internal/obs"
+	"honeynet/internal/session"
 	"honeynet/internal/store"
 )
 
 func main() {
 	var (
-		dir     = flag.String("dir", "", "fleet directory to write per-node shards under (required)")
-		listen  = flag.String("listen", ":7070", "address to accept edge connections on")
-		admin   = flag.String("admin", "", "admin listen address serving /metrics and /healthz (empty to disable)")
-		codec   = flag.String("store-codec", "", `block codec for newly sealed shard segments: "lz" (default) or "flate"`)
-		batch   = flag.Int("store-max-batch", 0, "records per group-commit WAL write in each shard (0 = default)")
-		delay   = flag.Duration("store-max-delay", 0, "longest a record may wait in a shard's group-commit batch (0 = default)")
-		syncAck = flag.Bool("sync-ack", true, "fsync a shard's WAL before acknowledging, so acked records survive a collector crash")
+		dir      = flag.String("dir", "", "fleet directory to write per-node shards under (required)")
+		listen   = flag.String("listen", ":7070", "address to accept edge connections on")
+		admin    = flag.String("admin", "", "admin listen address serving /metrics, /healthz, /live (empty to disable)")
+		codec    = flag.String("store-codec", "", `block codec for newly sealed shard segments: "lz" (default) or "flate"`)
+		batch    = flag.Int("store-max-batch", 0, "records per group-commit WAL write in each shard (0 = default)")
+		delay    = flag.Duration("store-max-delay", 0, "longest a record may wait in a shard's group-commit batch (0 = default)")
+		syncAck  = flag.Bool("sync-ack", true, "fsync a shard's WAL before acknowledging, so acked records survive a collector crash")
+		liveOn   = flag.Bool("live", true, "run the streaming analytics pipeline over committed records (honeynet_live_* metrics, /live on -admin)")
+		liveSeed = flag.Int64("live-seed", 0, "seed for the live cluster engine's sampling (0 = default)")
 	)
 	flag.Parse()
 	if *dir == "" {
 		log.Fatal("hncollect: -dir is required")
 	}
 
+	var pipeline *live.Pipeline
+	if *liveOn {
+		pipeline = live.NewPipeline(live.Options{Seed: *liveSeed})
+	}
 	opts := fleet.ServerOptions{
 		Store:   store.Options{Codec: *codec, MaxBatch: *batch, MaxDelay: *delay},
 		SyncAck: *syncAck,
+	}
+	if pipeline != nil {
+		opts.OnRecord = func(_ string, r *session.Record) { pipeline.Observe(r) }
 	}
 	srv, err := fleet.NewServer(*dir, opts)
 	if err != nil {
@@ -62,9 +79,15 @@ func main() {
 
 	reg := obs.NewRegistry()
 	srv.Register(reg)
+	var routes []obs.Route
+	if pipeline != nil {
+		pipeline.Register(reg)
+		classify.Register(reg)
+		routes = append(routes, obs.Route{Pattern: "/live", Handler: pipeline.Handler()})
+	}
 	var adminSrv *http.Server
 	if *admin != "" {
-		mux := obs.AdminMux(reg, func() error { return nil })
+		mux := obs.AdminMux(reg, func() error { return nil }, routes...)
 		ln, err := net.Listen("tcp", *admin)
 		if err != nil {
 			log.Fatalf("hncollect: admin: %v", err)

@@ -7,6 +7,7 @@
 //
 //	hnquery -store DIR [-csv] 'SELECT month, count(*) GROUP BY month'
 //	hnquery -store DIR            # statements read from stdin, one per line
+//	hnquery -store DIR -follow ['predicate']
 //
 // The statement grammar (see the README "Querying the store" section):
 //
@@ -16,15 +17,29 @@
 // A fleet directory written by hncollect opens transparently: the
 // query scatter-gathers across the per-node shards and the plan
 // statistics sum shard-wide.
+//
+// -follow tails the store (or every shard of a fleet) live: records are
+// printed as canonical JSONL as another process appends them, no Load,
+// no restart. The optional positional argument is a bare WHERE
+// predicate (same grammar as the statement WHERE clause) filtering the
+// stream, e.g.:
+//
+//	hnquery -store fleet/ -follow "downloads > 0 AND proto = 'ssh'"
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
+	"time"
 
 	"honeynet/internal/query"
 	"honeynet/internal/report"
@@ -36,12 +51,21 @@ func main() {
 	var (
 		storeDir = flag.String("store", "", "session store or fleet directory (required)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		follow   = flag.Bool("follow", false, "tail the store live, printing appended records as canonical JSONL (optional argument: a WHERE predicate)")
+		interval = flag.Duration("interval", time.Second, "poll interval for -follow")
 	)
 	flag.Parse()
 	if *storeDir == "" {
 		fmt.Fprintln(os.Stderr, "hnquery: -store DIR is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *follow {
+		if err := runFollow(*storeDir, strings.Join(flag.Args(), " "), *interval); err != nil {
+			log.Fatalf("hnquery: %v", err)
+		}
+		return
 	}
 
 	src, err := openSource(*storeDir)
@@ -82,12 +106,107 @@ type source interface {
 }
 
 // openSource opens dir read-only as a single store or, transparently,
-// as a fleet of per-node shards.
+// as a fleet of per-node shards. A directory whose writer has a
+// background seal in flight (frozen WAL present) can fail to open for a
+// moment mid-rename; instead of dying with an opaque error, wait the
+// seal out with a clear message and retry briefly.
 func openSource(dir string) (source, error) {
+	const (
+		tries = 20
+		pause = 250 * time.Millisecond
+	)
+	var lastErr error
+	for attempt := 0; attempt < tries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(pause)
+		}
+		src, err := openSourceOnce(dir)
+		if err == nil {
+			return src, nil
+		}
+		lastErr = err
+		if !sealingAnywhere(dir) {
+			return nil, err
+		}
+		if attempt == 0 {
+			fmt.Fprintf(os.Stderr, "hnquery: %s: background seal in progress, waiting for it to settle...\n", dir)
+		}
+	}
+	return nil, fmt.Errorf("%w (a background seal kept the store busy for %v; retry once the writer's seal finishes)",
+		lastErr, time.Duration(tries)*pause)
+}
+
+func openSourceOnce(dir string) (source, error) {
 	if store.IsFleetDir(dir) {
 		return store.OpenFleet(dir, store.Options{ReadOnly: true})
 	}
 	return store.Open(dir, store.Options{ReadOnly: true})
+}
+
+// sealingAnywhere reports whether dir — or any node shard under it —
+// currently holds a frozen WAL awaiting a background seal.
+func sealingAnywhere(dir string) bool {
+	if store.Sealing(dir) {
+		return true
+	}
+	if !store.IsFleetDir(dir) {
+		return false
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), store.NodeDirPrefix) &&
+			store.Sealing(filepath.Join(dir, e.Name())) {
+			return true
+		}
+	}
+	return false
+}
+
+// runFollow tails the store live (see store.Follow), printing each
+// record — filtered by the optional predicate — as canonical JSONL.
+// Ends cleanly on SIGINT/SIGTERM.
+func runFollow(dir, pred string, interval time.Duration) error {
+	var filter store.Filter
+	if p := strings.TrimSpace(pred); p != "" {
+		f, err := query.CompileFilter(p)
+		if err != nil {
+			if se, ok := err.(*query.SyntaxError); ok && se.Pos <= len(p) {
+				fmt.Fprintf(os.Stderr, "  %s\n  %s^\n", p, strings.Repeat(" ", se.Pos))
+			}
+			return err
+		}
+		filter = f
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	dec := &session.JSONDecoder{}
+	err := store.Follow(ctx, dir, store.Options{}, interval, func(node string, seq uint64, line []byte) error {
+		if filter != nil {
+			var r session.Record
+			if err := dec.Decode(line, &r); err != nil {
+				return fmt.Errorf("%s seq %d: %w", node, seq, err)
+			}
+			if !filter(&r) {
+				return nil
+			}
+		}
+		if _, err := w.Write(line); err != nil {
+			return err
+		}
+		if err := w.WriteByte('\n'); err != nil {
+			return err
+		}
+		return w.Flush()
+	})
+	if errors.Is(err, context.Canceled) {
+		return nil
+	}
+	return err
 }
 
 // runOne executes one statement and prints its result.

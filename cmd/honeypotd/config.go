@@ -51,6 +51,8 @@ type Config struct {
 	ForwardDelay time.Duration
 	AckWindow    int
 
+	Live bool
+
 	MaxConns      int
 	MaxConnsPerIP int
 	Rate          string
@@ -82,6 +84,7 @@ func (c *Config) RegisterFlags(fs *flag.FlagSet) {
 	fs.IntVar(&c.ForwardBatch, "forward-batch", 0, "records per forwarded batch frame (0 = 256)")
 	fs.DurationVar(&c.ForwardDelay, "forward-max-delay", 0, "longest a record may wait for a forward batch to fill (0 = 2ms)")
 	fs.IntVar(&c.AckWindow, "ack-window", 0, "unacknowledged in-flight record cap before forwarding waits for collector acks (0 = 4x batch)")
+	fs.BoolVar(&c.Live, "live", true, "run the streaming analytics pipeline on ingest (honeynet_live_* metrics, /live on -admin)")
 	fs.IntVar(&c.MaxConns, "max-conns", defaultMaxConns, "global concurrent connection cap; oldest connection is shed at the cap (0 = unlimited)")
 	fs.IntVar(&c.MaxConnsPerIP, "max-conns-per-ip", defaultMaxConnsPerIP, "per-IP concurrent connection cap; newcomers beyond it are shed (0 = unlimited)")
 	fs.StringVar(&c.Rate, "rate", defaultRate, "per-IP connection admission rate, e.g. 5/s, 300/m (empty = unlimited)")
@@ -154,5 +157,6 @@ func (c *Config) ServeConfig() honeynet.ServeConfig {
 		LogPath:         c.Out,
 		LogMaxSize:      c.logMaxBytes,
 		DrainTimeout:    c.DrainTimeout,
+		LiveOff:         !c.Live,
 	}
 }

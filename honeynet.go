@@ -36,6 +36,7 @@ import (
 
 	"honeynet/internal/analysis"
 	"honeynet/internal/core"
+	"honeynet/internal/live"
 	"honeynet/internal/obs"
 	"honeynet/internal/query"
 	"honeynet/internal/session"
@@ -66,6 +67,17 @@ type Registry = obs.Registry
 
 // NewRegistry returns an empty metrics registry.
 func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// LivePipeline is the streaming analytics engine Serve runs on the
+// ingest path: online classification, incremental cluster assignment,
+// and campaign/wave detection. See internal/live.
+type LivePipeline = live.Pipeline
+
+// LiveOptions tunes the live pipeline (ServeConfig.LiveOptions).
+type LiveOptions = live.Options
+
+// LiveSnapshot is the /live JSON document (LivePipeline.Snapshot).
+type LiveSnapshot = live.Snapshot
 
 // config collects what the functional options tune.
 type config struct {

@@ -3,6 +3,7 @@ package analysis
 import (
 	"sync/atomic"
 
+	"honeynet/internal/classify"
 	"honeynet/internal/obs"
 	"honeynet/internal/textdist"
 )
@@ -39,10 +40,12 @@ func addKernelStats(st textdist.KernelStats) {
 	}
 }
 
-// Register exposes the analysis work counters on reg (nil-safe). Call
-// once per registry; the daemon wires this next to its component
-// registrations so long-running analyze endpoints are observable.
+// Register exposes the analysis work counters on reg (nil-safe), along
+// with the classifier's literal-prefilter counters. Call once per
+// registry; the daemon wires this next to its component registrations
+// so long-running analyze endpoints are observable.
 func Register(reg *obs.Registry) {
+	classify.Register(reg)
 	reg.CounterFunc("honeynet_analysis_dld_pairs_total",
 		"Pairwise token-DLD computations requested by the analysis pipeline.",
 		dldPairs.Load)

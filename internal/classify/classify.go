@@ -14,9 +14,34 @@ import (
 	"regexp"
 	"strings"
 	"sync"
+	"sync/atomic"
 
+	"honeynet/internal/obs"
 	"honeynet/internal/parallel"
 )
+
+// Literal-prefilter work counters (obs instrument pattern 2: plain
+// atomics bridged by Register). Every rule probe either short-circuits
+// on a missing literal substring — no regex runs at all — or falls
+// through to regex verification. The ratio is what justifies compiling
+// the literals into the single-pass streaming matcher (internal/live):
+// on real corpora the overwhelming majority of the 59 probes per
+// session die in the substring scan.
+var (
+	litShortcircuits atomic.Int64 // probes ended by a missing literal
+	litVerifies      atomic.Int64 // probes that reached regex verification
+)
+
+// Register exposes the classifier's literal-prefilter counters on reg
+// (nil-safe). Call once per registry.
+func Register(reg *obs.Registry) {
+	reg.CounterFunc("honeynet_classify_literal_skip_total",
+		"Rule probes short-circuited by the literal substring prefilter (no regex ran).",
+		litShortcircuits.Load)
+	reg.CounterFunc("honeynet_classify_regex_verify_total",
+		"Rule probes that fell through the literal prefilter to regex verification.",
+		litVerifies.Load)
+}
 
 // Unknown is the fallback category for sessions no rule matches.
 const Unknown = "unknown"
@@ -186,6 +211,11 @@ func (c *Classifier) Classify(text string) string {
 	return cat
 }
 
+// ClassifyUncached classifies without consulting or filling the memo —
+// the reference path for the streaming-vs-batch equivalence tests and
+// for benchmarks that must measure rule probing, not cache hits.
+func (c *Classifier) ClassifyUncached(text string) string { return c.classify(text) }
+
 // classify applies the rule table without touching the memo.
 func (c *Classifier) classify(text string) string {
 	for i := range c.rules {
@@ -231,9 +261,20 @@ func (c *Classifier) ClassifyAll(texts []string, workers int) []string {
 func (r *Rule) Matches(text string) bool {
 	for _, lit := range r.literals {
 		if !strings.Contains(text, lit) {
+			litShortcircuits.Add(1)
 			return false
 		}
 	}
+	litVerifies.Add(1)
+	return r.Verify(text)
+}
+
+// Verify checks only the regex conjunction and exclusions, skipping the
+// literal substring prefilter. Callers that have already proven every
+// literal occurs in text (the streaming matcher's Aho–Corasick pass)
+// use it to finish a candidate probe; Matches == literals present &&
+// Verify, by construction.
+func (r *Rule) Verify(text string) bool {
 	for _, re := range r.require {
 		if !re.MatchString(text) {
 			return false
@@ -246,6 +287,23 @@ func (r *Rule) Matches(text string) bool {
 	}
 	return true
 }
+
+// Literals returns the rule's plain-substring prefilters: one per
+// Require regex whose match set is exactly one literal string. A rule
+// can only match texts containing every literal. Rules built from
+// regexes with no complete literal form return an empty slice — they
+// must always be verified.
+func (r *Rule) Literals() []string { return r.literals }
+
+// RequireRegexps returns the compiled Require conjunction in rule
+// order. The streaming matcher builds its residual verification plans
+// from the compiled forms: requires whose match set is exactly one
+// literal are proven (or refuted) by the automaton pass alone and never
+// reach the regex engine.
+func (r *Rule) RequireRegexps() []*regexp.Regexp { return r.require }
+
+// ExcludeRegexps returns the compiled Exclude regexes.
+func (r *Rule) ExcludeRegexps() []*regexp.Regexp { return r.exclude }
 
 // IsGeneric reports whether name is one of the generic loader categories.
 func (c *Classifier) IsGeneric(name string) bool {

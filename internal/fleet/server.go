@@ -25,6 +25,11 @@ type ServerOptions struct {
 	// lost from the fleet, but the collector's copy lags until the
 	// edges resend or operators re-sync. On by default in hncollect.
 	SyncAck bool
+	// OnRecord, if set, observes every record after it commits to its
+	// node's shard (exactly once per sequence — duplicates and gaps
+	// never reach it). It runs on the connection's ingest goroutine;
+	// hncollect points it at the live analytics pipeline.
+	OnRecord func(node string, r *session.Record)
 }
 
 // Server is the collector: it accepts edge connections, writes one
@@ -240,6 +245,9 @@ func (s *Server) handle(conn net.Conn) {
 				if err := st.Append(r); err != nil {
 					s.reject(bw, "append failed")
 					return
+				}
+				if s.opts.OnRecord != nil {
+					s.opts.OnRecord(hello.Node, r)
 				}
 				next++
 				progressed = true

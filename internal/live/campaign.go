@@ -1,0 +1,179 @@
+package live
+
+import (
+	"math"
+	"time"
+)
+
+// campaigns is the live wave detector: one fast/slow EWMA rate pair per
+// classification category plus a fleet-wide total, driven by record
+// timestamps (event time, so replayed history and live traffic behave
+// identically). A category whose fast rate bursts past OnsetFactor ×
+// its slow baseline opens a wave (the mdrfckr pattern of section 9); it
+// closes, with hysteresis, when the fast rate falls back under
+// OffsetFactor × baseline. The same comparison inverted on the
+// fleet-wide total detects activity drops (the section 10 signal that
+// found the honeynet's dead listeners).
+type campaigns struct {
+	fastTau float64 // seconds
+	slowTau float64 // seconds
+	onset   float64
+	offset  float64
+	minRate float64 // events/min a fast rate must reach before a wave can open
+	maxLog  int
+
+	cats  map[string]*catRate
+	total catRate
+
+	waves    []Wave // closed + active, bounded to maxLog
+	active   int
+	drop     bool // fleet-wide activity drop currently signaled
+	dropsTot int64
+}
+
+// catRate is one category's rate state.
+type catRate struct {
+	count      int64
+	fast, slow float64 // events per minute
+	last       time.Time
+	wave       int // index+1 into waves while a wave is open, else 0
+}
+
+// Wave is one detected burst of a category.
+type Wave struct {
+	Category string    `json:"category"`
+	Start    time.Time `json:"start"`
+	// End is the zero time while the wave is active.
+	End time.Time `json:"end"`
+	// Peak is the highest fast rate (events/min) seen during the wave.
+	Peak float64 `json:"peak_per_min"`
+	// Baseline is the slow rate at onset.
+	Baseline float64 `json:"baseline_per_min"`
+}
+
+func newCampaigns(fastHalfLife, slowHalfLife time.Duration, onset, offset, minRate float64, maxLog int) *campaigns {
+	// Half-life to exponential time constant: tau = t½ / ln 2.
+	return &campaigns{
+		fastTau: fastHalfLife.Seconds() / math.Ln2,
+		slowTau: slowHalfLife.Seconds() / math.Ln2,
+		onset:   onset,
+		offset:  offset,
+		minRate: minRate,
+		maxLog:  maxLog,
+		cats:    map[string]*catRate{},
+	}
+}
+
+// decay advances an EWMA rate pair to t without folding in an event.
+// Rates are events/min estimated by unit-mass exponential kernels.
+func (c *campaigns) decay(r *catRate, t time.Time) {
+	if !r.last.IsZero() {
+		dt := t.Sub(r.last).Seconds()
+		if dt < 0 {
+			dt = 0 // out-of-order arrivals advance state, never rewind it
+		}
+		r.fast *= math.Exp(-dt / c.fastTau)
+		r.slow *= math.Exp(-dt / c.slowTau)
+	}
+	r.last = t
+}
+
+// add folds one event into a rate pair already decayed to its time.
+// One event adds 60/tau events-per-minute of kernel mass: the
+// steady-state value of the estimator equals the true rate.
+func (c *campaigns) add(r *catRate) {
+	r.fast += 60 / c.fastTau
+	r.slow += 60 / c.slowTau
+	r.count++
+}
+
+// observe folds one classified session at event time t into the rate
+// state and runs the onset/offset transitions. Caller holds the
+// Pipeline lock.
+//
+// Quiet-side transitions — wave offset and activity-drop onset — are
+// evaluated on the rates decayed to t but before this event's own
+// kernel mass is added: a lone straggler after a long silence would
+// otherwise refresh the fast rate past the threshold and mask exactly
+// the gap it proves. Everything is event-time driven, so silence is
+// only ever noticed when the next event arrives.
+func (c *campaigns) observe(cat string, t time.Time) {
+	r := c.cats[cat]
+	if r == nil {
+		r = &catRate{}
+		c.cats[cat] = r
+	}
+
+	// Fleet-wide activity drop: a silence gap far longer than the slow
+	// baseline's mean inter-arrival (1/slow minutes) predicts. Measured
+	// against the pre-decay baseline — the rate as of when the silence
+	// began.
+	dropFired := false
+	if !c.drop && c.total.count > 10 && c.total.slow > 0 && !c.total.last.IsZero() {
+		if gap := t.Sub(c.total.last).Minutes(); gap > c.onset/c.total.slow {
+			c.drop = true
+			c.dropsTot++
+			dropFired = true
+		}
+	}
+
+	c.decay(r, t)
+	c.decay(&c.total, t)
+
+	// Wave offset on the pre-event fast rate, with hysteresis.
+	if r.wave != 0 && r.fast < c.offset*r.slow {
+		c.waves[r.wave-1].End = t
+		r.wave = 0
+		c.active--
+	}
+
+	c.add(r)
+	c.add(&c.total)
+
+	// Wave onset and peak tracking on the post-event fast rate.
+	if r.wave == 0 {
+		if r.fast >= c.minRate && r.count > 1 && r.fast > c.onset*r.slow {
+			c.waves = append(c.waves, Wave{Category: cat, Start: t, Peak: r.fast, Baseline: r.slow})
+			if len(c.waves) > c.maxLog {
+				// Drop the oldest closed wave; open-wave indices shift.
+				c.evictOldestClosed()
+			}
+			r.wave = c.waveIndex(cat) + 1
+			c.active++
+		}
+	} else if w := &c.waves[r.wave-1]; r.fast > w.Peak {
+		w.Peak = r.fast
+	}
+
+	// Drop recovery: traffic flowing again at a meaningful fraction of
+	// its baseline. Never on the same event that proved the drop.
+	if c.drop && !dropFired && c.total.fast > c.total.slow*c.offset {
+		c.drop = false
+	}
+}
+
+// waveIndex returns the index of the most recent wave for cat.
+func (c *campaigns) waveIndex(cat string) int {
+	for i := len(c.waves) - 1; i >= 0; i-- {
+		if c.waves[i].Category == cat {
+			return i
+		}
+	}
+	return -1
+}
+
+// evictOldestClosed removes the oldest closed wave from the log,
+// remapping the open waves' back-references.
+func (c *campaigns) evictOldestClosed() {
+	for i := range c.waves {
+		if !c.waves[i].End.IsZero() {
+			c.waves = append(c.waves[:i], c.waves[i+1:]...)
+			for _, r := range c.cats {
+				if r.wave > i {
+					r.wave--
+				}
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package live
+
+import (
+	"testing"
+	"time"
+)
+
+func newTestCampaigns() *campaigns {
+	return newCampaigns(5*time.Minute, 6*time.Hour, 8, 2, 1, 16)
+}
+
+// TestWaveOnsetOffset drives the mdrfckr pattern: a long quiet
+// baseline, a hundred-events-a-minute burst, then silence.
+func TestWaveOnsetOffset(t *testing.T) {
+	c := newTestCampaigns()
+	t0 := time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
+
+	// Baseline: one event every 30 minutes for two days.
+	tm := t0
+	for i := 0; i < 96; i++ {
+		c.observe("mdrfckr", tm)
+		tm = tm.Add(30 * time.Minute)
+	}
+	if c.active != 0 {
+		t.Fatalf("baseline traffic opened %d waves", c.active)
+	}
+
+	// Burst: 300 events over 3 minutes.
+	for i := 0; i < 300; i++ {
+		c.observe("mdrfckr", tm)
+		tm = tm.Add(600 * time.Millisecond)
+	}
+	if c.active != 1 {
+		t.Fatalf("burst did not open a wave (active=%d, waves=%d)", c.active, len(c.waves))
+	}
+	w := c.waves[len(c.waves)-1]
+	if w.Category != "mdrfckr" || !w.End.IsZero() {
+		t.Fatalf("bad open wave %+v", w)
+	}
+	if w.Peak < 10 {
+		t.Fatalf("peak %v too low for a 100/min burst", w.Peak)
+	}
+
+	// Silence, then a stray event: the fast rate has decayed far below
+	// the baseline — the wave must close.
+	tm = tm.Add(6 * time.Hour)
+	c.observe("mdrfckr", tm)
+	if c.active != 0 {
+		t.Fatalf("wave still open after 6h silence")
+	}
+	w = c.waves[len(c.waves)-1]
+	if w.End.IsZero() {
+		t.Fatal("closed wave has zero End")
+	}
+}
+
+// TestActivityDrop drives the section 10 signal: steady fleet traffic,
+// then near-total silence.
+func TestActivityDrop(t *testing.T) {
+	c := newTestCampaigns()
+	tm := time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
+	// Steady: one event a minute for a day, alternating categories so no
+	// per-category wave fires.
+	cats := []string{"a", "b", "c", "d"}
+	for i := 0; i < 1440; i++ {
+		c.observe(cats[i%len(cats)], tm)
+		tm = tm.Add(time.Minute)
+	}
+	if c.drop {
+		t.Fatal("steady traffic flagged as a drop")
+	}
+	// Silence for two days, then one straggler event.
+	tm = tm.Add(48 * time.Hour)
+	c.observe("a", tm)
+	if !c.drop {
+		t.Fatal("48h silence not flagged as an activity drop")
+	}
+	if c.dropsTot != 1 {
+		t.Fatalf("dropsTot = %d", c.dropsTot)
+	}
+	// Recovery: traffic resumes at the old rate.
+	for i := 0; i < 2000; i++ {
+		c.observe(cats[i%len(cats)], tm)
+		tm = tm.Add(30 * time.Second)
+	}
+	if c.drop {
+		t.Fatal("recovered traffic still flagged as a drop")
+	}
+}
+
+// TestWaveLogBounded floods the detector with bursts across many
+// categories and checks the log stays within maxLog with open-wave
+// back-references intact.
+func TestWaveLogBounded(t *testing.T) {
+	c := newCampaigns(time.Minute, 6*time.Hour, 8, 2, 1, 4)
+	tm := time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
+	cats := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for round := 0; round < 6; round++ {
+		cat := cats[round%len(cats)]
+		// Quiet baseline for this category.
+		for i := 0; i < 30; i++ {
+			c.observe(cat, tm)
+			tm = tm.Add(time.Hour)
+		}
+		// Burst to open a wave...
+		for i := 0; i < 120; i++ {
+			c.observe(cat, tm)
+			tm = tm.Add(time.Second)
+		}
+		// ...then cool down to close it.
+		tm = tm.Add(12 * time.Hour)
+		c.observe(cat, tm)
+	}
+	if len(c.waves) > 4 {
+		t.Fatalf("wave log %d exceeds bound 4", len(c.waves))
+	}
+	for cat, r := range c.cats {
+		if r.wave != 0 {
+			w := c.waves[r.wave-1]
+			if w.Category != cat || !w.End.IsZero() {
+				t.Fatalf("stale wave back-reference for %q: %+v", cat, w)
+			}
+		}
+	}
+}
+
+// TestOutOfOrderEvents: a timestamp before the last must not rewind or
+// blow up the rates.
+func TestOutOfOrderEvents(t *testing.T) {
+	c := newTestCampaigns()
+	tm := time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
+	c.observe("a", tm)
+	c.observe("a", tm.Add(-time.Hour))
+	c.observe("a", tm.Add(time.Minute))
+	r := c.cats["a"]
+	if r.fast <= 0 || r.slow <= 0 {
+		t.Fatalf("rates went non-positive: fast=%v slow=%v", r.fast, r.slow)
+	}
+	if r.count != 3 {
+		t.Fatalf("count = %d", r.count)
+	}
+}

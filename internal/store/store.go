@@ -627,6 +627,14 @@ func (s *Store) drainPendingLocked() error {
 		}
 		wrote += int64(len(s.pendRun))
 	}
+	// Push the batch to the OS now: one syscall per batch keeps the
+	// group-commit amortization, and external ReadOnly followers (Follow,
+	// hnquery -follow) observe progress without waiting for a sync or
+	// seal. Durability is still governed by SyncEvery.
+	if err := s.walW.Flush(); err != nil {
+		s.walErr = fmt.Errorf("store: wal flush: %w", err)
+		return s.walErr
+	}
 	s.pendRuns = s.pendRuns[:0]
 	s.pendRun = nil
 	s.pend = 0

@@ -1,0 +1,167 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// This file is the live-tail surface: Tail streams a writable store's
+// appends in-process (watch-driven, no polling), and Follow tails a
+// store or fleet directory from the outside (polling ReadOnly
+// snapshots), the engine behind `hnquery -follow`.
+
+// Tail streams every record with sequence >= from, in order, then
+// blocks for new appends and streams those as they arrive, until ctx is
+// done or fn returns an error (which Tail returns). The line passed to
+// fn is the record's canonical JSON, valid only for the duration of the
+// call.
+//
+// Tail is for the writing process: it rides the store's append signal
+// (see Watch) and never misses progress. A ReadOnly open is a frozen
+// snapshot — tailing one only ever yields the records present at Open;
+// use Follow to tail another process's store.
+func (s *Store) Tail(ctx context.Context, from uint64, fn func(seq uint64, line []byte) error) error {
+	w := s.Watch()
+	next := from
+	for {
+		c := s.ScanSeq(next)
+		for c.Next() {
+			if err := fn(c.Seq(), c.Line()); err != nil {
+				c.Close()
+				return err
+			}
+			next = c.Seq() + 1
+		}
+		err := c.Err()
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		// Drain-then-recheck per the Watch contract: an append landing
+		// after the NextSeq check leaves a signal in w for the select.
+		if s.NextSeq() > next {
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-w:
+		}
+	}
+}
+
+// Sealing reports whether dir currently holds a WAL rotated aside for a
+// background seal. Purely informational — opens are safe mid-seal — but
+// useful for operator messaging when an open fails for other reasons.
+func Sealing(dir string) bool {
+	return exists(filepath.Join(dir, walSealingName))
+}
+
+// followMaxFails is how many consecutive polls a shard may fail to open
+// before Follow gives up on it. A freshly created node directory has a
+// window with no store files yet; a seal in flight renames files
+// around; both resolve within a poll or two.
+const followMaxFails = 5
+
+type followCursor struct {
+	next  uint64
+	fails int
+}
+
+// Follow tails a store directory — single store or fleet — from
+// outside the writing process, invoking fn for every record in
+// per-node sequence order as it appears. Each poll re-opens the
+// store(s) ReadOnly, streams everything past the per-node cursor, and
+// closes; node is "" for a single store and the node id for fleet
+// shards. New node-<id> shards are picked up as they appear. Follow
+// returns when ctx is done or fn returns an error (which it returns).
+//
+// Transient open failures (a shard directory still being created, a
+// seal mid-rename) are retried for a few polls before surfacing.
+func Follow(ctx context.Context, dir string, opts Options, interval time.Duration, fn func(node string, seq uint64, line []byte) error) error {
+	opts.ReadOnly = true
+	if interval <= 0 {
+		interval = time.Second
+	}
+	cursors := map[string]*followCursor{}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		if err := followOnce(dir, opts, cursors, fn); err != nil {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+// followOnce runs one poll: snapshot every shard and drain it past its
+// cursor.
+func followOnce(dir string, opts Options, cursors map[string]*followCursor, fn func(node string, seq uint64, line []byte) error) error {
+	type shardRef struct {
+		node string
+		dir  string
+	}
+	var shards []shardRef
+	if IsFleetDir(dir) {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if e.IsDir() && strings.HasPrefix(e.Name(), NodeDirPrefix) {
+				node := strings.TrimPrefix(e.Name(), NodeDirPrefix)
+				shards = append(shards, shardRef{node: node, dir: filepath.Join(dir, e.Name())})
+			}
+		}
+		sort.Slice(shards, func(i, j int) bool { return shards[i].node < shards[j].node })
+	} else {
+		shards = []shardRef{{node: "", dir: dir}}
+	}
+	for _, sh := range shards {
+		cur := cursors[sh.node]
+		if cur == nil {
+			cur = &followCursor{}
+			cursors[sh.node] = cur
+		}
+		st, err := Open(sh.dir, opts)
+		if err != nil {
+			cur.fails++
+			if cur.fails < followMaxFails {
+				continue
+			}
+			return fmt.Errorf("store: follow %s: %w", sh.dir, err)
+		}
+		cur.fails = 0
+		err = drainShard(st, sh.node, cur, fn)
+		if cerr := st.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func drainShard(st *Store, node string, cur *followCursor, fn func(node string, seq uint64, line []byte) error) error {
+	c := st.ScanSeq(cur.next)
+	defer c.Close()
+	for c.Next() {
+		if err := fn(node, c.Seq(), c.Line()); err != nil {
+			return err
+		}
+		cur.next = c.Seq() + 1
+	}
+	return c.Err()
+}

@@ -12,6 +12,7 @@ import (
 	"honeynet/internal/fleet"
 	"honeynet/internal/guard"
 	"honeynet/internal/honeypot"
+	"honeynet/internal/live"
 	"honeynet/internal/obs"
 	"honeynet/internal/sessionlog"
 	"honeynet/internal/simulate"
@@ -103,6 +104,15 @@ type ServeConfig struct {
 	// before force-closing them (default 30s).
 	DrainTimeout time.Duration
 
+	// LiveOff disables the streaming analytics pipeline. By default
+	// every ingested record is classified, cluster-assigned, and rate-
+	// tracked online (honeynet_live_* metrics, the /live admin snapshot);
+	// see Server.Live.
+	LiveOff bool
+	// LiveOptions tunes the live pipeline; the zero value takes every
+	// default (see live.Options).
+	LiveOptions LiveOptions
+
 	// OnRecord, if set, observes every session record after it is
 	// written to the log.
 	OnRecord func(*Record)
@@ -142,6 +152,7 @@ type Server struct {
 	writer  *sessionlog.Writer // nil when only a store is configured
 	store   *store.Store       // nil unless StorePath is set
 	fwd     *fleet.Forwarder   // nil unless ForwardAddr is set
+	livep   *live.Pipeline     // nil when LiveOff
 	limiter *guard.Limiter
 	budget  *guard.Budget
 	reg     *obs.Registry
@@ -213,6 +224,10 @@ func Serve(cfg ServeConfig) (*Server, error) {
 		}
 	}
 
+	if !cfg.LiveOff {
+		s.livep = live.NewPipeline(cfg.LiveOptions)
+	}
+
 	s.limiter = guard.NewLimiter(guard.Config{
 		MaxConns:      cfg.MaxConns,
 		MaxConnsPerIP: cfg.MaxConnsPerIP,
@@ -240,6 +255,9 @@ func Serve(cfg ServeConfig) (*Server, error) {
 				if err := s.store.Append(r); err != nil {
 					return err
 				}
+			}
+			if s.livep != nil {
+				s.livep.Observe(r)
 			}
 			if cfg.OnRecord != nil {
 				cfg.OnRecord(r)
@@ -269,6 +287,9 @@ func Serve(cfg ServeConfig) (*Server, error) {
 	}
 	if s.fwd != nil {
 		s.fwd.Register(s.reg)
+	}
+	if s.livep != nil {
+		s.livep.Register(s.reg)
 	}
 	analysis.Register(s.reg)
 
@@ -301,12 +322,16 @@ func (s *Server) serveAdmin(addr string) error {
 	}
 	s.adminLn = ln
 	s.adminAddr = ln.Addr().String()
+	var routes []obs.Route
+	if s.livep != nil {
+		routes = append(routes, obs.Route{Pattern: "/live", Handler: s.livep.Handler()})
+	}
 	mux := obs.AdminMux(s.reg, func() error {
 		if s.node.Draining() {
 			return errors.New("draining")
 		}
 		return nil
-	})
+	}, routes...)
 	s.adminSrv = &http.Server{Handler: mux}
 	go func() { _ = s.adminSrv.Serve(ln) }()
 	return nil
@@ -334,6 +359,9 @@ func (s *Server) Log() *sessionlog.Writer { return s.writer }
 // Forwarder returns the fleet forwarder (lag, ack state), or nil when
 // ForwardAddr is unset.
 func (s *Server) Forwarder() *fleet.Forwarder { return s.fwd }
+
+// Live returns the streaming analytics pipeline, or nil when LiveOff.
+func (s *Server) Live() *live.Pipeline { return s.livep }
 
 // Drain gracefully shuts the server down: stop accepting, wait up to
 // DrainTimeout for in-flight sessions (then force-close them), append a

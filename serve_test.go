@@ -1,6 +1,7 @@
 package honeynet
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"os"
@@ -254,5 +255,94 @@ func TestSimulateWithStoreThenOpen(t *testing.T) {
 		if a[i].ID != b[i].ID || a[i].ClientIP != b[i].ClientIP || !a[i].Start.Equal(b[i].Start) {
 			t.Fatalf("record %d differs after store round trip", i)
 		}
+	}
+}
+
+// TestServeLivePipeline drives a classifiable session through a full
+// node and checks the streaming analytics pipeline surfaces it on
+// /live and /metrics.
+func TestServeLivePipeline(t *testing.T) {
+	srv, err := Serve(ServeConfig{
+		SSHAddr:      "127.0.0.1:0",
+		AdminAddr:    "127.0.0.1:0",
+		LogOutput:    io.Discard,
+		Timeout:      10 * time.Second,
+		DrainTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Live() == nil {
+		t.Fatal("live pipeline should be on by default")
+	}
+
+	cli, err := sshclient.Dial(srv.SSHAddr(), sshclient.Config{User: "root", Password: "admin123"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := `cd ~ && rm -rf .ssh && echo "ssh-rsa AAA mdrfckr">>.ssh/authorized_keys; echo > /etc/hosts.deny`
+	if _, err := cli.Exec(cmd); err != nil {
+		t.Fatal(err)
+	}
+	cli.Close()
+
+	// Observe runs at session teardown, racing the client close; poll.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Live().Snapshot().Classified == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	snap := srv.Live().Snapshot()
+	if snap.Sessions == 0 || snap.Classified != 1 {
+		t.Fatalf("live snapshot sessions=%d classified=%d", snap.Sessions, snap.Classified)
+	}
+	if len(snap.Categories) != 1 || snap.Categories[0].Name == "unknown" {
+		t.Fatalf("live categories = %+v", snap.Categories)
+	}
+
+	// /live serves the same snapshot as JSON.
+	var doc LiveSnapshot
+	if err := json.Unmarshal([]byte(adminGet(t, srv, "/live")), &doc); err != nil {
+		t.Fatalf("bad /live JSON: %v", err)
+	}
+	if doc.Classified != 1 {
+		t.Fatalf("/live classified = %d", doc.Classified)
+	}
+
+	metrics := adminGet(t, srv, "/metrics")
+	for _, line := range []string{
+		"honeynet_live_sessions_total",
+		"honeynet_live_classified_total 1",
+		"honeynet_live_rules_skipped_total",
+		"honeynet_classify_literal_skip_total",
+	} {
+		if !strings.Contains(metrics, line) {
+			t.Errorf("metrics missing %q", line)
+		}
+	}
+}
+
+// TestServeLiveOff: LiveOff disables the pipeline and the /live route.
+func TestServeLiveOff(t *testing.T) {
+	srv, err := Serve(ServeConfig{
+		SSHAddr:   "127.0.0.1:0",
+		AdminAddr: "127.0.0.1:0",
+		LogOutput: io.Discard,
+		LiveOff:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Live() != nil {
+		t.Fatal("LiveOff must disable the pipeline")
+	}
+	resp, err := http.Get("http://" + srv.AdminAddr() + "/live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/live with LiveOff = %d, want 404", resp.StatusCode)
 	}
 }
